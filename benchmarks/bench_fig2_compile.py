@@ -1,0 +1,27 @@
+"""Figure 2: compiling a scene into its factor graph.
+
+The paper's Figure 2 shows the compiled graph for one track: variable
+nodes per observation, unary feature factors, bundle factors, and
+transition factors. This bench times full-scene compilation and asserts
+the compiled structure matches the schematic.
+"""
+
+from repro.core import Fixy, default_features
+from repro.datasets import SYNTHETIC_INTERNAL
+from repro.eval import get_dataset
+
+
+def test_compile_scene(benchmark):
+    dataset = get_dataset(SYNTHETIC_INTERNAL)
+    fixy = Fixy(default_features()).fit(dataset.train_scenes)
+    scene = dataset.val_scenes[0].scene
+
+    compiled = benchmark(fixy.compile, scene)
+
+    # Figure 2 structure: one variable per observation, bipartite edges
+    # from each feature distribution to the observations it covers.
+    assert compiled.graph.n_variables == len(scene.observations)
+    assert compiled.graph.n_factors == len(compiled.factors)
+    compiled.graph.validate()
+    kinds = {f.feature_name for f in compiled.factors.values()}
+    assert {"volume", "velocity", "count"} <= kinds

@@ -1,0 +1,18 @@
+"""§8.4: novel ML model prediction errors.
+
+Paper: after excluding errors found by the appear/flicker/multibox
+assertions, Fixy achieved precision@10 of 82% vs 42% for uncertainty
+sampling, and surfaced errors with model confidence as high as 95%.
+
+Shape targets: Fixy strictly beats uncertainty sampling, and at least
+one found error carries confidence ≥ 0.9.
+"""
+
+from repro.eval import model_errors_experiment
+
+
+def test_model_errors(run_once):
+    result = run_once(model_errors_experiment)
+    assert result.fixy_precision_at_10 > result.uncertainty_precision_at_10
+    assert result.max_confidence_of_found_error >= 0.9
+    assert result.n_high_conf_errors_found > 0

@@ -1,0 +1,22 @@
+"""§8.1 runtime: Fixy on one 15-second scene.
+
+Paper: "Fixy executes in under five seconds on a single CPU core for
+processing a 15 second scene of data."
+
+This is a true timing benchmark (multiple rounds) of the online phase:
+compile the scene's factor graph and rank every track.
+"""
+
+from repro.core import MissingTrackFinder
+from repro.datasets import SYNTHETIC_INTERNAL
+from repro.eval import get_dataset
+
+
+def test_runtime_rank_scene(benchmark):
+    dataset = get_dataset(SYNTHETIC_INTERNAL)
+    finder = MissingTrackFinder().fit(dataset.train_scenes)
+    scene = dataset.val_scenes[0].scene
+
+    ranked = benchmark(finder.rank, scene)
+    assert benchmark.stats["mean"] < 5.0  # the paper's budget
+    assert isinstance(ranked, list)

@@ -1,0 +1,19 @@
+"""§8.2 scene coverage on the Lyft-like dataset.
+
+Paper: errors were found in 32 of 46 Lyft validation scenes, and "LOA
+found errors in 100% of the scenes with errors in the top 10 ranked
+errors".
+
+Shape target: ≥ 90% of error scenes have a true error in Fixy's top 10.
+(Our noisy vendor leaves errors in nearly every scene, so the
+scenes-with-errors count is higher than the paper's 32.)
+"""
+
+from repro.eval import scene_coverage
+
+
+def test_scene_coverage(run_once):
+    result = run_once(scene_coverage)
+    assert result.n_scenes == 46
+    assert result.n_scenes_with_errors > 0
+    assert result.coverage >= 0.9

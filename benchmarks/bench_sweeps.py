@@ -1,0 +1,28 @@
+"""Sensitivity sweeps around the paper's operating point.
+
+Not paper tables — supporting analysis: how Fixy's missing-track
+precision responds to vendor quality, and how quickly the learned
+feature distributions saturate with training data.
+"""
+
+from repro.eval.sweeps import training_size_sweep, vendor_noise_sweep
+
+
+def test_vendor_noise_sweep(run_once):
+    result = run_once(vendor_noise_sweep)
+    assert len(result.points) == 4
+    # Fixy stays at or above the random-ordered consistency baseline at
+    # every noise level where errors exist.
+    for point in result.points:
+        if point.n_errors_per_scene >= 1:
+            assert point.fixy_precision_at_10 >= point.baseline_precision_at_10 - 0.1
+
+
+def test_training_size_sweep(run_once):
+    result = run_once(training_size_sweep)
+    curve = result.fixy_curve
+    # The learning curve must not collapse with more data: the largest
+    # training size performs at least as well as the smallest (within
+    # sampling noise).
+    assert curve[-1] >= curve[0] - 0.15
+    assert curve[-1] > 0.4

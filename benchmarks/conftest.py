@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures at full
+size (DESIGN.md §4 maps experiment → bench). Experiments are expensive,
+so they run once per benchmark (``rounds=1``) via :func:`run_once`, and
+the synthetic datasets are memoized process-wide by
+:func:`repro.eval.get_dataset`.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer and echo
+    its text rendering (shown with ``-s``; also asserted by each bench)."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        text = (
+            "\n\n".join(r.to_text() for r in result)
+            if isinstance(result, list)
+            else result.to_text()
+        )
+        print("\n" + text)
+        return result
+
+    return _run

@@ -1,0 +1,46 @@
+"""repro — a reproduction of "Finding Label and Model Errors in Perception
+Data With Learned Observation Assertions" (Kang et al., SIGMOD 2022).
+
+The public API mirrors the paper's system, Fixy:
+
+- :mod:`repro.core` — the LOA DSL, feature distributions, AOFs, factor
+  graph compilation, scoring, and the :class:`~repro.core.Fixy` engine;
+- :mod:`repro.geometry`, :mod:`repro.association`,
+  :mod:`repro.factorgraph`, :mod:`repro.distributions` — substrates;
+- :mod:`repro.datagen`, :mod:`repro.labelers`, :mod:`repro.datasets` —
+  the synthetic AV world and observation sources replacing the paper's
+  proprietary datasets;
+- :mod:`repro.baselines` — ad-hoc model assertions and uncertainty
+  sampling;
+- :mod:`repro.eval` — metrics and the experiment harness regenerating
+  every table and figure.
+"""
+
+from repro.core import (
+    Fixy,
+    MissingObservationFinder,
+    MissingTrackFinder,
+    ModelErrorFinder,
+    Observation,
+    ObservationBundle,
+    Scene,
+    Track,
+    default_features,
+    model_error_features,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Fixy",
+    "MissingObservationFinder",
+    "MissingTrackFinder",
+    "ModelErrorFinder",
+    "Observation",
+    "ObservationBundle",
+    "Scene",
+    "Track",
+    "default_features",
+    "model_error_features",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Association: matching, bundling, and track building."""
+
+from repro.association.bundler import (
+    Bundler,
+    CenterDistanceBundler,
+    IoUBundler,
+    TrackBundler,
+)
+from repro.association.matching import UnionFind, greedy_match, hungarian_match
+from repro.association.tracker import TemporalAffinity, TrackBuilder
+
+__all__ = [
+    "Bundler",
+    "CenterDistanceBundler",
+    "IoUBundler",
+    "TemporalAffinity",
+    "TrackBuilder",
+    "TrackBundler",
+    "UnionFind",
+    "greedy_match",
+    "hungarian_match",
+]

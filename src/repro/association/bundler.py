@@ -1,0 +1,133 @@
+"""Bundlers: grouping same-frame observations from different sources.
+
+This realizes the paper's worked example (§3):
+
+.. code-block:: python
+
+    class TrackBundler(Bundler):
+        def is_associated(self, box1, box2):
+            return compute_iou(box1, box2) > 0.5
+
+A bundler decides whether two observations *in the same frame* describe
+the same physical object. :meth:`Bundler.bundle_frame` then merges the
+pairwise decisions into :class:`~repro.core.model.ObservationBundle`
+groups, matching one-to-one between each pair of sources (a human label
+should absorb at most one model box and vice versa).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import combinations
+
+import numpy as np
+
+from repro.association.matching import UnionFind, greedy_match, hungarian_match
+from repro.core.model import Observation, ObservationBundle
+from repro.geometry import Box3D, compute_iou
+
+__all__ = ["Bundler", "IoUBundler", "TrackBundler", "CenterDistanceBundler"]
+
+
+class Bundler(ABC):
+    """Decides whether two same-frame boxes describe the same object.
+
+    Subclasses override :meth:`is_associated` (boolean decision) and may
+    override :meth:`affinity` (used to break ties when several candidates
+    associate). The default affinity is BEV IoU.
+    """
+
+    matcher: str = "greedy"
+
+    @abstractmethod
+    def is_associated(self, box1: Box3D, box2: Box3D) -> bool:
+        """Whether the two boxes belong to the same object."""
+
+    def affinity(self, box1: Box3D, box2: Box3D) -> float:
+        """Tie-breaking score; higher = more likely the same object."""
+        return compute_iou(box1, box2)
+
+    # ------------------------------------------------------------------
+    def bundle_frame(self, observations: list[Observation]) -> list[ObservationBundle]:
+        """Group one frame's observations into bundles.
+
+        Observations from the *same* source never share a bundle directly
+        (a source proposes each object once); between each pair of
+        sources, members are matched one-to-one by affinity among
+        associated pairs, and matches are merged transitively.
+        """
+        if not observations:
+            return []
+        frames = {o.frame for o in observations}
+        if len(frames) != 1:
+            raise ValueError(f"bundle_frame got observations from frames {sorted(frames)}")
+
+        by_source: dict[str, list[int]] = {}
+        for idx, obs in enumerate(observations):
+            by_source.setdefault(obs.source, []).append(idx)
+
+        uf = UnionFind(len(observations))
+        match = hungarian_match if self.matcher == "hungarian" else greedy_match
+
+        for source_a, source_b in combinations(sorted(by_source), 2):
+            idx_a, idx_b = by_source[source_a], by_source[source_b]
+            affinity = np.full((len(idx_a), len(idx_b)), -1.0)
+            for i, ia in enumerate(idx_a):
+                for j, ib in enumerate(idx_b):
+                    box_a = observations[ia].box
+                    box_b = observations[ib].box
+                    if self.is_associated(box_a, box_b):
+                        affinity[i, j] = self.affinity(box_a, box_b)
+            for i, j in match(affinity, threshold=-0.5):
+                uf.union(idx_a[i], idx_b[j])
+
+        frame = observations[0].frame
+        bundles = []
+        for group in uf.groups():
+            bundles.append(
+                ObservationBundle(
+                    frame=frame, observations=[observations[i] for i in group]
+                )
+            )
+        return bundles
+
+
+class IoUBundler(Bundler):
+    """Associates boxes whose BEV IoU exceeds a threshold."""
+
+    def __init__(self, threshold: float = 0.5, matcher: str = "greedy"):
+        if not 0.0 <= threshold < 1.0:
+            raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+        if matcher not in ("greedy", "hungarian"):
+            raise ValueError(f"unknown matcher {matcher!r}")
+        self.threshold = threshold
+        self.matcher = matcher
+
+    def is_associated(self, box1: Box3D, box2: Box3D) -> bool:
+        return compute_iou(box1, box2) > self.threshold
+
+
+class TrackBundler(IoUBundler):
+    """The paper's worked-example bundler: IoU > 0.5."""
+
+    def __init__(self):
+        super().__init__(threshold=0.5)
+
+
+class CenterDistanceBundler(Bundler):
+    """Associates boxes whose BEV centers are within ``max_distance`` m.
+
+    Useful when sources disagree on extent (e.g. a detector that
+    systematically shrinks boxes) but agree on position.
+    """
+
+    def __init__(self, max_distance: float = 1.5):
+        if max_distance <= 0:
+            raise ValueError(f"max_distance must be positive, got {max_distance}")
+        self.max_distance = max_distance
+
+    def is_associated(self, box1: Box3D, box2: Box3D) -> bool:
+        return box1.distance_to_box(box2) < self.max_distance
+
+    def affinity(self, box1: Box3D, box2: Box3D) -> float:
+        return -box1.distance_to_box(box2)

@@ -1,0 +1,111 @@
+"""Assignment algorithms for observation association.
+
+Association reduces to bipartite matching on an affinity matrix (IoU or a
+distance-derived score). Two matchers are provided:
+
+- :func:`greedy_match` — repeatedly takes the highest-affinity pair; the
+  standard fast heuristic in detection/tracking pipelines.
+- :func:`hungarian_match` — optimal assignment via
+  ``scipy.optimize.linear_sum_assignment``.
+
+Both return only pairs whose affinity clears a threshold, so the matrices
+may be rectangular and sparse in practice. A small union-find is included
+for merging pairwise associations into groups (bundles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+__all__ = ["greedy_match", "hungarian_match", "UnionFind"]
+
+
+def _validate(affinity: np.ndarray) -> np.ndarray:
+    mat = np.asarray(affinity, dtype=float)
+    if mat.ndim != 2:
+        raise ValueError(f"affinity must be 2-D, got shape {mat.shape}")
+    if np.isnan(mat).any():
+        raise ValueError("affinity matrix contains NaN")
+    return mat
+
+
+def greedy_match(
+    affinity: np.ndarray, threshold: float = 0.0
+) -> list[tuple[int, int]]:
+    """Greedy maximum-affinity matching.
+
+    Repeatedly selects the largest remaining entry above ``threshold`` and
+    removes its row and column. O(n*m*min(n,m)) worst case, which is fine
+    for per-frame box counts.
+
+    Returns:
+        Pairs ``(row, col)`` sorted by row index.
+    """
+    mat = _validate(affinity).copy()
+    if mat.size == 0:
+        return []
+    pairs: list[tuple[int, int]] = []
+    while True:
+        idx = int(np.argmax(mat))
+        i, j = divmod(idx, mat.shape[1])
+        if mat[i, j] <= threshold:
+            break
+        pairs.append((i, j))
+        mat[i, :] = -np.inf
+        mat[:, j] = -np.inf
+    return sorted(pairs)
+
+
+def hungarian_match(
+    affinity: np.ndarray, threshold: float = 0.0
+) -> list[tuple[int, int]]:
+    """Optimal bipartite matching maximizing total affinity.
+
+    Pairs with affinity at or below ``threshold`` are dropped after the
+    assignment, so the result may leave rows/columns unmatched.
+    """
+    mat = _validate(affinity)
+    if mat.size == 0:
+        return []
+    rows, cols = linear_sum_assignment(-mat)
+    return sorted(
+        (int(i), int(j)) for i, j in zip(rows, cols) if mat[i, j] > threshold
+    )
+
+
+class UnionFind:
+    """Disjoint-set forest over ``n`` integer elements (path compression +
+    union by size)."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns False if already one."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def groups(self) -> list[list[int]]:
+        """All disjoint sets, each sorted, ordered by smallest member."""
+        by_root: dict[int, list[int]] = {}
+        for x in range(len(self._parent)):
+            by_root.setdefault(self.find(x), []).append(x)
+        return sorted(by_root.values(), key=lambda g: g[0])

@@ -1,0 +1,39 @@
+"""Baselines: ad-hoc model assertions and uncertainty sampling."""
+
+from repro.baselines.model_assertions import (
+    AppearAssertion,
+    ConsistencyAssertion,
+    FlaggedItem,
+    FlickerAssertion,
+    ModelAssertion,
+    MultiboxAssertion,
+    run_assertions,
+)
+from repro.baselines.ordering import (
+    item_confidence,
+    order_by_confidence,
+    order_by_severity,
+    order_randomly,
+)
+from repro.baselines.uncertainty import (
+    UncertainItem,
+    uncertainty_sample_observations,
+    uncertainty_sample_tracks,
+)
+
+__all__ = [
+    "AppearAssertion",
+    "ConsistencyAssertion",
+    "FlaggedItem",
+    "FlickerAssertion",
+    "ModelAssertion",
+    "MultiboxAssertion",
+    "UncertainItem",
+    "item_confidence",
+    "order_by_confidence",
+    "order_by_severity",
+    "order_randomly",
+    "run_assertions",
+    "uncertainty_sample_observations",
+    "uncertainty_sample_tracks",
+]

@@ -1,0 +1,260 @@
+"""Ad-hoc model assertions (MAs) from Kang et al. [11].
+
+The paper compares Fixy against hand-written assertions with ad-hoc
+severity scores. Implemented from their descriptions in §8 of the target
+paper and the MLSys'20 model-assertions paper:
+
+- :class:`ConsistencyAssertion` (§8.2 baseline) — "a prediction of a box
+  of a car should not appear and disappear in subsequent frames": flags
+  model-only tracks whose identity/attributes are inconsistent over time
+  (class changes, gaps, abrupt box changes). Used for finding *label*
+  errors by flagging model tracks that overlap no human label.
+- :class:`AppearAssertion` (§8.4) — an observation should have
+  observations in nearby timestamps; flags very short tracks.
+- :class:`FlickerAssertion` (§8.4) — an observation should not appear
+  and disappear rapidly; flags tracks with missing interior frames.
+- :class:`MultiboxAssertion` (§8.4) — three boxes should not mutually
+  overlap in one frame.
+
+Each assertion returns flagged items with an ad-hoc severity score; the
+paper orders flagged items randomly or by model confidence — both
+orderings are provided by :mod:`repro.baselines.ordering`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.model import Scene, Track
+from repro.geometry import compute_iou
+
+__all__ = [
+    "FlaggedItem",
+    "ModelAssertion",
+    "ConsistencyAssertion",
+    "AppearAssertion",
+    "FlickerAssertion",
+    "MultiboxAssertion",
+    "run_assertions",
+]
+
+
+@dataclass(frozen=True)
+class FlaggedItem:
+    """One item flagged by an assertion.
+
+    Attributes:
+        item: The flagged Track (or bundle list for multibox).
+        severity: The assertion's ad-hoc severity score (higher = worse).
+        assertion: Name of the assertion that fired.
+        scene_id: Scene the item came from.
+        track_id: Enclosing track id (or a synthetic id for multibox
+            groups).
+    """
+
+    item: object
+    severity: float
+    assertion: str
+    scene_id: str
+    track_id: str
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+
+class ModelAssertion(ABC):
+    """A black-box check over model inputs/outputs returning flags."""
+
+    name: str = "assertion"
+
+    @abstractmethod
+    def check_scene(self, scene: Scene) -> list[FlaggedItem]:
+        """All items in the scene that violate the assertion."""
+
+
+class ConsistencyAssertion(ModelAssertion):
+    """Flags model-only tracks whose attributes are inconsistent in time.
+
+    The severity score is ad hoc (the point of the paper's comparison):
+    a weighted count of class switches, temporal gaps, and abrupt
+    box-volume jumps along the track. Model-only tracks with *no*
+    inconsistency still get a small severity so that, like the original
+    assertion, every unlabeled model track is surfaceable.
+    """
+
+    name = "consistency"
+
+    def __init__(
+        self,
+        volume_jump_ratio: float = 1.6,
+        min_observations: int = 2,
+        require_model_only: bool = True,
+    ):
+        self.volume_jump_ratio = volume_jump_ratio
+        self.min_observations = min_observations
+        self.require_model_only = require_model_only
+
+    def check_scene(self, scene: Scene) -> list[FlaggedItem]:
+        out = []
+        for track in scene.tracks:
+            if self.require_model_only and track.has_human:
+                continue
+            if not track.has_model:
+                continue
+            if track.n_observations < self.min_observations:
+                continue
+            severity = self._severity(track)
+            out.append(
+                FlaggedItem(
+                    item=track,
+                    severity=severity,
+                    assertion=self.name,
+                    scene_id=scene.scene_id,
+                    track_id=track.track_id,
+                )
+            )
+        return out
+
+    def _severity(self, track: Track) -> float:
+        classes = [b.representative().object_class for b in track.bundles]
+        class_switches = sum(1 for a, b in zip(classes, classes[1:]) if a != b)
+        frames = track.frames
+        gaps = sum(1 for a, b in zip(frames, frames[1:]) if b - a > 1)
+        volume_jumps = 0
+        for before, after in track.transitions():
+            v0 = before.representative().box.volume
+            v1 = after.representative().box.volume
+            ratio = max(v0, v1) / max(min(v0, v1), 1e-9)
+            if ratio > self.volume_jump_ratio:
+                volume_jumps += 1
+        return 1.0 + 3.0 * class_switches + 2.0 * gaps + 1.0 * volume_jumps
+
+
+class AppearAssertion(ModelAssertion):
+    """Flags tracks shorter than ``min_frames`` — an object "should have
+    observations in nearby timestamps" (§8.4)."""
+
+    name = "appear"
+
+    def __init__(self, min_frames: int = 3, model_only: bool = True):
+        self.min_frames = min_frames
+        self.model_only = model_only
+
+    def check_scene(self, scene: Scene) -> list[FlaggedItem]:
+        out = []
+        for track in scene.tracks:
+            if self.model_only and track.has_human:
+                continue
+            if not track.has_model:
+                continue
+            if len(track.bundles) < self.min_frames:
+                severity = float(self.min_frames - len(track.bundles))
+                out.append(
+                    FlaggedItem(
+                        item=track,
+                        severity=severity,
+                        assertion=self.name,
+                        scene_id=scene.scene_id,
+                        track_id=track.track_id,
+                    )
+                )
+        return out
+
+
+class FlickerAssertion(ModelAssertion):
+    """Flags tracks that appear and disappear rapidly: one or more
+    missing interior frames (§8.4)."""
+
+    name = "flicker"
+
+    def __init__(self, model_only: bool = True):
+        self.model_only = model_only
+
+    def check_scene(self, scene: Scene) -> list[FlaggedItem]:
+        out = []
+        for track in scene.tracks:
+            if self.model_only and track.has_human:
+                continue
+            if not track.has_model:
+                continue
+            frames = track.frames
+            gaps = sum(1 for a, b in zip(frames, frames[1:]) if b - a > 1)
+            if gaps > 0:
+                out.append(
+                    FlaggedItem(
+                        item=track,
+                        severity=float(gaps),
+                        assertion=self.name,
+                        scene_id=scene.scene_id,
+                        track_id=track.track_id,
+                        metadata={"gaps": gaps},
+                    )
+                )
+        return out
+
+
+class MultiboxAssertion(ModelAssertion):
+    """Flags frames where ``min_boxes``+ model boxes mutually overlap
+    ("3 boxes should not overlap", §8.4)."""
+
+    name = "multibox"
+
+    def __init__(self, iou_threshold: float = 0.1, min_boxes: int = 3):
+        self.iou_threshold = iou_threshold
+        self.min_boxes = min_boxes
+
+    def check_scene(self, scene: Scene) -> list[FlaggedItem]:
+        # Collect model observations per frame across all tracks.
+        by_frame: dict[int, list] = {}
+        frame_tracks: dict[int, dict[str, str]] = {}
+        for track in scene.tracks:
+            for bundle in track.bundles:
+                for obs in bundle.observations:
+                    if obs.is_model:
+                        by_frame.setdefault(obs.frame, []).append(obs)
+                        frame_tracks.setdefault(obs.frame, {})[obs.obs_id] = (
+                            track.track_id
+                        )
+
+        out = []
+        for frame, observations in sorted(by_frame.items()):
+            if len(observations) < self.min_boxes:
+                continue
+            # Find mutually-overlapping cliques greedily: for each obs,
+            # count partners overlapping above threshold.
+            for i, anchor in enumerate(observations):
+                group = [anchor]
+                for other in observations[i + 1 :]:
+                    if all(
+                        compute_iou(member.box, other.box) > self.iou_threshold
+                        for member in group
+                    ):
+                        group.append(other)
+                if len(group) >= self.min_boxes:
+                    track_ids = sorted(
+                        {frame_tracks[frame][o.obs_id] for o in group}
+                    )
+                    out.append(
+                        FlaggedItem(
+                            item=group,
+                            severity=float(len(group)),
+                            assertion=self.name,
+                            scene_id=scene.scene_id,
+                            track_id="+".join(track_ids),
+                            metadata={"frame": frame},
+                        )
+                    )
+                    break  # one flag per frame is enough
+        return out
+
+
+def run_assertions(
+    assertions: list[ModelAssertion], scenes: Scene | list[Scene]
+) -> list[FlaggedItem]:
+    """Run several assertions over scenes, concatenating flags."""
+    if isinstance(scenes, Scene):
+        scenes = [scenes]
+    out: list[FlaggedItem] = []
+    for scene in scenes:
+        for assertion in assertions:
+            out.extend(assertion.check_scene(scene))
+    return out

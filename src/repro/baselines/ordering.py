@@ -1,0 +1,70 @@
+"""Orderings for assertion-flagged items.
+
+The paper's Table 3 compares "Ad-hoc MA (rand)" and "Ad-hoc MA (conf)":
+the same assertion output ordered randomly or by model confidence. The
+assertion severity itself is ad hoc, which is exactly the calibration
+problem LOA solves — so the baselines order flagged items by an external
+signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.model_assertions import FlaggedItem
+from repro.core.model import Observation, Track
+
+__all__ = [
+    "order_randomly",
+    "order_by_confidence",
+    "order_by_severity",
+    "item_confidence",
+]
+
+
+def item_confidence(flagged: FlaggedItem) -> float:
+    """Mean model confidence of the flagged item's observations."""
+    item = flagged.item
+    if isinstance(item, Track):
+        observations = item.observations
+    elif isinstance(item, list):
+        observations = item
+    elif isinstance(item, Observation):
+        observations = [item]
+    else:  # an ObservationBundle
+        observations = list(item.observations)
+    confs = [
+        o.confidence
+        for o in observations
+        if o.confidence is not None
+    ]
+    if not confs:
+        return 0.0
+    return float(np.mean(confs))
+
+
+def order_randomly(
+    flagged: list[FlaggedItem], seed: int = 0
+) -> list[FlaggedItem]:
+    """Uniform random order (deterministic under ``seed``)."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(flagged))
+    return [flagged[i] for i in order]
+
+
+def order_by_confidence(
+    flagged: list[FlaggedItem], descending: bool = True
+) -> list[FlaggedItem]:
+    """Order by mean model confidence.
+
+    Descending by default: for missing-label search, the most confident
+    unlabeled model tracks are the most plausible real objects.
+    """
+    return sorted(
+        flagged, key=item_confidence, reverse=descending
+    )
+
+
+def order_by_severity(flagged: list[FlaggedItem]) -> list[FlaggedItem]:
+    """Order by the assertion's own ad-hoc severity, highest first."""
+    return sorted(flagged, key=lambda f: f.severity, reverse=True)

@@ -1,0 +1,90 @@
+"""Uncertainty sampling baseline (§8.4).
+
+Standard active-learning practice [26]: surface predictions whose
+confidence is closest to a threshold (maximum uncertainty). The paper
+samples "predictions around a confidence threshold" and shows Fixy finds
+high-confidence errors (≥95%) that uncertainty sampling structurally
+cannot: a confidently-wrong prediction is, by definition, far from the
+uncertainty band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import Observation, Scene, Track
+
+__all__ = ["UncertainItem", "uncertainty_sample_observations", "uncertainty_sample_tracks"]
+
+
+@dataclass(frozen=True)
+class UncertainItem:
+    """One item surfaced by uncertainty sampling."""
+
+    item: object
+    uncertainty: float  # higher = closer to the threshold
+    scene_id: str
+    track_id: str
+
+
+def _uncertainty(confidence: float, threshold: float) -> float:
+    """Closeness to the decision threshold, in ``(0, 1]``."""
+    return 1.0 - abs(confidence - threshold)
+
+
+def uncertainty_sample_observations(
+    scenes: Scene | list[Scene], threshold: float = 0.5
+) -> list[UncertainItem]:
+    """Model observations ordered by closeness to ``threshold``."""
+    if isinstance(scenes, Scene):
+        scenes = [scenes]
+    out: list[UncertainItem] = []
+    for scene in scenes:
+        for track in scene.tracks:
+            for obs in track.observations:
+                if not obs.is_model or obs.confidence is None:
+                    continue
+                out.append(
+                    UncertainItem(
+                        item=obs,
+                        uncertainty=_uncertainty(obs.confidence, threshold),
+                        scene_id=scene.scene_id,
+                        track_id=track.track_id,
+                    )
+                )
+    out.sort(key=lambda u: u.uncertainty, reverse=True)
+    return out
+
+
+def uncertainty_sample_tracks(
+    scenes: Scene | list[Scene],
+    threshold: float = 0.5,
+    model_only: bool = True,
+) -> list[UncertainItem]:
+    """Model tracks ordered by the uncertainty of their least-confident
+    observation (a track is as suspicious as its shakiest box)."""
+    if isinstance(scenes, Scene):
+        scenes = [scenes]
+    out: list[UncertainItem] = []
+    for scene in scenes:
+        for track in scene.tracks:
+            if model_only and track.has_human:
+                continue
+            confs = [
+                o.confidence
+                for o in track.observations
+                if o.is_model and o.confidence is not None
+            ]
+            if not confs:
+                continue
+            best = max(_uncertainty(c, threshold) for c in confs)
+            out.append(
+                UncertainItem(
+                    item=track,
+                    uncertainty=best,
+                    scene_id=scene.scene_id,
+                    track_id=track.track_id,
+                )
+            )
+    out.sort(key=lambda u: u.uncertainty, reverse=True)
+    return out

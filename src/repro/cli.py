@@ -1,0 +1,163 @@
+"""Command-line interface for the reproduction.
+
+Subcommands (also exposed as ``python -m repro.cli``):
+
+- ``generate``    build a synthetic dataset and write its world scenes
+                  (and per-scene error ledgers) to a directory;
+- ``experiment``  run one named experiment and print the paper-style
+                  table (``all`` runs the full §8 report);
+- ``rank``        fit on a dataset's training split and print the top
+                  potential missing labels of one validation scene.
+
+Examples::
+
+    python -m repro.cli generate --profile lyft --out /tmp/lyft --val 4
+    python -m repro.cli experiment table3
+    python -m repro.cli rank --profile internal --scene 0 --top 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.datasets import SYNTHETIC_INTERNAL, SYNTHETIC_LYFT, build_dataset
+
+__all__ = ["main", "build_parser"]
+
+_PROFILES = {"lyft": SYNTHETIC_LYFT, "internal": SYNTHETIC_INTERNAL}
+
+_EXPERIMENTS = (
+    "table3",
+    "recall",
+    "scene_coverage",
+    "missing_observation",
+    "model_errors",
+    "runtime",
+    "figures",
+    "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fixy / Learned Observation Assertions reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a dataset to disk")
+    gen.add_argument("--profile", choices=sorted(_PROFILES), required=True)
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--train", type=int, default=None, help="training scenes")
+    gen.add_argument("--val", type=int, default=None, help="validation scenes")
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", choices=_EXPERIMENTS)
+    exp.add_argument("--train", type=int, default=None)
+    exp.add_argument("--val", type=int, default=None)
+
+    rank = sub.add_parser("rank", help="rank potential missing labels")
+    rank.add_argument("--profile", choices=sorted(_PROFILES), default="internal")
+    rank.add_argument("--scene", type=int, default=0, help="validation scene index")
+    rank.add_argument("--top", type=int, default=10)
+    rank.add_argument("--train", type=int, default=None)
+    rank.add_argument("--val", type=int, default=None)
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    dataset = build_dataset(
+        _PROFILES[args.profile], n_train_scenes=args.train, n_val_scenes=args.val
+    )
+    for scene in dataset.train_scenes:
+        scene.save(out_dir / f"{scene.scene_id}.labels.json")
+    for ls in dataset.val_scenes:
+        ls.world.to_dict()  # ensure serializable before writing anything
+        ls.scene.save(out_dir / f"{ls.scene_id}.labels.json")
+        ls.ledger.save(out_dir / f"{ls.scene_id}.errors.json")
+        from repro.datagen import SceneCollection
+
+        SceneCollection(name=ls.scene_id, scenes=[ls.world]).save(
+            out_dir / f"{ls.scene_id}.world.json"
+        )
+    print(
+        f"wrote {len(dataset.train_scenes)} training + "
+        f"{len(dataset.val_scenes)} validation scenes to {out_dir}"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.eval import experiments as ex
+    from repro.eval.harness import run_all
+
+    if args.name == "all":
+        print(run_all(n_train_scenes=args.train, n_val_scenes=args.val).to_text())
+        return 0
+    if args.name == "table3":
+        result = ex.table3(n_train_scenes=args.train, n_val_scenes=args.val)
+    elif args.name == "recall":
+        result = ex.recall_experiment()
+    elif args.name == "scene_coverage":
+        result = ex.scene_coverage(n_val_scenes=args.val)
+    elif args.name == "missing_observation":
+        result = ex.missing_observation_experiment()
+    elif args.name == "model_errors":
+        result = ex.model_errors_experiment()
+    elif args.name == "runtime":
+        result = ex.runtime_experiment()
+    else:  # figures
+        for study in ex.figure_case_studies():
+            print(study.to_text())
+            print()
+        return 0
+    print(result.to_text())
+    return 0
+
+
+def _cmd_rank(args) -> int:
+    from repro.core import MissingTrackFinder
+
+    dataset = build_dataset(
+        _PROFILES[args.profile], n_train_scenes=args.train, n_val_scenes=args.val
+    )
+    if not 0 <= args.scene < len(dataset.val_scenes):
+        print(
+            f"scene index {args.scene} out of range "
+            f"(dataset has {len(dataset.val_scenes)} validation scenes)",
+            file=sys.stderr,
+        )
+        return 2
+    labeled = dataset.val_scenes[args.scene]
+    finder = MissingTrackFinder().fit(dataset.train_scenes)
+    ranked = finder.rank(labeled.scene, top_k=args.top)
+    auditor = labeled.auditor()
+
+    print(f"Top {args.top} potential missing labels in {labeled.scene_id}:")
+    for position, scored in enumerate(ranked, start=1):
+        decision = auditor.audit_missing_track(scored.item)
+        mark = "✓" if decision.is_error else "✗"
+        print(
+            f"  {mark} #{position:<2d} score {scored.score:+.3f}  "
+            f"{scored.item.majority_class():<10s} "
+            f"{scored.item.n_observations:>3d} obs  ({decision.reason})"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    return _cmd_rank(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""LOA core: data model, features, AOFs, learning, compilation, scoring."""
+
+from repro.core.aof import (
+    AOF,
+    ComposeAOF,
+    IdentityAOF,
+    InvertAOF,
+    KeepIfAOF,
+    ZeroIfAOF,
+)
+from repro.core.applications import (
+    MissingObservationFinder,
+    MissingTrackFinder,
+    ModelErrorFinder,
+    top_k_per_class,
+)
+from repro.core.compile import CompiledScene, PotentialFactor, compile_scene
+from repro.core.engine import Fixy
+from repro.core.fusion import ClassPosterior, infer_track_class, uniform_confusion
+from repro.core.features import (
+    BundleFeature,
+    Feature,
+    FeatureContext,
+    ObservationFeature,
+    TrackFeature,
+    TransitionFeature,
+)
+from repro.core.learning import (
+    FeatureDistributionLearner,
+    LearnedFeatureDistribution,
+    LearnedModel,
+)
+from repro.core.library import (
+    AspectRatioFeature,
+    ClassAgreementFeature,
+    HeadingAlignmentFeature,
+    CountFeature,
+    DistanceFeature,
+    ModelOnlyFeature,
+    TrackLengthFeature,
+    VelocityFeature,
+    VolumeFeature,
+    VolumeRatioFeature,
+    YawRateFeature,
+    default_features,
+    model_error_features,
+)
+from repro.core.model import (
+    SOURCE_AUDITOR,
+    SOURCE_HUMAN,
+    SOURCE_MODEL,
+    Observation,
+    ObservationBundle,
+    Scene,
+    Track,
+)
+from repro.core.scoring import ScoredItem, Scorer
+
+__all__ = [
+    "AOF",
+    "AspectRatioFeature",
+    "HeadingAlignmentFeature",
+    "BundleFeature",
+    "ClassAgreementFeature",
+    "ClassPosterior",
+    "CompiledScene",
+    "ComposeAOF",
+    "CountFeature",
+    "DistanceFeature",
+    "Feature",
+    "FeatureContext",
+    "FeatureDistributionLearner",
+    "Fixy",
+    "IdentityAOF",
+    "InvertAOF",
+    "KeepIfAOF",
+    "LearnedFeatureDistribution",
+    "LearnedModel",
+    "MissingObservationFinder",
+    "MissingTrackFinder",
+    "ModelErrorFinder",
+    "ModelOnlyFeature",
+    "Observation",
+    "ObservationBundle",
+    "ObservationFeature",
+    "PotentialFactor",
+    "SOURCE_AUDITOR",
+    "SOURCE_HUMAN",
+    "SOURCE_MODEL",
+    "Scene",
+    "ScoredItem",
+    "Scorer",
+    "Track",
+    "TrackFeature",
+    "TrackLengthFeature",
+    "TransitionFeature",
+    "VelocityFeature",
+    "VolumeFeature",
+    "VolumeRatioFeature",
+    "YawRateFeature",
+    "ZeroIfAOF",
+    "compile_scene",
+    "infer_track_class",
+    "uniform_confusion",
+    "default_features",
+    "model_error_features",
+    "top_k_per_class",
+]

@@ -1,0 +1,119 @@
+"""Application objective functions (AOFs).
+
+AOFs (§5.3) "wrap data feature distributions to transform them into
+application-specific probabilities to guide the search for labeling
+errors. As such, they take scalar values and return scalar values. The
+most common operations are taking the inverse and setting the probability
+to 0/1 under certain conditions."
+
+An AOF here is a callable ``(likelihood, item) -> likelihood`` — the item
+is passed so conditional AOFs ("zero out any track that contains a human
+proposal") can inspect what they are transforming. Likelihoods are
+relative likelihoods in ``[0, 1]`` (see
+:class:`repro.core.learning.LearnedFeatureDistribution`), so inversion
+``1 - x`` is well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = [
+    "AOF",
+    "IdentityAOF",
+    "InvertAOF",
+    "ZeroIfAOF",
+    "KeepIfAOF",
+    "ComposeAOF",
+]
+
+
+class AOF:
+    """Base application objective function: the identity transform."""
+
+    def __call__(self, likelihood: float, item=None) -> float:
+        return likelihood
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+
+class IdentityAOF(AOF):
+    """Keep the likelihood as-is — used when searching for *likely* items
+    (e.g. consistent model-only tracks that are probably missed labels)."""
+
+
+class InvertAOF(AOF):
+    """``f(x) = 1 - x`` — used when searching for *unlikely* items (e.g.
+    erroneous model predictions, §7).
+
+    Likelihoods are clamped into ``[0, 1]`` first, and the output is
+    floored at ``eps`` so a perfectly-typical value does not annihilate a
+    whole component with ``ln 0``; the floor keeps ranking intact while
+    letting genuinely unlikely values dominate.
+    """
+
+    def __init__(self, eps: float = 1e-4):
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        self.eps = eps
+
+    def __call__(self, likelihood: float, item=None) -> float:
+        clamped = min(max(likelihood, 0.0), 1.0)
+        return max(1.0 - clamped, self.eps)
+
+
+class ZeroIfAOF(AOF):
+    """Zero the likelihood when ``predicate(item)`` holds.
+
+    The workhorse of the §7 applications, e.g.::
+
+        ZeroIfAOF(lambda track: track.has_human)   # drop labeled tracks
+    """
+
+    def __init__(self, predicate: Callable[[object], bool], label: str = ""):
+        self.predicate = predicate
+        self.label = label or getattr(predicate, "__name__", "predicate")
+
+    def __call__(self, likelihood: float, item=None) -> float:
+        if item is not None and self.predicate(item):
+            return 0.0
+        return likelihood
+
+    def __repr__(self) -> str:
+        return f"ZeroIfAOF({self.label})"
+
+
+class KeepIfAOF(AOF):
+    """Zero the likelihood unless ``predicate(item)`` holds (the
+    complement of :class:`ZeroIfAOF`)."""
+
+    def __init__(self, predicate: Callable[[object], bool], label: str = ""):
+        self.predicate = predicate
+        self.label = label or getattr(predicate, "__name__", "predicate")
+
+    def __call__(self, likelihood: float, item=None) -> float:
+        if item is None or self.predicate(item):
+            return likelihood
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"KeepIfAOF({self.label})"
+
+
+class ComposeAOF(AOF):
+    """Apply several AOFs left to right."""
+
+    def __init__(self, *aofs: AOF):
+        if not aofs:
+            raise ValueError("ComposeAOF needs at least one AOF")
+        self.aofs = aofs
+
+    def __call__(self, likelihood: float, item=None) -> float:
+        out = likelihood
+        for aof in self.aofs:
+            out = aof(out, item)
+        return out
+
+    def __repr__(self) -> str:
+        return "ComposeAOF(" + ", ".join(repr(a) for a in self.aofs) + ")"

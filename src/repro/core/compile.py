@@ -1,0 +1,153 @@
+"""Compiling scenes into factor graphs (§4.3).
+
+"To compile a scene, Fixy will create nodes for each observation and
+feature distribution. Then, Fixy will create edges between each feature
+distribution and the observation it applies over. If a feature
+distribution applies to a group of observations (e.g., an observation
+bundle or track), Fixy will create one edge between each observation in
+the group and the feature distribution."
+
+The compiled graph is the scoring substrate: a component's score is read
+off the factors adjacent to its observations (:mod:`repro.core.scoring`).
+Factor potentials are evaluated eagerly at compile time — features and
+learned distributions are deterministic, and the paper's workloads score
+every component anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from repro.core.aof import AOF, IdentityAOF
+from repro.core.features import Feature, FeatureContext
+from repro.core.learning import LearnedModel
+from repro.core.model import Observation, ObservationBundle, Scene, Track
+from repro.factorgraph import Factor, FactorGraph
+
+__all__ = ["PotentialFactor", "CompiledScene", "compile_scene"]
+
+
+class PotentialFactor(Factor):
+    """A factor with a fixed, precomputed potential.
+
+    Compiled LOA graphs condition on the observed data, so each feature
+    distribution contributes a constant potential; the graph structure
+    still matters for normalization and component queries.
+    """
+
+    def __init__(self, value: float, feature_name: str, item=None):
+        if value < 0:
+            raise ValueError(f"potential must be non-negative, got {value}")
+        self.value = float(value)
+        self.feature_name = feature_name
+        self.item = item
+
+    def evaluate(self, assignment: Mapping[Hashable, object] = None) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"PotentialFactor({self.feature_name!r}, {self.value:.4g})"
+
+
+@dataclass
+class CompiledScene:
+    """A scene compiled to a factor graph, with item↔node indexes."""
+
+    scene: Scene
+    context: FeatureContext
+    graph: FactorGraph
+    #: factor node name -> PotentialFactor (same object as the payload)
+    factors: dict[str, PotentialFactor] = field(default_factory=dict)
+    #: track id -> track object (convenience)
+    tracks: dict[str, Track] = field(default_factory=dict)
+
+    def factors_of_observations(self, observations: list[Observation]) -> list[str]:
+        """Names of all factor nodes adjacent to any of ``observations``,
+        each counted once (deduplicated, insertion-ordered)."""
+        seen: dict[str, None] = {}
+        for obs in observations:
+            if not self.graph.has_variable(obs.obs_id):
+                continue
+            for node in self.graph.factors_of(obs.obs_id):
+                seen.setdefault(node.name, None)
+        return list(seen)
+
+
+def compile_scene(
+    scene: Scene,
+    features: list[Feature],
+    learned: LearnedModel | None = None,
+    aofs: Mapping[str, AOF] | None = None,
+    context: FeatureContext | None = None,
+) -> CompiledScene:
+    """Compile a scene + features (+ learned distributions) into a graph.
+
+    Args:
+        scene: The associated scene to compile.
+        features: Feature set (learned features need ``learned``).
+        learned: Fitted distributions from
+            :class:`~repro.core.learning.FeatureDistributionLearner`.
+            Learnable features without a fitted distribution contribute no
+            factors (with a silent skip, matching the fallback semantics
+            of §5.2's "default hyperparameters work in all cases").
+        aofs: Optional per-feature AOF, keyed by feature name. Features
+            without an entry use the identity AOF.
+        context: Feature context; derived from the scene when omitted.
+
+    Returns:
+        The compiled scene with one variable node per observation and one
+        factor node per applicable (feature, item) pair.
+    """
+    ctx = context or FeatureContext.from_scene(scene)
+    aof_map = dict(aofs or {})
+    identity = IdentityAOF()
+
+    graph = FactorGraph()
+    compiled = CompiledScene(scene=scene, context=ctx, graph=graph)
+
+    for track in scene.tracks:
+        compiled.tracks[track.track_id] = track
+        for obs in track.observations:
+            graph.add_variable(obs.obs_id, payload=obs)
+
+    for track in scene.tracks:
+        for feature in features:
+            aof = aof_map.get(feature.name, identity)
+            for idx, item in enumerate(feature.items_of(track)):
+                potential = _item_potential(feature, item, ctx, learned, aof)
+                if potential is None:
+                    continue
+                member_obs = feature.observations_of(item)
+                if not member_obs:
+                    continue
+                name = f"{feature.name}@{track.track_id}#{idx}"
+                factor = PotentialFactor(potential, feature.name, item=item)
+                graph.add_factor(
+                    name, [o.obs_id for o in member_obs], payload=factor
+                )
+                compiled.factors[name] = factor
+
+    return compiled
+
+
+def _item_potential(
+    feature: Feature,
+    item,
+    ctx: FeatureContext,
+    learned: LearnedModel | None,
+    aof: AOF,
+) -> float | None:
+    """The AOF-transformed potential of one (feature, item) pair."""
+    if feature.learnable:
+        if learned is None:
+            return None
+        likelihood = learned.likelihood(feature, item, ctx)
+        if likelihood is None:
+            return None
+    else:
+        value = feature.compute(item, ctx)
+        if value is None:
+            return None
+        likelihood = feature.manual_potential(value)
+    return aof(likelihood, item)

@@ -1,0 +1,138 @@
+"""The Fixy engine: the user-facing facade.
+
+Ties together the offline phase (learning feature distributions from
+existing labeled scenes) and the online phase (compiling new scenes and
+ranking potential errors), per the workflow of §3:
+
+.. code-block:: python
+
+    fixy = Fixy(features=default_features())
+    fixy.fit(historical_scenes)                  # offline
+    ranked = fixy.rank_tracks(new_scenes,        # online
+                              track_filter=lambda t: not t.has_human)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.aof import AOF
+from repro.core.compile import CompiledScene, compile_scene
+from repro.core.features import Feature
+from repro.core.learning import FeatureDistributionLearner, LearnedModel
+from repro.core.model import Observation, ObservationBundle, Scene, Track
+from repro.core.scoring import ScoredItem, Scorer
+
+__all__ = ["Fixy"]
+
+
+class Fixy:
+    """Learned observation assertions over perception scenes.
+
+    Args:
+        features: The feature set (see :mod:`repro.core.library`).
+        aofs: Optional per-feature application objective functions,
+            keyed by feature name.
+        learn_sources: Observation sources treated as the organizational
+            resource to learn from (default: human labels).
+        min_samples: Minimum per-class sample count when fitting
+            class-conditional distributions.
+    """
+
+    def __init__(
+        self,
+        features: list[Feature],
+        aofs: Mapping[str, AOF] | None = None,
+        learn_sources: tuple[str, ...] = ("human",),
+        min_samples: int = 8,
+    ):
+        if not features:
+            raise ValueError("Fixy needs at least one feature")
+        names = [f.name for f in features]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate feature names: {sorted(names)}")
+        self.features = list(features)
+        self.aofs = dict(aofs or {})
+        self._learner = FeatureDistributionLearner(
+            self.features, sources=learn_sources, min_samples=min_samples
+        )
+        self.learned: LearnedModel | None = None
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+    def fit(self, scenes: list[Scene]) -> "Fixy":
+        """Learn feature distributions from historical labeled scenes."""
+        if not scenes:
+            raise ValueError("fit requires at least one historical scene")
+        self.learned = self._learner.fit(scenes)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.learned is not None
+
+    def _require_fitted(self) -> None:
+        needs_learning = any(f.learnable for f in self.features)
+        if needs_learning and not self.is_fitted:
+            raise RuntimeError(
+                "Fixy has learnable features but fit() has not been called"
+            )
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+    def compile(self, scene: Scene) -> CompiledScene:
+        """Compile one scene into its factor graph."""
+        self._require_fitted()
+        return compile_scene(
+            scene, self.features, learned=self.learned, aofs=self.aofs
+        )
+
+    def scorer(self, scene: Scene) -> Scorer:
+        return Scorer(self.compile(scene))
+
+    def rank_tracks(
+        self,
+        scenes: Scene | list[Scene],
+        track_filter: Callable[[Track], bool] | None = None,
+        top_k: int | None = None,
+    ) -> list[ScoredItem]:
+        """Rank tracks across one or more scenes, best score first."""
+        ranked: list[ScoredItem] = []
+        for scene in _as_list(scenes):
+            ranked.extend(self.scorer(scene).rank_tracks(track_filter))
+        ranked.sort(key=lambda s: s.score, reverse=True)
+        return ranked[:top_k] if top_k is not None else ranked
+
+    def rank_bundles(
+        self,
+        scenes: Scene | list[Scene],
+        bundle_filter: Callable[[ObservationBundle, Track], bool] | None = None,
+        top_k: int | None = None,
+    ) -> list[ScoredItem]:
+        """Rank bundles across one or more scenes, best score first."""
+        ranked: list[ScoredItem] = []
+        for scene in _as_list(scenes):
+            ranked.extend(self.scorer(scene).rank_bundles(bundle_filter))
+        ranked.sort(key=lambda s: s.score, reverse=True)
+        return ranked[:top_k] if top_k is not None else ranked
+
+    def rank_observations(
+        self,
+        scenes: Scene | list[Scene],
+        obs_filter: Callable[[Observation], bool] | None = None,
+        top_k: int | None = None,
+    ) -> list[ScoredItem]:
+        """Rank individual observations, best score first."""
+        ranked: list[ScoredItem] = []
+        for scene in _as_list(scenes):
+            ranked.extend(self.scorer(scene).rank_observations(obs_filter))
+        ranked.sort(key=lambda s: s.score, reverse=True)
+        return ranked[:top_k] if top_k is not None else ranked
+
+
+def _as_list(scenes: Scene | list[Scene]) -> list[Scene]:
+    if isinstance(scenes, Scene):
+        return [scenes]
+    return list(scenes)

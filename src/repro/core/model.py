@@ -1,0 +1,373 @@
+"""The LOA scene data model: observations, bundles, tracks, scenes (OBTs).
+
+This module realizes Table 1 of the paper:
+
+========  =====================
+Element   Meaning
+========  =====================
+``s``     Scene — a set of tracks
+``τ``     Track — an indexed sequence of observation bundles
+``β``     Observation bundle — a set of observations at one time step
+``ω``     Observation — one box from one source at one time step
+``π``     Feature mapping (lives in :mod:`repro.core.features`)
+========  =====================
+
+Observations are deliberately source-agnostic: a human-proposed label, an
+ML model prediction, and an auditor annotation are all the same type,
+distinguished by :attr:`Observation.source`. This is what lets LOA treat
+"finding missing human labels" and "finding model errors" as the same
+scoring problem with different application objective functions.
+
+The classes here know nothing about the world simulator; they are the
+public API a user with a real dataset would populate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.geometry import Box3D
+
+__all__ = [
+    "SOURCE_HUMAN",
+    "SOURCE_MODEL",
+    "SOURCE_AUDITOR",
+    "Observation",
+    "ObservationBundle",
+    "Track",
+    "Scene",
+]
+
+SOURCE_HUMAN = "human"
+SOURCE_MODEL = "model"
+SOURCE_AUDITOR = "auditor"
+
+_obs_counter = itertools.count()
+
+
+def _next_obs_id() -> str:
+    return f"obs-{next(_obs_counter):08d}"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One observation ω: a 3D box proposed by one source at one frame.
+
+    Attributes:
+        frame: Frame index within the scene.
+        box: The proposed 3D bounding box (world coordinates).
+        object_class: Semantic class string (e.g. ``"car"``).
+        source: Where the box came from — ``"human"``, ``"model"``, ….
+        confidence: Model confidence in ``[0, 1]``; ``None`` for sources
+            that do not produce scores (human labels).
+        obs_id: Unique identifier (auto-assigned when omitted).
+        metadata: Free-form side channel (the simulators stash the
+            ground-truth object id here; LOA itself never reads it).
+    """
+
+    frame: int
+    box: Box3D
+    object_class: str
+    source: str
+    confidence: float | None = None
+    obs_id: str = field(default_factory=_next_obs_id)
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.frame < 0:
+            raise ValueError(f"frame must be non-negative, got {self.frame}")
+        if self.confidence is not None and not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence must be in [0, 1], got {self.confidence}")
+
+    @property
+    def is_human(self) -> bool:
+        return self.source == SOURCE_HUMAN
+
+    @property
+    def is_model(self) -> bool:
+        return self.source == SOURCE_MODEL
+
+    def to_dict(self) -> dict:
+        return {
+            "obs_id": self.obs_id,
+            "frame": self.frame,
+            "box": self.box.to_dict(),
+            "object_class": self.object_class,
+            "source": self.source,
+            "confidence": self.confidence,
+            "metadata": dict(self.metadata),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Observation":
+        return Observation(
+            obs_id=data["obs_id"],
+            frame=int(data["frame"]),
+            box=Box3D.from_dict(data["box"]),
+            object_class=data["object_class"],
+            source=data["source"],
+            confidence=data.get("confidence"),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+@dataclass
+class ObservationBundle:
+    """A bundle β: observations of (putatively) one object at one frame.
+
+    Bundles are produced by the association layer — e.g. a human label and
+    an overlapping model prediction at the same frame form a two-element
+    bundle. A bundle always has at least one observation and all members
+    share the same frame.
+    """
+
+    frame: int
+    observations: list[Observation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for obs in self.observations:
+            if obs.frame != self.frame:
+                raise ValueError(
+                    f"observation {obs.obs_id} at frame {obs.frame} cannot "
+                    f"join a bundle at frame {self.frame}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self.observations)
+
+    def add(self, obs: Observation) -> None:
+        if obs.frame != self.frame:
+            raise ValueError(
+                f"observation frame {obs.frame} != bundle frame {self.frame}"
+            )
+        self.observations.append(obs)
+
+    @property
+    def sources(self) -> set[str]:
+        return {o.source for o in self.observations}
+
+    @property
+    def has_human(self) -> bool:
+        return SOURCE_HUMAN in self.sources
+
+    @property
+    def has_model(self) -> bool:
+        return SOURCE_MODEL in self.sources
+
+    def by_source(self, source: str) -> list[Observation]:
+        return [o for o in self.observations if o.source == source]
+
+    def classes_agree(self) -> bool:
+        """Whether all member observations propose the same class."""
+        classes = {o.object_class for o in self.observations}
+        return len(classes) <= 1
+
+    def to_dict(self) -> dict:
+        return {
+            "frame": self.frame,
+            "observations": [o.to_dict() for o in self.observations],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ObservationBundle":
+        return ObservationBundle(
+            frame=int(data["frame"]),
+            observations=[Observation.from_dict(o) for o in data["observations"]],
+        )
+
+    def representative(self) -> Observation:
+        """A canonical member: the highest-confidence model observation,
+        else the first observation."""
+        models = [o for o in self.observations if o.is_model and o.confidence is not None]
+        if models:
+            return max(models, key=lambda o: o.confidence)
+        return self.observations[0]
+
+
+@dataclass
+class Track:
+    """A track τ: an indexed sequence of bundles for one (putative) object.
+
+    Bundles are kept sorted by frame; at most one bundle per frame.
+    """
+
+    track_id: str
+    bundles: list[ObservationBundle] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.bundles.sort(key=lambda b: b.frame)
+        frames = [b.frame for b in self.bundles]
+        if len(frames) != len(set(frames)):
+            raise ValueError(f"track {self.track_id} has duplicate frames")
+
+    def __len__(self) -> int:
+        return len(self.bundles)
+
+    def __iter__(self) -> Iterator[ObservationBundle]:
+        return iter(self.bundles)
+
+    def add(self, bundle: ObservationBundle) -> None:
+        if any(b.frame == bundle.frame for b in self.bundles):
+            raise ValueError(
+                f"track {self.track_id} already has a bundle at frame {bundle.frame}"
+            )
+        self.bundles.append(bundle)
+        self.bundles.sort(key=lambda b: b.frame)
+
+    @property
+    def frames(self) -> list[int]:
+        return [b.frame for b in self.bundles]
+
+    @property
+    def observations(self) -> list[Observation]:
+        return [o for b in self.bundles for o in b.observations]
+
+    @property
+    def n_observations(self) -> int:
+        return sum(len(b) for b in self.bundles)
+
+    @property
+    def sources(self) -> set[str]:
+        out: set[str] = set()
+        for b in self.bundles:
+            out |= b.sources
+        return out
+
+    @property
+    def has_human(self) -> bool:
+        return SOURCE_HUMAN in self.sources
+
+    @property
+    def has_model(self) -> bool:
+        return SOURCE_MODEL in self.sources
+
+    def bundle_at(self, frame: int) -> ObservationBundle | None:
+        for b in self.bundles:
+            if b.frame == frame:
+                return b
+        return None
+
+    def transitions(self) -> list[tuple[ObservationBundle, ObservationBundle]]:
+        """Adjacent bundle pairs (β_i, β_{i+1}) for transition features."""
+        return list(zip(self.bundles, self.bundles[1:]))
+
+    def majority_class(self) -> str:
+        """Most frequent class among member observations (ties: first seen)."""
+        counts: dict[str, int] = {}
+        for obs in self.observations:
+            counts[obs.object_class] = counts.get(obs.object_class, 0) + 1
+        if not counts:
+            raise ValueError(f"track {self.track_id} has no observations")
+        return max(counts, key=counts.get)
+
+    def to_dict(self) -> dict:
+        return {
+            "track_id": self.track_id,
+            "bundles": [b.to_dict() for b in self.bundles],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Track":
+        return Track(
+            track_id=data["track_id"],
+            bundles=[ObservationBundle.from_dict(b) for b in data["bundles"]],
+        )
+
+
+@dataclass
+class Scene:
+    """A scene s: a set of tracks plus frame timing metadata.
+
+    ``dt`` (seconds per frame) is carried so transition features can
+    convert per-frame displacements into physical velocities.
+    """
+
+    scene_id: str
+    dt: float
+    tracks: list[Track] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+
+    def __len__(self) -> int:
+        return len(self.tracks)
+
+    def __iter__(self) -> Iterator[Track]:
+        return iter(self.tracks)
+
+    def track_by_id(self, track_id: str) -> Track:
+        for track in self.tracks:
+            if track.track_id == track_id:
+                return track
+        raise KeyError(f"no track {track_id!r} in scene {self.scene_id!r}")
+
+    @property
+    def observations(self) -> list[Observation]:
+        return [o for t in self.tracks for o in t.observations]
+
+    @property
+    def bundles(self) -> list[ObservationBundle]:
+        return [b for t in self.tracks for b in t.bundles]
+
+    def filter_tracks(self, predicate: Callable[[Track], bool]) -> "Scene":
+        """A shallow-copied scene keeping only tracks matching ``predicate``."""
+        return Scene(
+            scene_id=self.scene_id,
+            dt=self.dt,
+            tracks=[t for t in self.tracks if predicate(t)],
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization. ``metadata["ego_poses"]`` holds Pose2D objects in
+    # memory; it is converted to/from plain dicts on the way through.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        metadata = dict(self.metadata)
+        ego = metadata.pop("ego_poses", None)
+        payload = {
+            "scene_id": self.scene_id,
+            "dt": self.dt,
+            "tracks": [t.to_dict() for t in self.tracks],
+            "metadata": metadata,
+        }
+        if ego is not None:
+            poses = ego.values() if isinstance(ego, dict) else ego
+            payload["ego_poses"] = [p.to_dict() for p in poses]
+        return payload
+
+    @staticmethod
+    def from_dict(data: dict) -> "Scene":
+        from repro.geometry import Pose2D
+
+        metadata = dict(data.get("metadata", {}))
+        if "ego_poses" in data:
+            metadata["ego_poses"] = [
+                Pose2D.from_dict(p) for p in data["ego_poses"]
+            ]
+        return Scene(
+            scene_id=data["scene_id"],
+            dt=float(data["dt"]),
+            tracks=[Track.from_dict(t) for t in data["tracks"]],
+            metadata=metadata,
+        )
+
+    def save(self, path) -> None:
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict()), encoding="utf-8")
+
+    @staticmethod
+    def load(path) -> "Scene":
+        import json
+        from pathlib import Path
+
+        return Scene.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,42 @@
+"""Synthetic AV world generation: objects, kinematics, scenes, visibility."""
+
+from repro.datagen.dataset import SceneCollection, train_val_split
+from repro.datagen.kinematics import (
+    ConstantTurnModel,
+    ConstantVelocityModel,
+    MotionModel,
+    ParkedModel,
+    StopAndGoModel,
+    WanderModel,
+    simulate_trajectory,
+)
+from repro.datagen.objects import (
+    CLASS_PRIORS,
+    ClassPrior,
+    ObjectClass,
+    sample_dimensions,
+)
+from repro.datagen.sensor import VisibilityModel, visible_objects
+from repro.datagen.world import SceneConfig, SceneGenerator, WorldObject, WorldScene
+
+__all__ = [
+    "CLASS_PRIORS",
+    "ClassPrior",
+    "ConstantTurnModel",
+    "ConstantVelocityModel",
+    "MotionModel",
+    "ObjectClass",
+    "ParkedModel",
+    "SceneCollection",
+    "SceneConfig",
+    "SceneGenerator",
+    "StopAndGoModel",
+    "VisibilityModel",
+    "WanderModel",
+    "WorldObject",
+    "WorldScene",
+    "sample_dimensions",
+    "simulate_trajectory",
+    "train_val_split",
+    "visible_objects",
+]

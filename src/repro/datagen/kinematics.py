@@ -1,0 +1,199 @@
+"""Motion models for world objects and the ego vehicle.
+
+Each motion model produces a sequence of planar poses sampled at a fixed
+frame rate. The models cover the behaviours that matter for Fixy's
+transition features: constant-velocity cruising, smooth turns, stop-and-go
+traffic, and parked objects. Pedestrians get a wandering model with small
+heading diffusion.
+
+All models are deterministic given a seeded ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Pose2D
+from repro.geometry.box import wrap_angle
+
+__all__ = [
+    "MotionModel",
+    "ParkedModel",
+    "ConstantVelocityModel",
+    "ConstantTurnModel",
+    "StopAndGoModel",
+    "WanderModel",
+    "simulate_trajectory",
+]
+
+
+class MotionModel(ABC):
+    """Generates planar poses for an object over time."""
+
+    @abstractmethod
+    def poses(
+        self, start: Pose2D, n_frames: int, dt: float, rng: np.random.Generator
+    ) -> list[Pose2D]:
+        """Return ``n_frames`` poses starting at (and including) ``start``."""
+
+
+@dataclass(frozen=True)
+class ParkedModel(MotionModel):
+    """Object never moves (parked car, standing pedestrian)."""
+
+    def poses(self, start, n_frames, dt, rng):
+        return [start] * n_frames
+
+
+@dataclass(frozen=True)
+class ConstantVelocityModel(MotionModel):
+    """Straight-line motion at a fixed speed along the starting heading.
+
+    Small optional heading noise models lane wobble without changing the
+    overall direction of travel.
+    """
+
+    speed: float
+    heading_noise: float = 0.0
+
+    def poses(self, start, n_frames, dt, rng):
+        out = [start]
+        pose = start
+        for _ in range(n_frames - 1):
+            theta = pose.theta
+            if self.heading_noise > 0:
+                theta += float(rng.normal(0.0, self.heading_noise))
+            pose = Pose2D(
+                pose.x + self.speed * dt * math.cos(theta),
+                pose.y + self.speed * dt * math.sin(theta),
+                theta,
+            )
+            out.append(pose)
+        return out
+
+
+@dataclass(frozen=True)
+class ConstantTurnModel(MotionModel):
+    """Constant speed, constant yaw-rate (CTRV) motion — smooth turns."""
+
+    speed: float
+    yaw_rate: float  # rad/s, positive = left turn
+
+    def poses(self, start, n_frames, dt, rng):
+        out = [start]
+        pose = start
+        for _ in range(n_frames - 1):
+            theta = wrap_angle(pose.theta + self.yaw_rate * dt)
+            pose = Pose2D(
+                pose.x + self.speed * dt * math.cos(theta),
+                pose.y + self.speed * dt * math.sin(theta),
+                theta,
+            )
+            out.append(pose)
+        return out
+
+
+@dataclass(frozen=True)
+class StopAndGoModel(MotionModel):
+    """Traffic-like motion alternating between cruising and stopping.
+
+    The object decelerates to a stop, waits, then accelerates back to its
+    cruise speed, with phase durations drawn once per instance from the
+    provided ranges. This produces the near-zero-velocity observations that
+    make velocity feature distributions realistically heavy near zero.
+    """
+
+    cruise_speed: float
+    stop_duration_s: tuple[float, float] = (1.0, 3.0)
+    go_duration_s: tuple[float, float] = (2.0, 5.0)
+    accel: float = 2.5  # m/s^2 magnitude for both speeding up and braking
+
+    def poses(self, start, n_frames, dt, rng):
+        out = [start]
+        pose = start
+        speed = self.cruise_speed
+        # Phase machine: "go" -> "brake" -> "stop" -> "accel" -> "go" ...
+        phase = "go"
+        phase_left = float(rng.uniform(*self.go_duration_s))
+        for _ in range(n_frames - 1):
+            if phase == "go":
+                speed = self.cruise_speed
+            elif phase == "brake":
+                speed = max(0.0, speed - self.accel * dt)
+                if speed == 0.0:
+                    phase = "stop"
+                    phase_left = float(rng.uniform(*self.stop_duration_s))
+            elif phase == "stop":
+                speed = 0.0
+            elif phase == "accel":
+                speed = min(self.cruise_speed, speed + self.accel * dt)
+                if speed == self.cruise_speed:
+                    phase = "go"
+                    phase_left = float(rng.uniform(*self.go_duration_s))
+
+            if phase in ("go", "stop"):
+                phase_left -= dt
+                if phase_left <= 0:
+                    phase = "brake" if phase == "go" else "accel"
+
+            pose = Pose2D(
+                pose.x + speed * dt * math.cos(pose.theta),
+                pose.y + speed * dt * math.sin(pose.theta),
+                pose.theta,
+            )
+            out.append(pose)
+        return out
+
+
+@dataclass(frozen=True)
+class WanderModel(MotionModel):
+    """Pedestrian-style motion: slow speed with heading diffusion."""
+
+    speed: float
+    heading_diffusion: float = 0.15  # rad per sqrt(s)
+
+    def poses(self, start, n_frames, dt, rng):
+        out = [start]
+        pose = start
+        sigma = self.heading_diffusion * math.sqrt(dt)
+        for _ in range(n_frames - 1):
+            theta = wrap_angle(pose.theta + float(rng.normal(0.0, sigma)))
+            pose = Pose2D(
+                pose.x + self.speed * dt * math.cos(theta),
+                pose.y + self.speed * dt * math.sin(theta),
+                theta,
+            )
+            out.append(pose)
+        return out
+
+
+def simulate_trajectory(
+    model: MotionModel,
+    start: Pose2D,
+    n_frames: int,
+    dt: float,
+    rng: np.random.Generator,
+) -> list[Pose2D]:
+    """Run a motion model, validating arguments.
+
+    Args:
+        model: The motion model.
+        start: Initial pose (included as frame 0).
+        n_frames: Number of poses to produce (>= 1).
+        dt: Seconds between frames (> 0).
+        rng: Seeded generator; models are deterministic given it.
+    """
+    if n_frames < 1:
+        raise ValueError(f"n_frames must be >= 1, got {n_frames}")
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    poses = model.poses(start, n_frames, dt, rng)
+    if len(poses) != n_frames:
+        raise RuntimeError(
+            f"{type(model).__name__} produced {len(poses)} poses, expected {n_frames}"
+        )
+    return poses

@@ -1,0 +1,195 @@
+"""Ready-made synthetic datasets mirroring the paper's evaluation data.
+
+The paper evaluates on (a) the Lyft Level 5 perception dataset — 46
+validation scenes, noisy vendor labels, a detector trained on that noisy
+data — and (b) an internal 13-scene dataset with audited labels and a
+better-calibrated detector. Neither is available offline, so this module
+composes the simulator substrates into two equivalent synthetic datasets
+(see DESIGN.md §2 for the substitution argument):
+
+- ``synthetic-lyft``: noisy vendor profile + public detector profile;
+- ``synthetic-internal``: clean vendor profile + internal detector
+  profile.
+
+Each built dataset carries: per-scene ground truth, raw observations from
+both sources, the associated LOA scene (with ego poses attached for the
+distance feature), the injected-error ledger, and separate *training*
+scenes (human labels only — the organizational resource Fixy learns
+from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.association import TrackBuilder
+from repro.core.model import Observation, Scene
+from repro.datagen import SceneConfig, SceneGenerator, VisibilityModel, WorldScene
+from repro.labelers import (
+    CLEAN_VENDOR,
+    INTERNAL_DETECTOR,
+    NOISY_VENDOR,
+    PUBLIC_DETECTOR,
+    Auditor,
+    DetectorConfig,
+    DetectorModel,
+    ErrorLedger,
+    HumanLabeler,
+    HumanLabelerConfig,
+)
+
+__all__ = [
+    "DatasetProfile",
+    "LabeledScene",
+    "BuiltDataset",
+    "SYNTHETIC_LYFT",
+    "SYNTHETIC_INTERNAL",
+    "build_dataset",
+    "build_labeled_scene",
+]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Everything needed to synthesize one of the paper's datasets."""
+
+    name: str
+    vendor: HumanLabelerConfig
+    detector: DetectorConfig
+    scene_config: SceneConfig = SceneConfig()
+    n_train_scenes: int = 10
+    n_val_scenes: int = 46
+    seed: int = 0
+
+
+SYNTHETIC_LYFT = DatasetProfile(
+    name="synthetic-lyft",
+    vendor=NOISY_VENDOR,
+    detector=PUBLIC_DETECTOR,
+    n_train_scenes=10,
+    n_val_scenes=46,
+    seed=1000,
+)
+"""The Lyft-like dataset: 46 validation scenes, noisy labels (§8.1)."""
+
+SYNTHETIC_INTERNAL = DatasetProfile(
+    name="synthetic-internal",
+    vendor=CLEAN_VENDOR,
+    detector=INTERNAL_DETECTOR,
+    n_train_scenes=10,
+    n_val_scenes=13,
+    seed=2000,
+)
+"""The internal-like dataset: 13 audited scenes (§8.1)."""
+
+
+@dataclass
+class LabeledScene:
+    """One evaluation scene with everything the experiments need."""
+
+    world: WorldScene
+    scene: Scene
+    human_observations: list[Observation]
+    model_observations: list[Observation]
+    ledger: ErrorLedger
+
+    @property
+    def scene_id(self) -> str:
+        return self.world.scene_id
+
+    def auditor(self) -> Auditor:
+        return Auditor(self.world, self.ledger)
+
+
+@dataclass
+class BuiltDataset:
+    """A complete synthetic dataset: training resource + labeled val set."""
+
+    profile: DatasetProfile
+    train_scenes: list[Scene] = field(default_factory=list)
+    val_scenes: list[LabeledScene] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+
+def _attach_ego(scene: Scene, world: WorldScene) -> Scene:
+    scene.metadata["ego_poses"] = list(world.ego_poses)
+    return scene
+
+
+def build_labeled_scene(
+    world: WorldScene,
+    vendor: HumanLabelerConfig,
+    detector: DetectorConfig,
+    seed: int,
+    visibility: VisibilityModel | None = None,
+    builder: TrackBuilder | None = None,
+) -> LabeledScene:
+    """Label one world scene with both sources and associate the result."""
+    vis = visibility or VisibilityModel()
+    track_builder = builder or TrackBuilder()
+    ledger = ErrorLedger()
+    human_obs, _ = HumanLabeler(vendor, vis).label_scene(world, seed=seed, ledger=ledger)
+    model_obs, _ = DetectorModel(detector, vis).predict_scene(
+        world, seed=seed + 1, ledger=ledger
+    )
+    scene = track_builder.build_scene(
+        world.scene_id, world.dt, human_obs + model_obs
+    )
+    _attach_ego(scene, world)
+    return LabeledScene(
+        world=world,
+        scene=scene,
+        human_observations=human_obs,
+        model_observations=model_obs,
+        ledger=ledger,
+    )
+
+
+def build_dataset(
+    profile: DatasetProfile,
+    n_train_scenes: int | None = None,
+    n_val_scenes: int | None = None,
+) -> BuiltDataset:
+    """Synthesize a full dataset from a profile.
+
+    Training scenes contain human labels only (the existing organizational
+    resource); validation scenes carry both sources plus ground truth and
+    the error ledger for automatic auditing.
+    """
+    n_train = n_train_scenes if n_train_scenes is not None else profile.n_train_scenes
+    n_val = n_val_scenes if n_val_scenes is not None else profile.n_val_scenes
+    generator = SceneGenerator(profile.scene_config)
+    vis = VisibilityModel()
+    builder = TrackBuilder()
+
+    dataset = BuiltDataset(profile=profile)
+
+    train_worlds = generator.generate_many(
+        n_train, seed=profile.seed, prefix=f"{profile.name}-train"
+    )
+    for i, world in enumerate(train_worlds):
+        human_obs, _ = HumanLabeler(profile.vendor, vis).label_scene(
+            world, seed=profile.seed + 10_000 + i
+        )
+        scene = builder.build_scene(world.scene_id, world.dt, human_obs)
+        _attach_ego(scene, world)
+        dataset.train_scenes.append(scene)
+
+    val_worlds = generator.generate_many(
+        n_val, seed=profile.seed + 1, prefix=f"{profile.name}-val"
+    )
+    for i, world in enumerate(val_worlds):
+        dataset.val_scenes.append(
+            build_labeled_scene(
+                world,
+                profile.vendor,
+                profile.detector,
+                seed=profile.seed + 20_000 + i,
+                visibility=vis,
+                builder=builder,
+            )
+        )
+    return dataset

@@ -1,0 +1,31 @@
+"""Density/mass estimators used as LOA feature distributions."""
+
+from repro.distributions import serialize
+from repro.distributions.base import Distribution, FittableDistribution
+from repro.distributions.empirical import EmpiricalCDF
+from repro.distributions.fitting import (
+    fit_distribution,
+    get_fitter,
+    register_fitter,
+)
+from repro.distributions.histogram import HistogramDensity, freedman_diaconis_bins
+from repro.distributions.kde import GaussianKDE, scott_bandwidth, silverman_bandwidth
+from repro.distributions.parametric import Bernoulli, Categorical, Gaussian1D
+
+__all__ = [
+    "Bernoulli",
+    "Categorical",
+    "Distribution",
+    "EmpiricalCDF",
+    "FittableDistribution",
+    "Gaussian1D",
+    "GaussianKDE",
+    "HistogramDensity",
+    "fit_distribution",
+    "freedman_diaconis_bins",
+    "get_fitter",
+    "register_fitter",
+    "scott_bandwidth",
+    "serialize",
+    "silverman_bandwidth",
+]

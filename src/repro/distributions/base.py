@@ -1,0 +1,80 @@
+"""Distribution interfaces for feature-distribution learning.
+
+Fixy's feature distributions (§5) "take sets of observations and output a
+probability of seeing a feature of the input". Concretely, each is a
+density (or mass) function fitted to historical feature values. This
+module defines the common interface; concrete estimators live in the
+sibling modules.
+
+All densities accept scalars or 1-D/2-D arrays and broadcast: ``pdf`` of
+an ``(n, d)`` batch returns ``(n,)``. Scalar inputs return floats.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Distribution", "FittableDistribution", "as_2d"]
+
+
+def as_2d(values: np.ndarray | float | list, dim: int | None = None) -> np.ndarray:
+    """Coerce feature values to an ``(n, d)`` float array.
+
+    Scalars become ``(1, 1)``; 1-D arrays become ``(n, 1)`` (a batch of
+    scalar features) unless ``dim`` says otherwise (e.g. ``dim=2`` turns a
+    length-2 vector into one 2-D sample).
+    """
+    arr = np.atleast_1d(np.asarray(values, dtype=float))
+    if arr.ndim == 1:
+        if dim is not None and dim > 1:
+            if arr.shape[0] != dim:
+                raise ValueError(
+                    f"expected a {dim}-dimensional sample, got shape {arr.shape}"
+                )
+            arr = arr.reshape(1, dim)
+        else:
+            arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"feature values must be at most 2-D, got shape {arr.shape}")
+    return arr
+
+
+class Distribution(ABC):
+    """A probability density/mass over feature values."""
+
+    #: Dimensionality of one sample.
+    dim: int = 1
+
+    @abstractmethod
+    def pdf(self, values) -> np.ndarray | float:
+        """Density (or mass) at ``values``."""
+
+    def log_pdf(self, values) -> np.ndarray | float:
+        """Natural log of :meth:`pdf`; ``-inf`` where the density is 0.
+
+        Subclasses with numerically better formulations should override.
+        """
+        with np.errstate(divide="ignore"):
+            return np.log(self.pdf(values))
+
+    def _finalize(self, out: np.ndarray, scalar_input: bool):
+        """Return a float for scalar inputs, else the array."""
+        if scalar_input:
+            return float(out[0])
+        return out
+
+
+class FittableDistribution(Distribution):
+    """A distribution learned from data via :meth:`fit`."""
+
+    @classmethod
+    @abstractmethod
+    def fit(cls, values) -> "FittableDistribution":
+        """Fit the estimator to historical feature values."""
+
+    @property
+    @abstractmethod
+    def n_samples(self) -> int:
+        """Number of training samples the estimator saw."""

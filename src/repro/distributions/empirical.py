@@ -1,0 +1,64 @@
+"""Empirical CDF utilities.
+
+The ECDF supports percentile-style severity transforms: instead of the
+raw density, callers can ask "how extreme is this value relative to the
+training data" — handy for manually-specified ranking features like
+distance-to-AV, where *rank* matters but density does not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import as_2d
+
+__all__ = ["EmpiricalCDF"]
+
+
+class EmpiricalCDF:
+    """Right-continuous empirical CDF of a 1-D sample."""
+
+    def __init__(self, data):
+        arr = as_2d(data)[:, 0]
+        if arr.size == 0:
+            raise ValueError("ECDF requires at least one sample")
+        if not np.isfinite(arr).all():
+            raise ValueError("ECDF data must be finite")
+        self._sorted = np.sort(arr)
+
+    @property
+    def n_samples(self) -> int:
+        return self._sorted.size
+
+    def cdf(self, values):
+        """P(X <= value) under the empirical distribution."""
+        scalar_input = np.isscalar(values)
+        arr = as_2d(values)[:, 0]
+        ranks = np.searchsorted(self._sorted, arr, side="right")
+        out = ranks / self._sorted.size
+        return float(out[0]) if scalar_input else out
+
+    def survival(self, values):
+        """P(X > value)."""
+        out = self.cdf(values)
+        return 1.0 - out
+
+    def tail_probability(self, values):
+        """Two-sided tail mass: ``2 * min(cdf, 1 - cdf)``, in [0, 1].
+
+        Central values score near 1; extreme values near 0. Useful as a
+        calibrated "typicality" in place of a density.
+        """
+        c = np.atleast_1d(self.cdf(values))
+        out = 2.0 * np.minimum(c, 1.0 - c)
+        out = np.clip(out, 0.0, 1.0)
+        return float(out[0]) if np.isscalar(values) else out
+
+    def quantile(self, q):
+        """Inverse CDF at ``q`` in [0, 1] (linear interpolation)."""
+        scalar_input = np.isscalar(q)
+        arr = np.atleast_1d(np.asarray(q, dtype=float))
+        if ((arr < 0) | (arr > 1)).any():
+            raise ValueError("quantiles must be in [0, 1]")
+        out = np.quantile(self._sorted, arr)
+        return float(out[0]) if scalar_input else out

@@ -1,0 +1,50 @@
+"""Factory helpers for fitting feature distributions.
+
+Fixy's learner (§5.2) "takes a function that accepts a list of
+scalars/vectors and returns a fitted distribution". This module provides
+the default such functions and a registry so user code can select
+estimators by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.distributions.base import FittableDistribution
+from repro.distributions.histogram import HistogramDensity
+from repro.distributions.kde import GaussianKDE
+from repro.distributions.parametric import Bernoulli, Categorical, Gaussian1D
+
+__all__ = ["FitFunction", "fit_distribution", "get_fitter", "register_fitter"]
+
+FitFunction = Callable[[list], FittableDistribution]
+
+_FITTERS: dict[str, FitFunction] = {
+    "kde": GaussianKDE.fit,
+    "histogram": HistogramDensity.fit,
+    "gaussian": Gaussian1D.fit,
+    "bernoulli": Bernoulli.fit,
+    "categorical": Categorical.fit,
+}
+
+
+def register_fitter(name: str, fitter: FitFunction, overwrite: bool = False) -> None:
+    """Register a custom fitting function under ``name``."""
+    if name in _FITTERS and not overwrite:
+        raise ValueError(f"fitter {name!r} already registered")
+    _FITTERS[name] = fitter
+
+
+def get_fitter(name: str) -> FitFunction:
+    """Look up a fitting function by name."""
+    try:
+        return _FITTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fitter {name!r}; available: {sorted(_FITTERS)}"
+        ) from None
+
+
+def fit_distribution(values: list, kind: str = "kde") -> FittableDistribution:
+    """Fit a distribution of the given kind to feature values."""
+    return get_fitter(kind)(values)

@@ -1,0 +1,134 @@
+"""Parametric distributions: Gaussian, Bernoulli, categorical.
+
+The paper notes that "in some cases, other types of distributions are
+appropriate (e.g., discrete distributions): the user can override our
+default KDE estimator in these cases" (§5.2). The bundle class-agreement
+feature, for instance, "would then learn the Bernoulli probability of the
+class agreement between observation types".
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.distributions.base import FittableDistribution, as_2d
+
+__all__ = ["Gaussian1D", "Bernoulli", "Categorical"]
+
+
+class Gaussian1D(FittableDistribution):
+    """A univariate normal fitted by maximum likelihood."""
+
+    def __init__(self, mean: float, std: float):
+        if std <= 0:
+            raise ValueError(f"std must be positive, got {std}")
+        self.mean = float(mean)
+        self.std = float(std)
+        self.dim = 1
+
+    @classmethod
+    def fit(cls, values) -> "Gaussian1D":
+        arr = as_2d(values)[:, 0]
+        if arr.size < 2:
+            raise ValueError("Gaussian fit requires at least two samples")
+        std = float(arr.std(ddof=1))
+        return cls(float(arr.mean()), max(std, 1e-9))
+
+    @property
+    def n_samples(self) -> int:  # fitted moments, not stored data
+        return 0
+
+    def log_pdf(self, values):
+        scalar_input = np.isscalar(values)
+        arr = as_2d(values)[:, 0]
+        z = (arr - self.mean) / self.std
+        out = -0.5 * z**2 - math.log(self.std) - 0.5 * math.log(2 * math.pi)
+        return self._finalize(out, scalar_input)
+
+    def pdf(self, values):
+        out = np.exp(np.atleast_1d(self.log_pdf(values)))
+        return self._finalize(out, np.isscalar(values))
+
+
+class Bernoulli(FittableDistribution):
+    """Probability mass over {0, 1} with Laplace smoothing on fit."""
+
+    def __init__(self, p: float):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.dim = 1
+        self._n = 0
+
+    @classmethod
+    def fit(cls, values) -> "Bernoulli":
+        arr = as_2d(values)[:, 0]
+        if arr.size == 0:
+            raise ValueError("Bernoulli fit requires at least one sample")
+        if not np.isin(arr, (0.0, 1.0)).all():
+            raise ValueError("Bernoulli data must be 0/1")
+        # Laplace (add-one) smoothing keeps both outcomes possible, so
+        # log scores stay finite on events unseen in training.
+        inst = cls((arr.sum() + 1.0) / (arr.size + 2.0))
+        inst._n = int(arr.size)
+        return inst
+
+    @property
+    def n_samples(self) -> int:
+        return self._n
+
+    def pdf(self, values):
+        scalar_input = np.isscalar(values)
+        arr = as_2d(values)[:, 0]
+        out = np.where(arr >= 0.5, self.p, 1.0 - self.p)
+        return self._finalize(out, scalar_input)
+
+
+class Categorical(FittableDistribution):
+    """Probability mass over arbitrary hashable categories.
+
+    Unlike the numeric distributions, ``pdf`` takes category values
+    (strings etc.), one at a time or as a list.
+    """
+
+    def __init__(self, probs: dict):
+        if not probs:
+            raise ValueError("Categorical needs at least one category")
+        total = sum(probs.values())
+        if total <= 0:
+            raise ValueError("category probabilities must sum to a positive value")
+        if any(p < 0 for p in probs.values()):
+            raise ValueError("category probabilities must be non-negative")
+        self.probs = {k: v / total for k, v in probs.items()}
+        self.dim = 1
+        self._n = 0
+
+    @classmethod
+    def fit(cls, values) -> "Categorical":
+        items = list(values)
+        if not items:
+            raise ValueError("Categorical fit requires at least one sample")
+        counts = Counter(items)
+        # Add-one smoothing across observed categories.
+        inst = cls({k: c + 1.0 for k, c in counts.items()})
+        inst._n = len(items)
+        return inst
+
+    @property
+    def n_samples(self) -> int:
+        return self._n
+
+    def pdf(self, values):
+        if isinstance(values, (list, tuple, np.ndarray)):
+            return np.array([self.probs.get(v, 0.0) for v in values])
+        return self.probs.get(values, 0.0)
+
+    def log_pdf(self, values):
+        p = self.pdf(values)
+        with np.errstate(divide="ignore"):
+            return np.log(p) if isinstance(p, np.ndarray) else (
+                math.log(p) if p > 0 else -math.inf
+            )

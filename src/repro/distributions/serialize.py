@@ -1,0 +1,127 @@
+"""JSON (de)serialization for fitted distributions.
+
+Lets a learned Fixy model be persisted next to the label store and
+reloaded without refitting (the offline phase can be hours on real
+fleets). Only plain-JSON types are emitted — no pickle — so saved models
+are portable and diffable.
+
+Each distribution serializes as ``{"kind": ..., ...params}``; register
+custom kinds via :func:`register_codec`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.distributions.histogram import HistogramDensity
+from repro.distributions.kde import GaussianKDE
+from repro.distributions.parametric import Bernoulli, Categorical, Gaussian1D
+
+__all__ = ["to_dict", "from_dict", "register_codec"]
+
+
+def _kde_to_dict(dist: GaussianKDE) -> dict:
+    return {
+        "data": dist._data.tolist(),
+        "bandwidth": dist.bandwidth.tolist(),
+    }
+
+
+def _kde_from_dict(data: dict) -> GaussianKDE:
+    return GaussianKDE(
+        np.asarray(data["data"], dtype=float),
+        bandwidth=np.asarray(data["bandwidth"], dtype=float),
+    )
+
+
+def _hist_to_dict(dist: HistogramDensity) -> dict:
+    return {
+        "edges": dist.edges.tolist(),
+        "density": dist._density.tolist(),
+        "n": dist.n_samples,
+    }
+
+
+def _hist_from_dict(data: dict) -> HistogramDensity:
+    # Rebuild through the public constructor is impossible (it refits), so
+    # restore the internal state directly.
+    hist = HistogramDensity.__new__(HistogramDensity)
+    hist._edges = np.asarray(data["edges"], dtype=float)
+    hist._density = np.asarray(data["density"], dtype=float)
+    hist._n = int(data["n"])
+    hist.dim = 1
+    return hist
+
+
+def _gaussian_to_dict(dist: Gaussian1D) -> dict:
+    return {"mean": dist.mean, "std": dist.std}
+
+
+def _gaussian_from_dict(data: dict) -> Gaussian1D:
+    return Gaussian1D(float(data["mean"]), float(data["std"]))
+
+
+def _bernoulli_to_dict(dist: Bernoulli) -> dict:
+    return {"p": dist.p, "n": dist.n_samples}
+
+
+def _bernoulli_from_dict(data: dict) -> Bernoulli:
+    dist = Bernoulli(float(data["p"]))
+    dist._n = int(data.get("n", 0))
+    return dist
+
+
+def _categorical_to_dict(dist: Categorical) -> dict:
+    return {"probs": dict(dist.probs), "n": dist.n_samples}
+
+
+def _categorical_from_dict(data: dict) -> Categorical:
+    dist = Categorical({str(k): float(v) for k, v in data["probs"].items()})
+    dist._n = int(data.get("n", 0))
+    return dist
+
+
+_CODECS: dict[str, tuple[type, Callable, Callable]] = {
+    "kde": (GaussianKDE, _kde_to_dict, _kde_from_dict),
+    "histogram": (HistogramDensity, _hist_to_dict, _hist_from_dict),
+    "gaussian": (Gaussian1D, _gaussian_to_dict, _gaussian_from_dict),
+    "bernoulli": (Bernoulli, _bernoulli_to_dict, _bernoulli_from_dict),
+    "categorical": (Categorical, _categorical_to_dict, _categorical_from_dict),
+}
+
+
+def register_codec(
+    kind: str,
+    cls: type,
+    encode: Callable[[Distribution], dict],
+    decode: Callable[[dict], Distribution],
+    overwrite: bool = False,
+) -> None:
+    """Register (de)serialization for a custom distribution type."""
+    if kind in _CODECS and not overwrite:
+        raise ValueError(f"codec {kind!r} already registered")
+    _CODECS[kind] = (cls, encode, decode)
+
+
+def to_dict(dist: Distribution) -> dict:
+    """Serialize a fitted distribution to a JSON-safe dict."""
+    for kind, (cls, encode, _) in _CODECS.items():
+        if type(dist) is cls:
+            payload = encode(dist)
+            payload["kind"] = kind
+            return payload
+    raise TypeError(
+        f"no codec registered for {type(dist).__name__}; use register_codec"
+    )
+
+
+def from_dict(data: dict) -> Distribution:
+    """Reconstruct a distribution serialized by :func:`to_dict`."""
+    kind = data.get("kind")
+    if kind not in _CODECS:
+        raise ValueError(f"unknown distribution kind {kind!r}")
+    _, _, decode = _CODECS[kind]
+    return decode(data)

@@ -1,0 +1,65 @@
+"""Evaluation harness: metrics, experiments, and reporting."""
+
+from repro.eval.experiments import (
+    CaseStudyResult,
+    MissingObservationResult,
+    ModelErrorsResult,
+    RecallResult,
+    RuntimeResult,
+    SceneCoverageResult,
+    Table3Result,
+    figure_case_studies,
+    get_dataset,
+    missing_observation_experiment,
+    model_errors_experiment,
+    recall_experiment,
+    runtime_experiment,
+    scene_coverage,
+    table3,
+)
+from repro.eval.harness import FullReport, run_all
+from repro.eval.metrics import (
+    PrecisionSummary,
+    mean_or_nan,
+    precision_at_k,
+    recall_of_set,
+    summarize_precisions,
+)
+from repro.eval.reporting import format_kv, format_table
+from repro.eval.sweeps import (
+    SweepPoint,
+    SweepResult,
+    training_size_sweep,
+    vendor_noise_sweep,
+)
+
+__all__ = [
+    "CaseStudyResult",
+    "FullReport",
+    "MissingObservationResult",
+    "ModelErrorsResult",
+    "PrecisionSummary",
+    "RecallResult",
+    "RuntimeResult",
+    "SceneCoverageResult",
+    "SweepPoint",
+    "SweepResult",
+    "Table3Result",
+    "figure_case_studies",
+    "format_kv",
+    "format_table",
+    "get_dataset",
+    "mean_or_nan",
+    "missing_observation_experiment",
+    "model_errors_experiment",
+    "precision_at_k",
+    "recall_experiment",
+    "recall_of_set",
+    "run_all",
+    "runtime_experiment",
+    "scene_coverage",
+    "summarize_precisions",
+    "table3",
+    "training_size_sweep",
+    "vendor_noise_sweep",
+]

@@ -1,0 +1,751 @@
+"""Experiment definitions: one function per paper table/figure (§8).
+
+Each function returns a structured result object with a ``to_text()``
+rendering that prints the same rows the paper reports. The benchmark
+harness (``benchmarks/``) wraps these functions one-to-one; see DESIGN.md
+§4 for the experiment index and EXPERIMENTS.md for paper-vs-measured.
+
+Datasets are built once per process and memoized (they are deterministic
+functions of their profiles).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.association import TrackBuilder
+from repro.baselines import (
+    AppearAssertion,
+    ConsistencyAssertion,
+    FlickerAssertion,
+    MultiboxAssertion,
+    order_by_confidence,
+    order_randomly,
+    run_assertions,
+    uncertainty_sample_tracks,
+)
+from repro.core import (
+    MissingObservationFinder,
+    MissingTrackFinder,
+    ModelErrorFinder,
+    top_k_per_class,
+)
+from repro.datagen import SceneConfig, SceneGenerator
+from repro.datasets import (
+    SYNTHETIC_INTERNAL,
+    SYNTHETIC_LYFT,
+    BuiltDataset,
+    DatasetProfile,
+    LabeledScene,
+    build_dataset,
+    build_labeled_scene,
+)
+from repro.eval.metrics import (
+    PrecisionSummary,
+    precision_at_k,
+    recall_of_set,
+    summarize_precisions,
+)
+from repro.eval.reporting import format_kv, format_table
+from repro.labelers import ErrorType, HumanLabelerConfig
+
+__all__ = [
+    "get_dataset",
+    "table3",
+    "recall_experiment",
+    "scene_coverage",
+    "missing_observation_experiment",
+    "model_errors_experiment",
+    "runtime_experiment",
+    "figure_case_studies",
+    "Table3Result",
+    "RecallResult",
+    "SceneCoverageResult",
+    "MissingObservationResult",
+    "ModelErrorsResult",
+    "RuntimeResult",
+    "CaseStudyResult",
+]
+
+_DATASET_CACHE: dict[tuple, BuiltDataset] = {}
+
+
+def get_dataset(
+    profile: DatasetProfile,
+    n_train_scenes: int | None = None,
+    n_val_scenes: int | None = None,
+) -> BuiltDataset:
+    """Build (or fetch the memoized) dataset for a profile."""
+    key = (profile.name, n_train_scenes, n_val_scenes, profile.seed)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = build_dataset(
+            profile, n_train_scenes=n_train_scenes, n_val_scenes=n_val_scenes
+        )
+    return _DATASET_CACHE[key]
+
+
+def _scenes_with_missing_tracks(dataset: BuiltDataset) -> list[LabeledScene]:
+    return [
+        ls
+        for ls in dataset.val_scenes
+        if ls.ledger.missing_track_object_ids(ls.scene_id)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Table 3: precision of missing-track search
+# ---------------------------------------------------------------------------
+@dataclass
+class Table3Result:
+    """Reproduction of Table 3."""
+
+    summaries: list[PrecisionSummary] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        rows = [s.as_row() for s in self.summaries]
+        return format_table(
+            ["Method", "Dataset", "P@10", "P@5", "P@1"],
+            rows,
+            title="Table 3: precision of finding tracks missed by humans",
+        )
+
+    def lookup(self, method: str, dataset: str) -> PrecisionSummary:
+        for s in self.summaries:
+            if s.method == method and s.dataset == dataset:
+                return s
+        raise KeyError(f"no summary for ({method}, {dataset})")
+
+
+def table3(
+    profiles: tuple[DatasetProfile, ...] = (SYNTHETIC_LYFT, SYNTHETIC_INTERNAL),
+    n_train_scenes: int | None = None,
+    n_val_scenes: int | None = None,
+) -> Table3Result:
+    """Reproduce Table 3: Fixy vs ad-hoc MA (rand/conf) on both datasets."""
+    result = Table3Result()
+    for profile in profiles:
+        dataset = get_dataset(profile, n_train_scenes, n_val_scenes)
+        label = "Lyft" if "lyft" in profile.name else "Internal"
+        finder = MissingTrackFinder().fit(dataset.train_scenes)
+        consistency = ConsistencyAssertion()
+
+        fixy_hits: list[list[bool]] = []
+        rand_hits: list[list[bool]] = []
+        conf_hits: list[list[bool]] = []
+        for i, ls in enumerate(_scenes_with_missing_tracks(dataset)):
+            auditor = ls.auditor()
+            ranked = finder.rank(ls.scene, top_k=10)
+            fixy_hits.append(
+                [auditor.audit_missing_track(s.item).is_error for s in ranked]
+            )
+            flags = consistency.check_scene(ls.scene)
+            rand_hits.append(
+                [
+                    auditor.audit_missing_track(f.item).is_error
+                    for f in order_randomly(flags, seed=i)[:10]
+                ]
+            )
+            conf_hits.append(
+                [
+                    auditor.audit_missing_track(f.item).is_error
+                    for f in order_by_confidence(flags)[:10]
+                ]
+            )
+
+        result.summaries.append(summarize_precisions("Fixy", label, fixy_hits))
+        result.summaries.append(
+            summarize_precisions("Ad-hoc MA (rand)", label, rand_hits)
+        )
+        result.summaries.append(
+            summarize_precisions("Ad-hoc MA (conf)", label, conf_hits)
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# §8.2 recall on the exhaustively-audited scene
+# ---------------------------------------------------------------------------
+@dataclass
+class RecallResult:
+    """Reproduction of the §8.2 recall experiment."""
+
+    n_missing_tracks: int
+    n_found: int
+    recall: float
+    per_class_found: dict[str, int]
+
+    def to_text(self) -> str:
+        pairs = [
+            ("missing tracks in vetted scene", self.n_missing_tracks),
+            ("found in top-10 per class", self.n_found),
+            ("recall", f"{self.recall:.0%}"),
+        ]
+        pairs += [
+            (f"  found[{cls}]", n) for cls, n in sorted(self.per_class_found.items())
+        ]
+        return format_kv(pairs, title="§8.2 recall on the vetted scene")
+
+
+def recall_experiment(seed: int = 777) -> RecallResult:
+    """Reproduce the §8.2 recall study: a dense scene that failed audit.
+
+    The paper exhaustively audited one 15-second internal scene containing
+    24 missing tracks and measured recall of the top-10 ranked errors per
+    class (75%, 18/24). We synthesize an equivalently bad scene: dense
+    traffic and a vendor having a very bad day.
+    """
+    dense_config = SceneConfig(n_objects_range=(34, 40), partial_presence_prob=0.3)
+    failing_vendor = HumanLabelerConfig(
+        miss_track_base_rate=0.45,
+        short_track_miss_boost=0.45,
+        small_class_miss_boost=0.15,
+        far_miss_boost=0.004,
+    )
+    world = SceneGenerator(dense_config).generate("vetted-scene", seed=seed)
+    labeled = build_labeled_scene(
+        world, failing_vendor, SYNTHETIC_INTERNAL.detector, seed=seed
+    )
+
+    dataset = get_dataset(SYNTHETIC_INTERNAL)
+    finder = MissingTrackFinder().fit(dataset.train_scenes)
+    ranked = top_k_per_class(finder.rank(labeled.scene), k=10)
+
+    auditor = labeled.auditor()
+    missing_ids = labeled.ledger.missing_track_object_ids(labeled.scene_id)
+    found_ids: set[str] = set()
+    per_class: dict[str, int] = {}
+    for scored in ranked:
+        decision = auditor.audit_missing_track(scored.item)
+        if decision.is_error and decision.matched is not None:
+            gt = decision.matched.gt_object_id
+            if gt not in found_ids:
+                found_ids.add(gt)
+                cls = decision.matched.object_class
+                per_class[cls] = per_class.get(cls, 0) + 1
+
+    return RecallResult(
+        n_missing_tracks=len(missing_ids),
+        n_found=len(found_ids),
+        recall=recall_of_set(found_ids, missing_ids),
+        per_class_found=per_class,
+    )
+
+
+# ---------------------------------------------------------------------------
+# §8.2 scene coverage on the Lyft-like dataset
+# ---------------------------------------------------------------------------
+@dataclass
+class SceneCoverageResult:
+    """Reproduction of the §8.2 scene-coverage claim."""
+
+    n_scenes: int
+    n_scenes_with_errors: int
+    n_scenes_found_in_top10: int
+
+    @property
+    def coverage(self) -> float:
+        if self.n_scenes_with_errors == 0:
+            return float("nan")
+        return self.n_scenes_found_in_top10 / self.n_scenes_with_errors
+
+    def to_text(self) -> str:
+        return format_kv(
+            [
+                ("validation scenes", self.n_scenes),
+                ("scenes with missing-track errors", self.n_scenes_with_errors),
+                ("scenes with a true error in top 10", self.n_scenes_found_in_top10),
+                ("coverage", f"{self.coverage:.0%}"),
+            ],
+            title="§8.2 scene coverage (Lyft-like dataset)",
+        )
+
+
+def scene_coverage(
+    n_val_scenes: int | None = None,
+) -> SceneCoverageResult:
+    """For every error scene, does Fixy put a true error in the top 10?"""
+    dataset = get_dataset(SYNTHETIC_LYFT, n_val_scenes=n_val_scenes)
+    finder = MissingTrackFinder().fit(dataset.train_scenes)
+    with_errors = _scenes_with_missing_tracks(dataset)
+    found = 0
+    for ls in with_errors:
+        auditor = ls.auditor()
+        ranked = finder.rank(ls.scene, top_k=10)
+        if any(auditor.audit_missing_track(s.item).is_error for s in ranked):
+            found += 1
+    return SceneCoverageResult(
+        n_scenes=len(dataset.val_scenes),
+        n_scenes_with_errors=len(with_errors),
+        n_scenes_found_in_top10=found,
+    )
+
+
+# ---------------------------------------------------------------------------
+# §8.3 missing observations within tracks
+# ---------------------------------------------------------------------------
+@dataclass
+class MissingObservationResult:
+    """Reproduction of the §8.3 case study.
+
+    Because several vendor-skipped frames coexist per synthetic scene (the
+    paper's datasets had exactly one in total), the per-error statistic is
+    the *adjusted rank*: 1 + the number of clean (non-error) candidates
+    Fixy ranked above the error. The paper's single instance ranking at
+    the very top corresponds to adjusted rank 1.
+    """
+
+    n_instances: int
+    n_surfaced: int
+    adjusted_ranks: list[int]
+    n_clean_candidates: list[int]
+
+    @property
+    def fraction_rank_1(self) -> float:
+        """Fraction of surfaced errors with no clean candidate above."""
+        if not self.adjusted_ranks:
+            return float("nan")
+        return sum(1 for r in self.adjusted_ranks if r == 1) / len(
+            self.adjusted_ranks
+        )
+
+    @property
+    def mean_adjusted_rank(self) -> float:
+        return (
+            float(np.mean(self.adjusted_ranks))
+            if self.adjusted_ranks
+            else float("nan")
+        )
+
+    @property
+    def mean_random_rank(self) -> float:
+        """Expected adjusted rank under the random-ordering baseline."""
+        if not self.n_clean_candidates:
+            return float("nan")
+        return float(np.mean([(n / 2.0) + 1 for n in self.n_clean_candidates]))
+
+    def to_text(self) -> str:
+        return format_kv(
+            [
+                ("missing-observation instances", self.n_instances),
+                ("surfaced in the candidate ranking", self.n_surfaced),
+                ("ranked above every clean candidate", f"{self.fraction_rank_1:.0%}"),
+                ("mean adjusted Fixy rank", f"{self.mean_adjusted_rank:.2f}"),
+                ("mean adjusted random rank", f"{self.mean_random_rank:.2f}"),
+            ],
+            title="§8.3 missing observations within tracks",
+        )
+
+
+def missing_observation_experiment(seed: int = 4242) -> MissingObservationResult:
+    """Reproduce §8.3: rank vendor-skipped frames inside labeled tracks.
+
+    The paper found a single such error across both datasets and Fixy
+    ranked it first. To make the statistic meaningful we synthesize
+    several scenes whose vendor skips frames more often, then record the
+    rank Fixy assigns to each skipped frame among all candidate bundles
+    of its scene.
+    """
+    skipping_vendor = HumanLabelerConfig(
+        miss_track_base_rate=0.05,
+        miss_frames_rate=0.3,
+        class_flip_rate=0.0,
+    )
+    generator = SceneGenerator()
+    dataset = get_dataset(SYNTHETIC_INTERNAL)
+    finder = MissingObservationFinder().fit(dataset.train_scenes)
+
+    adjusted_ranks: list[int] = []
+    clean_counts: list[int] = []
+    n_instances = 0
+    n_surfaced = 0
+    for i in range(6):
+        world = generator.generate(f"skip-{i}", seed=seed + i)
+        labeled = build_labeled_scene(
+            world, skipping_vendor, SYNTHETIC_INTERNAL.detector, seed=seed + 100 + i
+        )
+        drops = labeled.ledger.of_type(ErrorType.MISSING_OBSERVATION)
+        n_instances += len(drops)
+        if not drops:
+            continue
+        auditor = labeled.auditor()
+        ranked = finder.rank(labeled.scene)
+        if not ranked:
+            continue
+        # Walk the ranking once, tracking how many clean candidates have
+        # been seen before each true error surfaces.
+        clean_above = 0
+        n_clean_total = 0
+        first_position: dict[str, int] = {}
+        for scored in ranked:
+            decision = auditor.audit_missing_observation(scored.item)
+            if decision.is_error and decision.matched is not None:
+                first_position.setdefault(
+                    decision.matched.error_id, clean_above + 1
+                )
+            else:
+                clean_above += 1
+                n_clean_total += 1
+        for record in drops:
+            if record.error_id in first_position:
+                n_surfaced += 1
+                adjusted_ranks.append(first_position[record.error_id])
+                clean_counts.append(n_clean_total)
+    return MissingObservationResult(
+        n_instances=n_instances,
+        n_surfaced=n_surfaced,
+        adjusted_ranks=adjusted_ranks,
+        n_clean_candidates=clean_counts,
+    )
+
+
+# ---------------------------------------------------------------------------
+# §8.4 novel model prediction errors
+# ---------------------------------------------------------------------------
+@dataclass
+class ModelErrorsResult:
+    """Reproduction of §8.4."""
+
+    fixy_precision_at_10: float
+    uncertainty_precision_at_10: float
+    n_scenes: int
+    max_confidence_of_found_error: float
+    n_high_conf_errors_found: int
+
+    def to_text(self) -> str:
+        return format_kv(
+            [
+                ("scenes", self.n_scenes),
+                ("Fixy precision@10", f"{self.fixy_precision_at_10:.0%}"),
+                (
+                    "uncertainty sampling precision@10",
+                    f"{self.uncertainty_precision_at_10:.0%}",
+                ),
+                (
+                    "max confidence of a Fixy-found error",
+                    f"{self.max_confidence_of_found_error:.2f}",
+                ),
+                (
+                    "errors found with confidence >= 0.9",
+                    self.n_high_conf_errors_found,
+                ),
+            ],
+            title="§8.4 novel ML model prediction errors "
+            "(after excluding ad-hoc MA finds)",
+        )
+
+
+def model_errors_experiment(n_scenes: int = 5) -> ModelErrorsResult:
+    """Reproduce §8.4: find model errors the ad-hoc MAs cannot.
+
+    Per the paper: no human labels are assumed; the appear/flicker/
+    multibox assertions run first and their finds are excluded; Fixy and
+    uncertainty sampling rank what remains.
+    """
+    dataset = get_dataset(SYNTHETIC_LYFT)
+    finder = ModelErrorFinder().fit(dataset.train_scenes)
+    builder = TrackBuilder()
+    assertions = [AppearAssertion(), FlickerAssertion(), MultiboxAssertion()]
+
+    fixy_hits: list[list[bool]] = []
+    unc_hits: list[list[bool]] = []
+    max_conf = 0.0
+    n_high_conf = 0
+    for ls in dataset.val_scenes[:n_scenes]:
+        # §8.4 assumes no human proposals: re-associate model output alone.
+        model_scene = builder.build_scene(
+            ls.scene_id + "-model", ls.world.dt, list(ls.model_observations)
+        )
+        model_scene.metadata["ego_poses"] = list(ls.world.ego_poses)
+        auditor = ls.auditor()
+
+        flagged = run_assertions(assertions, model_scene)
+        excluded_ids: set[str] = set()
+        for flag in flagged:
+            excluded_ids.update(flag.track_id.split("+"))
+
+        ranked = finder.rank(
+            model_scene,
+            top_k=10,
+            exclude=lambda t: t.track_id in excluded_ids,
+        )
+        hits = []
+        for scored in ranked:
+            decision = auditor.audit_model_error(scored.item)
+            hits.append(decision.is_error)
+            if decision.is_error:
+                confs = [
+                    o.confidence
+                    for o in scored.item.observations
+                    if o.confidence is not None
+                ]
+                if confs:
+                    max_conf = max(max_conf, max(confs))
+                    if max(confs) >= 0.9:
+                        n_high_conf += 1
+        fixy_hits.append(hits)
+
+        sampled = [
+            u
+            for u in uncertainty_sample_tracks(model_scene)
+            if u.track_id not in excluded_ids
+        ][:10]
+        unc_hits.append(
+            [auditor.audit_model_error(u.item).is_error for u in sampled]
+        )
+
+    return ModelErrorsResult(
+        fixy_precision_at_10=float(
+            np.mean([precision_at_k(h, 10) for h in fixy_hits])
+        ),
+        uncertainty_precision_at_10=float(
+            np.mean([precision_at_k(h, 10) for h in unc_hits])
+        ),
+        n_scenes=n_scenes,
+        max_confidence_of_found_error=max_conf,
+        n_high_conf_errors_found=n_high_conf,
+    )
+
+
+# ---------------------------------------------------------------------------
+# §8.1 runtime
+# ---------------------------------------------------------------------------
+@dataclass
+class RuntimeResult:
+    """Reproduction of the §8.1 runtime claim (< 5 s per 15 s scene)."""
+
+    scene_duration_s: float
+    rank_seconds: float
+    end_to_end_seconds: float
+
+    def to_text(self) -> str:
+        return format_kv(
+            [
+                ("scene duration", f"{self.scene_duration_s:.0f} s"),
+                ("Fixy rank (compile + score)", f"{self.rank_seconds:.2f} s"),
+                ("end-to-end incl. association", f"{self.end_to_end_seconds:.2f} s"),
+                ("paper budget", "< 5 s"),
+            ],
+            title="§8.1 runtime on a single 15 s scene (single CPU core)",
+        )
+
+
+def runtime_experiment() -> RuntimeResult:
+    """Time Fixy on one 15-second scene."""
+    dataset = get_dataset(SYNTHETIC_INTERNAL)
+    finder = MissingTrackFinder().fit(dataset.train_scenes)
+    ls = dataset.val_scenes[0]
+
+    start = time.perf_counter()
+    finder.rank(ls.scene)
+    rank_seconds = time.perf_counter() - start
+
+    builder = TrackBuilder()
+    start = time.perf_counter()
+    scene = builder.build_scene(
+        ls.scene_id + "-timed",
+        ls.world.dt,
+        ls.human_observations + ls.model_observations,
+    )
+    scene.metadata["ego_poses"] = list(ls.world.ego_poses)
+    finder.rank(scene)
+    end_to_end = time.perf_counter() - start
+
+    return RuntimeResult(
+        scene_duration_s=ls.world.duration_s,
+        rank_seconds=rank_seconds,
+        end_to_end_seconds=end_to_end,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 4/5, 6/7, 9: qualitative case studies
+# ---------------------------------------------------------------------------
+@dataclass
+class CaseStudyResult:
+    """Scores for the paper's qualitative figures, as comparable pairs."""
+
+    name: str
+    description: str
+    values: list[tuple[str, float]]
+
+    def to_text(self) -> str:
+        pairs = [(label, f"{value:.3f}") for label, value in self.values]
+        return format_kv(pairs, title=f"{self.name}: {self.description}")
+
+
+def figure_case_studies(seed: int = 31415) -> list[CaseStudyResult]:
+    """Reproduce the qualitative figure comparisons as score orderings.
+
+    - Figure 4 vs 5: a consistent, briefly-visible (occluded) motorcycle
+      track scores higher than an incoherent spurious track.
+    - Figure 6 vs 7: a consistent model-only bundle in a labeled track
+      ranks above a wildly volume-inconsistent one.
+    - Figure 9: a coherent ghost (smooth overlap, pumping volume) is
+      missed by the appear/flicker/multibox assertions but ranked first
+      by the model-error finder.
+    """
+    from repro.core.model import Observation, ObservationBundle, Scene, Track
+    from repro.geometry import Box3D, Pose2D
+
+    dataset = get_dataset(SYNTHETIC_INTERNAL)
+    results: list[CaseStudyResult] = []
+    rng = np.random.default_rng(seed)
+
+    def model_obs(frame, x, y, cls, l, w, h, yaw=0.0, conf=0.9):
+        return Observation(
+            frame=frame,
+            box=Box3D(x=x, y=y, z=0.8, length=l, width=w, height=h, yaw=yaw),
+            object_class=cls,
+            source="model",
+            confidence=conf,
+        )
+
+    def human_obs(frame, x, y, cls="car", l=4.5, w=1.9, h=1.7):
+        return Observation(
+            frame=frame,
+            box=Box3D(x=x, y=y, z=0.85, length=l, width=w, height=h),
+            object_class=cls,
+            source="human",
+        )
+
+    def track_from(obs_list, track_id):
+        bundles: dict[int, ObservationBundle] = {}
+        for o in obs_list:
+            bundles.setdefault(o.frame, ObservationBundle(frame=o.frame)).add(o)
+        return Track(track_id=track_id, bundles=list(bundles.values()))
+
+    def scene_from(tracks, scene_id):
+        return Scene(
+            scene_id=scene_id,
+            dt=0.2,
+            tracks=tracks,
+            metadata={"ego_poses": [Pose2D(0.0, 0.0, 0.0)] * 80},
+        )
+
+    # ------------------------------------------------------- Figure 4 vs 5
+    moto = track_from(
+        [
+            model_obs(f, 8.0 + 1.6 * f * 0.2, 2.0, "motorcycle", 2.2, 0.9, 1.4)
+            for f in range(4)  # visible < 1 second
+        ],
+        "fig4-motorcycle",
+    )
+    spurious = track_from(
+        [
+            model_obs(
+                f,
+                20.0 + float(rng.normal(0, 2.0)),
+                -6.0 + float(rng.normal(0, 2.0)),
+                "car",
+                max(4.5 * float(np.exp(rng.normal(0, 0.5))), 0.5),
+                max(1.9 * float(np.exp(rng.normal(0, 0.5))), 0.4),
+                1.7,
+                yaw=float(rng.uniform(-3, 3)),
+                conf=0.5,
+            )
+            for f in range(4)
+        ],
+        "fig5-spurious",
+    )
+    finder = MissingTrackFinder().fit(dataset.train_scenes)
+    ranked = finder.rank(scene_from([moto, spurious], "fig45"))
+    scores = {s.track_id: s.score for s in ranked}
+    results.append(
+        CaseStudyResult(
+            name="Figure 4 vs 5",
+            description="likely (occluded motorcycle) vs unlikely (spurious) track",
+            values=[
+                ("occluded motorcycle score", scores.get("fig4-motorcycle", -99.0)),
+                ("spurious track score", scores.get("fig5-spurious", -99.0)),
+            ],
+        )
+    )
+
+    # ------------------------------------------------------- Figure 6 vs 7
+    def labeled_track_with_gap(track_id, y, gap_frame, gap_box):
+        obs_list = []
+        for f in range(8):
+            x = 5.0 + 2.0 * f * 0.2
+            if f == gap_frame:
+                obs_list.append(gap_box(f, x))
+            else:
+                obs_list.append(human_obs(f, x, y))
+                obs_list.append(model_obs(f, x + 0.05, y, "car", 4.5, 1.9, 1.7))
+        return track_from(obs_list, track_id)
+
+    consistent = labeled_track_with_gap(
+        "fig6-consistent",
+        3.0,
+        4,
+        lambda f, x: model_obs(f, x, 3.0, "car", 4.5, 1.9, 1.7),
+    )
+    inconsistent = labeled_track_with_gap(
+        "fig7-inconsistent",
+        -3.0,
+        4,
+        lambda f, x: model_obs(f, x, -3.0, "pedestrian", 0.7, 0.7, 1.75),
+    )
+    obs_finder = MissingObservationFinder().fit(dataset.train_scenes)
+    ranked_bundles = obs_finder.rank(scene_from([consistent, inconsistent], "fig67"))
+    bundle_scores = {s.track_id: s.score for s in ranked_bundles}
+    results.append(
+        CaseStudyResult(
+            name="Figure 6 vs 7",
+            description="high- vs low-probability missing-observation bundle",
+            values=[
+                ("consistent bundle score", bundle_scores.get("fig6-consistent", -99.0)),
+                (
+                    "inconsistent bundle score",
+                    bundle_scores.get("fig7-inconsistent", -99.0),
+                ),
+            ],
+        )
+    )
+
+    # ------------------------------------------------------------ Figure 9
+    coherent_ghost_obs = []
+    x, y = 15.0, 5.0
+    for f in range(8):
+        x += float(rng.normal(0.0, 0.3))
+        y += float(rng.normal(0.0, 0.3))
+        pump = float(np.exp(rng.normal(0.0, 0.35)))
+        coherent_ghost_obs.append(
+            model_obs(
+                f, x, y, "truck",
+                max(8.5 * pump, 1.0), max(2.6 * pump, 0.5), 3.2,
+                yaw=float(rng.normal(0.0, 0.6)), conf=0.95,
+            )
+        )
+    ghost = track_from(coherent_ghost_obs, "fig9-ghost")
+    normal = track_from(
+        [model_obs(f, 30.0 + 2.0 * f * 0.2, -8.0, "car", 4.5, 1.9, 1.7) for f in range(8)],
+        "fig9-normal",
+    )
+    fig9_scene = scene_from([ghost, normal], "fig9")
+
+    flags = run_assertions(
+        [AppearAssertion(), FlickerAssertion(), MultiboxAssertion()], fig9_scene
+    )
+    ghost_flagged = any("fig9-ghost" in f.track_id for f in flags)
+
+    err_finder = ModelErrorFinder().fit(dataset.train_scenes)
+    err_ranked = err_finder.rank(fig9_scene)
+    ghost_rank = next(
+        (i for i, s in enumerate(err_ranked, start=1) if s.track_id == "fig9-ghost"),
+        -1,
+    )
+    results.append(
+        CaseStudyResult(
+            name="Figure 9",
+            description="coherent ghost: missed by ad-hoc MAs, found by Fixy",
+            values=[
+                ("flagged by appear/flicker/multibox", float(ghost_flagged)),
+                ("Fixy rank of ghost (1 = top)", float(ghost_rank)),
+            ],
+        )
+    )
+    return results

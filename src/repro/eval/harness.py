@@ -1,0 +1,65 @@
+"""Run every experiment and render a full report.
+
+``python -m repro.eval.harness`` reproduces all of §8 in one shot and
+prints paper-comparable output; the per-experiment benchmarks under
+``benchmarks/`` wrap the same functions individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.experiments import (
+    figure_case_studies,
+    missing_observation_experiment,
+    model_errors_experiment,
+    recall_experiment,
+    runtime_experiment,
+    scene_coverage,
+    table3,
+)
+
+__all__ = ["FullReport", "run_all"]
+
+
+@dataclass
+class FullReport:
+    """Results of every experiment, with a combined text rendering."""
+
+    sections: list[tuple[str, object]] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        blocks = []
+        for _, result in self.sections:
+            if isinstance(result, list):
+                blocks.extend(r.to_text() for r in result)
+            else:
+                blocks.append(result.to_text())
+        return "\n\n".join(blocks)
+
+    def get(self, name: str):
+        for key, result in self.sections:
+            if key == name:
+                return result
+        raise KeyError(f"no section {name!r}")
+
+
+def run_all(
+    n_train_scenes: int | None = None, n_val_scenes: int | None = None
+) -> FullReport:
+    """Run every experiment in DESIGN.md §4's index."""
+    report = FullReport()
+    report.sections.append(
+        ("table3", table3(n_train_scenes=n_train_scenes, n_val_scenes=n_val_scenes))
+    )
+    report.sections.append(("recall", recall_experiment()))
+    report.sections.append(("scene_coverage", scene_coverage(n_val_scenes=n_val_scenes)))
+    report.sections.append(("missing_observation", missing_observation_experiment()))
+    report.sections.append(("model_errors", model_errors_experiment()))
+    report.sections.append(("runtime", runtime_experiment()))
+    report.sections.append(("figures", figure_case_studies()))
+    return report
+
+
+if __name__ == "__main__":
+    print(run_all().to_text())

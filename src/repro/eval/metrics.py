@@ -1,0 +1,102 @@
+"""Ranking metrics used by the evaluation (§8).
+
+The paper's headline metric is precision at the top-k of a ranked list of
+potential errors, audited item by item: "we manually checked the top 10
+potential errors ... (in some cases, fewer than 10 potential errors were
+flagged; we use the maximum number in these cases)". Our auditing is
+automatic (the simulators record every injected error), but the metric
+definitions match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "precision_at_k",
+    "recall_of_set",
+    "mean_or_nan",
+    "PrecisionSummary",
+    "summarize_precisions",
+]
+
+
+def precision_at_k(hits: Sequence[bool], k: int) -> float:
+    """Fraction of true errors among the top ``min(k, len(hits))`` items.
+
+    ``hits`` is the audited ranked list (True = real error), best first.
+    Following the paper, when fewer than ``k`` items were flagged the
+    denominator is the number flagged. An empty list yields 0.0.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    top = list(hits[:k])
+    if not top:
+        return 0.0
+    return sum(top) / len(top)
+
+
+def recall_of_set(found: Iterable[str], total: Iterable[str]) -> float:
+    """Fraction of ground-truth error identities that were found.
+
+    Args:
+        found: Identities (e.g. ground-truth object ids) the method
+            surfaced.
+        total: All ground-truth error identities present.
+    """
+    total_set = set(total)
+    if not total_set:
+        raise ValueError("recall undefined with no ground-truth errors")
+    return len(set(found) & total_set) / len(total_set)
+
+
+def mean_or_nan(values: Sequence[float]) -> float:
+    """Mean of ``values``; NaN for an empty sequence."""
+    return float(np.mean(values)) if len(values) else float("nan")
+
+
+@dataclass(frozen=True)
+class PrecisionSummary:
+    """Aggregated precision@k for one method on one dataset."""
+
+    method: str
+    dataset: str
+    precision_at_10: float
+    precision_at_5: float
+    precision_at_1: float
+    n_scenes: int
+
+    def as_row(self) -> list:
+        return [
+            self.method,
+            self.dataset,
+            f"{self.precision_at_10:.0%}",
+            f"{self.precision_at_5:.0%}",
+            f"{self.precision_at_1:.0%}",
+        ]
+
+
+def summarize_precisions(
+    method: str,
+    dataset: str,
+    per_scene_hits: list[list[bool]],
+) -> PrecisionSummary:
+    """Average per-scene precision@{10,5,1} into one summary row.
+
+    Scenes where the method flagged nothing contribute precision 0 — the
+    method had errors to find and surfaced none.
+    """
+    p10 = mean_or_nan([precision_at_k(h, 10) for h in per_scene_hits])
+    p5 = mean_or_nan([precision_at_k(h, 5) for h in per_scene_hits])
+    p1 = mean_or_nan([precision_at_k(h, 1) for h in per_scene_hits])
+    return PrecisionSummary(
+        method=method,
+        dataset=dataset,
+        precision_at_10=p10,
+        precision_at_5=p5,
+        precision_at_1=p1,
+        n_scenes=len(per_scene_hits),
+    )

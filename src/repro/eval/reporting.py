@@ -1,0 +1,49 @@
+"""Plain-text tables for experiment output.
+
+The harness prints the same rows the paper's tables report, so a run can
+be eyeballed against the published numbers (shape, not absolute values —
+see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render an ASCII table with column alignment."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_kv(pairs: Sequence[tuple[str, object]], title: str = "") -> str:
+    """Render key/value result pairs, one per line."""
+    width = max((len(k) for k, _ in pairs), default=0)
+    out = []
+    if title:
+        out.append(title)
+    for key, value in pairs:
+        out.append(f"{key.ljust(width)}  {value}")
+    return "\n".join(out)

@@ -1,0 +1,201 @@
+"""Sensitivity sweeps around the paper's operating point.
+
+The paper evaluates at one vendor-quality/training-size point per
+dataset. These sweeps chart the neighborhood:
+
+- :func:`vendor_noise_sweep` — missing-track precision as the vendor
+  gets worse. Fixy's precision should *rise* with the error base rate
+  (more true errors to surface) while remaining above the consistency-MA
+  baseline throughout.
+- :func:`training_size_sweep` — the learning curve: how many labeled
+  scenes the feature distributions need before ranking quality
+  saturates. The paper asserts "default hyperparameters work in all
+  cases"; this measures how little data that takes.
+
+Both return plain result objects with ``to_text()`` renderings and are
+wrapped by ``benchmarks/bench_sweeps.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import ConsistencyAssertion, order_randomly
+from repro.core import MissingTrackFinder
+from repro.datagen import SceneGenerator
+from repro.datasets import (
+    SYNTHETIC_INTERNAL,
+    build_labeled_scene,
+)
+from repro.eval.metrics import precision_at_k
+from repro.eval.reporting import format_table
+from repro.labelers import HumanLabelerConfig
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "vendor_noise_sweep",
+    "training_size_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One setting of the swept parameter."""
+
+    parameter: float
+    fixy_precision_at_10: float
+    baseline_precision_at_10: float
+    n_errors_per_scene: float
+
+
+@dataclass
+class SweepResult:
+    """A full sweep with a table rendering."""
+
+    name: str
+    parameter_name: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        rows = [
+            [
+                f"{p.parameter:g}",
+                f"{p.fixy_precision_at_10:.0%}",
+                f"{p.baseline_precision_at_10:.0%}",
+                f"{p.n_errors_per_scene:.1f}",
+            ]
+            for p in self.points
+        ]
+        return format_table(
+            [self.parameter_name, "Fixy P@10", "MA(rand) P@10", "errors/scene"],
+            rows,
+            title=self.name,
+        )
+
+    @property
+    def fixy_curve(self) -> list[float]:
+        return [p.fixy_precision_at_10 for p in self.points]
+
+
+def _scene_precisions(finder, labeled_scenes, seed_base=0):
+    """(fixy, baseline) per-scene precision@10 lists."""
+    consistency = ConsistencyAssertion()
+    fixy_p, base_p, error_counts = [], [], []
+    for i, ls in enumerate(labeled_scenes):
+        auditor = ls.auditor()
+        missing = ls.ledger.missing_track_object_ids(ls.scene_id)
+        error_counts.append(len(missing))
+        if not missing:
+            continue
+        ranked = finder.rank(ls.scene, top_k=10)
+        fixy_p.append(
+            precision_at_k(
+                [auditor.audit_missing_track(s.item).is_error for s in ranked], 10
+            )
+        )
+        flags = order_randomly(consistency.check_scene(ls.scene), seed=seed_base + i)
+        base_p.append(
+            precision_at_k(
+                [auditor.audit_missing_track(f.item).is_error for f in flags[:10]],
+                10,
+            )
+        )
+    return fixy_p, base_p, error_counts
+
+
+def vendor_noise_sweep(
+    miss_rates: tuple[float, ...] = (0.05, 0.15, 0.3, 0.5),
+    n_scenes: int = 4,
+    seed: int = 90_000,
+) -> SweepResult:
+    """Missing-track precision as the vendor's miss rate grows."""
+    generator = SceneGenerator()
+    # One fixed training resource (clean labels) for all points.
+    train_scenes = _training_scenes(generator, n_scenes=6, seed=seed)
+    finder = MissingTrackFinder().fit(train_scenes)
+
+    result = SweepResult(
+        name="Sweep: vendor miss rate vs missing-track precision",
+        parameter_name="miss rate",
+    )
+    for rate in miss_rates:
+        vendor = HumanLabelerConfig(
+            miss_track_base_rate=rate,
+            short_track_miss_boost=0.3,
+        )
+        labeled = [
+            build_labeled_scene(
+                generator.generate(f"noise-{rate}-{i}", seed=seed + 100 + i),
+                vendor,
+                SYNTHETIC_INTERNAL.detector,
+                seed=seed + 200 + i,
+            )
+            for i in range(n_scenes)
+        ]
+        fixy_p, base_p, errors = _scene_precisions(finder, labeled, seed_base=seed)
+        result.points.append(
+            SweepPoint(
+                parameter=rate,
+                fixy_precision_at_10=float(np.mean(fixy_p)) if fixy_p else 0.0,
+                baseline_precision_at_10=float(np.mean(base_p)) if base_p else 0.0,
+                n_errors_per_scene=float(np.mean(errors)),
+            )
+        )
+    return result
+
+
+def training_size_sweep(
+    n_train_options: tuple[int, ...] = (1, 2, 4, 8),
+    n_scenes: int = 4,
+    seed: int = 91_000,
+) -> SweepResult:
+    """The learning curve: precision vs number of training scenes."""
+    generator = SceneGenerator()
+    all_train = _training_scenes(generator, n_scenes=max(n_train_options), seed=seed)
+    labeled = [
+        build_labeled_scene(
+            generator.generate(f"lc-{i}", seed=seed + 100 + i),
+            SYNTHETIC_INTERNAL.vendor,
+            SYNTHETIC_INTERNAL.detector,
+            seed=seed + 200 + i,
+        )
+        for i in range(n_scenes)
+    ]
+
+    result = SweepResult(
+        name="Sweep: training scenes vs missing-track precision",
+        parameter_name="train scenes",
+    )
+    for n_train in n_train_options:
+        finder = MissingTrackFinder(min_samples=4).fit(all_train[:n_train])
+        fixy_p, base_p, errors = _scene_precisions(finder, labeled, seed_base=seed)
+        result.points.append(
+            SweepPoint(
+                parameter=float(n_train),
+                fixy_precision_at_10=float(np.mean(fixy_p)) if fixy_p else 0.0,
+                baseline_precision_at_10=float(np.mean(base_p)) if base_p else 0.0,
+                n_errors_per_scene=float(np.mean(errors)),
+            )
+        )
+    return result
+
+
+def _training_scenes(generator: SceneGenerator, n_scenes: int, seed: int):
+    from repro.association import TrackBuilder
+    from repro.labelers import HumanLabeler
+
+    builder = TrackBuilder()
+    labeler = HumanLabeler(
+        HumanLabelerConfig(miss_track_base_rate=0.02, class_flip_rate=0.0)
+    )
+    scenes = []
+    for i in range(n_scenes):
+        world = generator.generate(f"sweep-train-{i}", seed=seed + i)
+        observations, _ = labeler.label_scene(world, seed=seed + 50 + i)
+        scene = builder.build_scene(world.scene_id, world.dt, observations)
+        scene.metadata["ego_poses"] = list(world.ego_poses)
+        scenes.append(scene)
+    return scenes

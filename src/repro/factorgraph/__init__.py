@@ -1,0 +1,23 @@
+"""Bipartite factor graphs: structure, factors, and inference."""
+
+from repro.factorgraph.factors import (
+    Factor,
+    FunctionFactor,
+    TableFactor,
+    log_potential,
+)
+from repro.factorgraph.graph import FactorGraph, FactorNode, VariableNode
+from repro.factorgraph.inference import log_score, max_product, sum_product
+
+__all__ = [
+    "Factor",
+    "FactorGraph",
+    "FactorNode",
+    "FunctionFactor",
+    "TableFactor",
+    "VariableNode",
+    "log_potential",
+    "log_score",
+    "max_product",
+    "sum_product",
+]

@@ -1,0 +1,137 @@
+"""Factor implementations attached to factor nodes.
+
+Two families:
+
+- :class:`FunctionFactor` — a potential over *observed* payload values,
+  used by Fixy's compiled graphs (each feature distribution + AOF becomes
+  one of these, evaluated at the observed feature value).
+- :class:`TableFactor` — a dense table over small discrete domains, used
+  by the generic sum-product engine in
+  :mod:`repro.factorgraph.inference`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Hashable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Factor", "FunctionFactor", "TableFactor", "log_potential"]
+
+
+def log_potential(value: float, floor: float = 1e-12) -> float:
+    """Natural log of a potential with a floor.
+
+    Potentials of exactly zero (an AOF that zeroes an item out) map to
+    ``-inf`` so the item is excluded from ranking; small positive values
+    are preserved. ``floor`` guards against log(0) from numerical
+    underflow of genuinely-positive densities.
+    """
+    if value < 0:
+        raise ValueError(f"potentials must be non-negative, got {value}")
+    if value == 0.0:
+        return -math.inf
+    return math.log(max(value, floor))
+
+
+class Factor(ABC):
+    """A non-negative potential function."""
+
+    @abstractmethod
+    def evaluate(self, assignment: Mapping[Hashable, object]) -> float:
+        """Potential value for an assignment of the factor's variables."""
+
+    def log_evaluate(self, assignment: Mapping[Hashable, object]) -> float:
+        return log_potential(self.evaluate(assignment))
+
+
+class FunctionFactor(Factor):
+    """A potential computed by a callable over named variable values.
+
+    Args:
+        variables: Names of the variables the factor reads, in the order
+            the callable expects them.
+        fn: Callable mapping the variable values to a non-negative float.
+        label: Human-readable name used in diagnostics.
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[Hashable],
+        fn: Callable[..., float],
+        label: str = "",
+    ):
+        if not variables:
+            raise ValueError("FunctionFactor needs at least one variable")
+        self.variables = tuple(variables)
+        self.fn = fn
+        self.label = label or getattr(fn, "__name__", "factor")
+
+    def evaluate(self, assignment: Mapping[Hashable, object]) -> float:
+        try:
+            args = [assignment[v] for v in self.variables]
+        except KeyError as exc:
+            raise KeyError(
+                f"factor {self.label!r} missing assignment for {exc.args[0]!r}"
+            ) from None
+        value = float(self.fn(*args))
+        if value < 0 or math.isnan(value):
+            raise ValueError(
+                f"factor {self.label!r} returned invalid potential {value}"
+            )
+        return value
+
+    def __repr__(self) -> str:
+        return f"FunctionFactor({self.label!r}, vars={self.variables})"
+
+
+class TableFactor(Factor):
+    """A dense potential table over small discrete variable domains.
+
+    Args:
+        variables: Variable names, one per table axis.
+        domains: For each variable, the ordered list of its values.
+        table: Non-negative array of shape ``tuple(len(d) for d in domains)``.
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[Hashable],
+        domains: Sequence[Sequence[object]],
+        table: np.ndarray,
+    ):
+        if len(variables) != len(domains):
+            raise ValueError("variables and domains must align")
+        arr = np.asarray(table, dtype=float)
+        expected = tuple(len(d) for d in domains)
+        if arr.shape != expected:
+            raise ValueError(f"table shape {arr.shape} != domain shape {expected}")
+        if (arr < 0).any() or np.isnan(arr).any():
+            raise ValueError("table potentials must be non-negative and finite")
+        self.variables = tuple(variables)
+        self.domains = [list(d) for d in domains]
+        self._index = [
+            {value: i for i, value in enumerate(domain)} for domain in self.domains
+        ]
+        self.table = arr
+
+    def evaluate(self, assignment: Mapping[Hashable, object]) -> float:
+        idx = []
+        for var, lookup in zip(self.variables, self._index):
+            value = assignment[var]
+            if value not in lookup:
+                raise ValueError(
+                    f"value {value!r} not in the domain of variable {var!r}"
+                )
+            idx.append(lookup[value])
+        return float(self.table[tuple(idx)])
+
+    def marginalize_onto(self, variable: Hashable) -> np.ndarray:
+        """Sum the table over all axes except ``variable``'s."""
+        if variable not in self.variables:
+            raise KeyError(f"factor does not touch variable {variable!r}")
+        axis = self.variables.index(variable)
+        other_axes = tuple(i for i in range(self.table.ndim) if i != axis)
+        return self.table.sum(axis=other_axes)

@@ -1,0 +1,193 @@
+"""Bipartite factor graphs.
+
+The paper (§2) represents a factorized joint distribution
+``g(X1..Xn) = Π_j f_j(S_j)`` as a bipartite graph ``G = (X, F, E)`` with
+variable nodes ``X``, factor nodes ``F``, and an edge between ``f_j`` and
+``X_i`` iff ``X_i ∈ S_j``. Fixy compiles scenes into exactly this
+structure ("Fixy will create nodes for each observation and feature
+distribution. Then, Fixy will create edges between each feature
+distribution and the observation it applies over", §4.3).
+
+This module is the generic substrate: node/edge bookkeeping, bipartite
+invariants, degree queries, and connected components. Inference (scoring
+and sum-product) lives in :mod:`repro.factorgraph.inference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+__all__ = ["VariableNode", "FactorNode", "FactorGraph"]
+
+
+@dataclass(frozen=True)
+class VariableNode:
+    """A variable node X_i. ``payload`` carries the attached object (e.g.
+    an :class:`~repro.core.model.Observation`)."""
+
+    name: Hashable
+    payload: Any = field(default=None, compare=False, hash=False)
+
+
+@dataclass(frozen=True)
+class FactorNode:
+    """A factor node f_j. ``payload`` carries the factor implementation
+    (for Fixy, a feature distribution plus AOF)."""
+
+    name: Hashable
+    payload: Any = field(default=None, compare=False, hash=False)
+
+
+class FactorGraph:
+    """A bipartite graph over variable and factor nodes."""
+
+    def __init__(self) -> None:
+        self._variables: dict[Hashable, VariableNode] = {}
+        self._factors: dict[Hashable, FactorNode] = {}
+        # Adjacency in both directions, insertion-ordered.
+        self._factor_vars: dict[Hashable, list[Hashable]] = {}
+        self._var_factors: dict[Hashable, list[Hashable]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_variable(self, name: Hashable, payload: Any = None) -> VariableNode:
+        if name in self._variables:
+            raise ValueError(f"variable {name!r} already exists")
+        if name in self._factors:
+            raise ValueError(f"{name!r} is already a factor node")
+        node = VariableNode(name=name, payload=payload)
+        self._variables[name] = node
+        self._var_factors[name] = []
+        return node
+
+    def add_factor(
+        self, name: Hashable, variables: Iterable[Hashable], payload: Any = None
+    ) -> FactorNode:
+        """Add a factor connected to ``variables`` (which must exist)."""
+        if name in self._factors:
+            raise ValueError(f"factor {name!r} already exists")
+        if name in self._variables:
+            raise ValueError(f"{name!r} is already a variable node")
+        var_list = list(variables)
+        if not var_list:
+            raise ValueError(f"factor {name!r} must touch at least one variable")
+        if len(set(var_list)) != len(var_list):
+            raise ValueError(f"factor {name!r} lists a variable twice")
+        for var in var_list:
+            if var not in self._variables:
+                raise KeyError(f"factor {name!r} references unknown variable {var!r}")
+        node = FactorNode(name=name, payload=payload)
+        self._factors[name] = node
+        self._factor_vars[name] = var_list
+        for var in var_list:
+            self._var_factors[var].append(name)
+        return node
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def n_factors(self) -> int:
+        return len(self._factors)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(v) for v in self._factor_vars.values())
+
+    def variables(self) -> list[VariableNode]:
+        return list(self._variables.values())
+
+    def factors(self) -> list[FactorNode]:
+        return list(self._factors.values())
+
+    def variable(self, name: Hashable) -> VariableNode:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise KeyError(f"no variable {name!r}") from None
+
+    def factor(self, name: Hashable) -> FactorNode:
+        try:
+            return self._factors[name]
+        except KeyError:
+            raise KeyError(f"no factor {name!r}") from None
+
+    def has_variable(self, name: Hashable) -> bool:
+        return name in self._variables
+
+    def has_factor(self, name: Hashable) -> bool:
+        return name in self._factors
+
+    def factor_scope(self, factor_name: Hashable) -> list[VariableNode]:
+        """The variables a factor touches, in insertion order."""
+        if factor_name not in self._factors:
+            raise KeyError(f"no factor {factor_name!r}")
+        return [self._variables[v] for v in self._factor_vars[factor_name]]
+
+    def factors_of(self, variable_name: Hashable) -> list[FactorNode]:
+        """The factors touching a variable, in insertion order."""
+        if variable_name not in self._variables:
+            raise KeyError(f"no variable {variable_name!r}")
+        return [self._factors[f] for f in self._var_factors[variable_name]]
+
+    def degree(self, name: Hashable) -> int:
+        if name in self._variables:
+            return len(self._var_factors[name])
+        if name in self._factors:
+            return len(self._factor_vars[name])
+        raise KeyError(f"no node {name!r}")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[set[Hashable]]:
+        """Node-name sets of each connected component (variables+factors)."""
+        seen: set[Hashable] = set()
+        components: list[set[Hashable]] = []
+        for start in list(self._variables) + list(self._factors):
+            if start in seen:
+                continue
+            component: set[Hashable] = set()
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                if node in self._variables:
+                    stack.extend(self._var_factors[node])
+                else:
+                    stack.extend(self._factor_vars[node])
+            seen |= component
+            components.append(component)
+        return components
+
+    def is_tree(self) -> bool:
+        """Whether every component is acyclic (``edges = nodes - 1``)."""
+        for component in self.connected_components():
+            n_nodes = len(component)
+            n_edges = sum(
+                len(self._factor_vars[n]) for n in component if n in self._factors
+            )
+            if n_edges != n_nodes - 1:
+                return False
+        return True
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``AssertionError`` on bugs."""
+        for factor_name, var_names in self._factor_vars.items():
+            for var in var_names:
+                assert factor_name in self._var_factors[var], (
+                    f"edge {factor_name!r}-{var!r} missing reverse direction"
+                )
+        for var_name, factor_names in self._var_factors.items():
+            for fac in factor_names:
+                assert var_name in self._factor_vars[fac], (
+                    f"edge {var_name!r}-{fac!r} missing forward direction"
+                )

@@ -1,0 +1,218 @@
+"""Inference over factor graphs: evidence scoring and sum-product.
+
+Fixy's scoring (§6) only needs the *evidence* path — every variable is
+observed, so the graph's log score is the sum of log factor potentials
+(Eq. 2 before normalization). :func:`log_score` implements that.
+
+For completeness of the substrate (and for the robot-perception style
+uses the paper cites [8, 15, 22]), :func:`sum_product` implements exact
+belief propagation on tree-structured graphs with discrete
+:class:`~repro.factorgraph.factors.TableFactor` potentials, returning
+normalized marginals per variable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.factorgraph.factors import Factor, TableFactor
+from repro.factorgraph.graph import FactorGraph
+
+__all__ = ["log_score", "sum_product", "max_product"]
+
+
+def log_score(
+    graph: FactorGraph, assignment: Mapping[Hashable, object]
+) -> float:
+    """Log of the unnormalized joint: ``Σ_j ln f_j(S_j)``.
+
+    Every factor node's payload must be a :class:`Factor`. Factors whose
+    potential is zero contribute ``-inf`` (the assignment is impossible /
+    filtered out by an AOF).
+    """
+    total = 0.0
+    for node in graph.factors():
+        factor = node.payload
+        if not isinstance(factor, Factor):
+            raise TypeError(
+                f"factor node {node.name!r} payload is not a Factor: {factor!r}"
+            )
+        total += factor.log_evaluate(assignment)
+        if total == -math.inf:
+            return -math.inf
+    return total
+
+
+def _domains(graph: FactorGraph) -> dict[Hashable, list]:
+    """Collect each variable's domain from the table factors touching it."""
+    domains: dict[Hashable, list] = {}
+    for node in graph.factors():
+        factor = node.payload
+        if not isinstance(factor, TableFactor):
+            raise TypeError(
+                f"sum-product requires TableFactor payloads; factor "
+                f"{node.name!r} has {type(factor).__name__}"
+            )
+        for var, domain in zip(factor.variables, factor.domains):
+            if var in domains:
+                if domains[var] != domain:
+                    raise ValueError(
+                        f"variable {var!r} has inconsistent domains across factors"
+                    )
+            else:
+                domains[var] = domain
+    for var_node in graph.variables():
+        if var_node.name not in domains:
+            raise ValueError(
+                f"variable {var_node.name!r} is not covered by any factor"
+            )
+    return domains
+
+
+def sum_product(graph: FactorGraph) -> dict[Hashable, np.ndarray]:
+    """Exact marginals on a tree-structured discrete factor graph.
+
+    Implements the two-pass message schedule (leaves → root → leaves) of
+    Kschischang et al. [15]. Raises if the graph is cyclic.
+
+    Returns:
+        Normalized marginal distribution per variable name, aligned with
+        the variable's domain order.
+    """
+    if not graph.is_tree():
+        raise ValueError("sum_product requires a tree-structured factor graph")
+    domains = _domains(graph)
+
+    # Messages keyed by (source, target) node names; values are arrays over
+    # the variable's domain (variable-factor messages in both directions).
+    messages: dict[tuple[Hashable, Hashable], np.ndarray] = {}
+
+    def var_to_factor(var: Hashable, factor: Hashable) -> np.ndarray:
+        out = np.ones(len(domains[var]))
+        for other in graph.factors_of(var):
+            if other.name != factor:
+                out = out * messages[(other.name, var)]
+        return out
+
+    def factor_to_var(factor_name: Hashable, var: Hashable) -> np.ndarray:
+        factor: TableFactor = graph.factor(factor_name).payload
+        table = factor.table
+        # Multiply in messages from the other variables, then sum them out.
+        for axis, other_var in enumerate(factor.variables):
+            if other_var == var:
+                continue
+            msg = messages[(other_var, factor_name)]
+            shape = [1] * table.ndim
+            shape[axis] = len(msg)
+            table = table * msg.reshape(shape)
+        target_axis = factor.variables.index(var)
+        other_axes = tuple(i for i in range(table.ndim) if i != target_axis)
+        return table.sum(axis=other_axes) if other_axes else table
+
+    # Iteratively send any message whose prerequisites are ready. On a tree
+    # this converges in O(edges) sends.
+    pending: set[tuple[str, Hashable, Hashable]] = set()
+    for fac in graph.factors():
+        for var_node in graph.factor_scope(fac.name):
+            pending.add(("v->f", var_node.name, fac.name))
+            pending.add(("f->v", fac.name, var_node.name))
+
+    progress = True
+    while pending and progress:
+        progress = False
+        for item in sorted(pending, key=repr):
+            kind, src, dst = item
+            if kind == "v->f":
+                ready = all(
+                    (other.name, src) in messages
+                    for other in graph.factors_of(src)
+                    if other.name != dst
+                )
+                if ready:
+                    messages[(src, dst)] = var_to_factor(src, dst)
+                    pending.discard(item)
+                    progress = True
+            else:
+                factor: TableFactor = graph.factor(src).payload
+                ready = all(
+                    (other_var, src) in messages
+                    for other_var in factor.variables
+                    if other_var != dst
+                )
+                if ready:
+                    messages[(src, dst)] = factor_to_var(src, dst)
+                    pending.discard(item)
+                    progress = True
+    if pending:
+        raise RuntimeError("message passing failed to converge on a tree graph")
+
+    marginals: dict[Hashable, np.ndarray] = {}
+    for var_node in graph.variables():
+        var = var_node.name
+        belief = np.ones(len(domains[var]))
+        for fac in graph.factors_of(var):
+            belief = belief * messages[(fac.name, var)]
+        total = belief.sum()
+        if total <= 0:
+            raise ValueError(f"variable {var!r} has zero total belief")
+        marginals[var] = belief / total
+    return marginals
+
+
+def max_product(graph: FactorGraph) -> dict[Hashable, object]:
+    """MAP assignment on a tree-structured discrete factor graph.
+
+    Max-product message passing (the other half of Kschischang et al.
+    [15]); on small graphs we implement it as exact maximization over the
+    joint, component by component, which is equivalent on trees and also
+    correct on (small) loopy graphs. Intended for the modest per-track
+    graphs Fixy produces, not large grids.
+
+    Returns:
+        The maximizing value per variable. Raises if any component's best
+        joint potential is zero (no consistent assignment).
+    """
+    from itertools import product as iter_product
+
+    domains = _domains(graph)
+
+    assignment: dict[Hashable, object] = {}
+    for component in graph.connected_components():
+        variables = sorted(
+            (n for n in component if graph.has_variable(n)), key=repr
+        )
+        factors = [
+            graph.factor(n).payload for n in component if graph.has_factor(n)
+        ]
+        if not variables:
+            continue
+        n_joint = 1
+        for var in variables:
+            n_joint *= len(domains[var])
+            if n_joint > 2_000_000:
+                raise ValueError(
+                    "joint domain too large for exact max_product "
+                    f"({n_joint}+ assignments)"
+                )
+        best_value = -1.0
+        best: tuple | None = None
+        for values in iter_product(*(domains[v] for v in variables)):
+            candidate = dict(zip(variables, values))
+            potential = 1.0
+            for factor in factors:
+                potential *= factor.evaluate(candidate)
+                if potential == 0.0:
+                    break
+            if potential > best_value:
+                best_value = potential
+                best = values
+        if best is None or best_value <= 0.0:
+            raise ValueError(
+                "no assignment with positive potential in component "
+                f"{sorted(component, key=repr)}"
+            )
+        assignment.update(dict(zip(variables, best)))
+    return assignment

@@ -1,0 +1,29 @@
+"""Geometric primitives: oriented 3D boxes, IoU, and planar transforms."""
+
+from repro.geometry.box import Box3D, centroid, wrap_angle
+from repro.geometry.iou import (
+    bev_iou,
+    compute_iou,
+    convex_intersection_area,
+    iou_3d,
+    pairwise_center_distance,
+    pairwise_iou,
+    polygon_area,
+)
+from repro.geometry.transforms import Pose2D, relative_pose, transform_box
+
+__all__ = [
+    "Box3D",
+    "Pose2D",
+    "bev_iou",
+    "centroid",
+    "compute_iou",
+    "convex_intersection_area",
+    "iou_3d",
+    "pairwise_center_distance",
+    "pairwise_iou",
+    "polygon_area",
+    "relative_pose",
+    "transform_box",
+    "wrap_angle",
+]

@@ -1,0 +1,112 @@
+"""Planar rigid transforms (SE(2)) for ego-centric geometry.
+
+The world simulator generates object trajectories in a fixed world frame,
+but several LOA features (distance to AV) and the occlusion model reason in
+the ego vehicle's frame. SE(2) is sufficient: AV datasets treat the ground
+plane as locally flat and boxes carry their own z extent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.box import Box3D, wrap_angle
+
+__all__ = ["Pose2D", "transform_box", "relative_pose"]
+
+
+@dataclass(frozen=True)
+class Pose2D:
+    """A planar pose: translation ``(x, y)`` plus heading ``theta``.
+
+    Composition follows the usual convention: ``a.compose(b)`` is the pose
+    of frame ``b`` expressed in the parent frame of ``a``.
+    """
+
+    x: float
+    y: float
+    theta: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "theta", wrap_angle(self.theta))
+
+    @staticmethod
+    def identity() -> "Pose2D":
+        return Pose2D(0.0, 0.0, 0.0)
+
+    @property
+    def translation(self) -> np.ndarray:
+        return np.array([self.x, self.y], dtype=float)
+
+    @property
+    def rotation(self) -> np.ndarray:
+        """The 2x2 rotation matrix of this pose."""
+        c, s = math.cos(self.theta), math.sin(self.theta)
+        return np.array([[c, -s], [s, c]], dtype=float)
+
+    def matrix(self) -> np.ndarray:
+        """Homogeneous 3x3 transform matrix."""
+        mat = np.eye(3)
+        mat[:2, :2] = self.rotation
+        mat[:2, 2] = self.translation
+        return mat
+
+    def compose(self, other: "Pose2D") -> "Pose2D":
+        """This pose followed by ``other`` (i.e. ``self * other``)."""
+        rot = self.rotation
+        tx, ty = rot @ other.translation + self.translation
+        return Pose2D(float(tx), float(ty), self.theta + other.theta)
+
+    def inverse(self) -> "Pose2D":
+        """The pose mapping this frame back to its parent."""
+        rot_t = self.rotation.T
+        tx, ty = -(rot_t @ self.translation)
+        return Pose2D(float(tx), float(ty), -self.theta)
+
+    def apply(self, point: np.ndarray) -> np.ndarray:
+        """Map a point (``(2,)`` array) from this frame to the parent frame."""
+        pt = np.asarray(point, dtype=float)
+        return self.rotation @ pt + self.translation
+
+    def apply_inverse(self, point: np.ndarray) -> np.ndarray:
+        """Map a parent-frame point into this frame."""
+        pt = np.asarray(point, dtype=float)
+        return self.rotation.T @ (pt - self.translation)
+
+    def distance_to(self, other: "Pose2D") -> float:
+        """Euclidean distance between the two translations."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def to_dict(self) -> dict:
+        return {"x": self.x, "y": self.y, "theta": self.theta}
+
+    @staticmethod
+    def from_dict(data: dict) -> "Pose2D":
+        return Pose2D(float(data["x"]), float(data["y"]), float(data.get("theta", 0.0)))
+
+
+def transform_box(box: Box3D, pose: Pose2D) -> Box3D:
+    """Express a world-frame box in the frame given by ``pose``.
+
+    ``pose`` is the frame's pose in the world (e.g. ego pose); the result
+    is the same physical box with coordinates relative to that frame.
+    Height/z are unchanged apart from translation-free z (SE(2)).
+    """
+    local_xy = pose.apply_inverse(np.array([box.x, box.y]))
+    return Box3D(
+        x=float(local_xy[0]),
+        y=float(local_xy[1]),
+        z=box.z,
+        length=box.length,
+        width=box.width,
+        height=box.height,
+        yaw=wrap_angle(box.yaw - pose.theta),
+    )
+
+
+def relative_pose(frame_a: Pose2D, frame_b: Pose2D) -> Pose2D:
+    """Pose of ``frame_b`` expressed in ``frame_a`` (both world-frame)."""
+    return frame_a.inverse().compose(frame_b)

@@ -1,0 +1,32 @@
+"""Observation sources: simulated human vendors, detectors, and auditors."""
+
+from repro.labelers.auditor import AuditDecision, Auditor
+from repro.labelers.detector import (
+    INTERNAL_DETECTOR,
+    PUBLIC_DETECTOR,
+    DetectorConfig,
+    DetectorModel,
+)
+from repro.labelers.errors import ErrorLedger, ErrorRecord, ErrorType
+from repro.labelers.human import (
+    CLEAN_VENDOR,
+    NOISY_VENDOR,
+    HumanLabeler,
+    HumanLabelerConfig,
+)
+
+__all__ = [
+    "AuditDecision",
+    "Auditor",
+    "CLEAN_VENDOR",
+    "DetectorConfig",
+    "DetectorModel",
+    "ErrorLedger",
+    "ErrorRecord",
+    "ErrorType",
+    "HumanLabeler",
+    "HumanLabelerConfig",
+    "INTERNAL_DETECTOR",
+    "NOISY_VENDOR",
+    "PUBLIC_DETECTOR",
+]

@@ -1,0 +1,164 @@
+"""Expert auditor: ground-truth labels and automatic audit decisions.
+
+The paper's third observation source (§8.1) is expert auditor labels —
+trusted annotations used to vet scenes. Here the auditor has access to the
+simulator's ground truth and the injected-error ledger, so it can:
+
+1. emit perfect ``"auditor"`` observations for a scene (used by the recall
+   experiment on the "exhaustively audited" scene), and
+2. audit items flagged by Fixy or a baseline, deciding whether each one
+   corresponds to a real injected error — replacing the paper's manual
+   top-10 checks with exact bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.model import SOURCE_AUDITOR, Observation, ObservationBundle, Track
+from repro.datagen.sensor import VisibilityModel
+from repro.datagen.world import WorldScene
+from repro.labelers.errors import ErrorLedger, ErrorRecord, ErrorType
+
+__all__ = ["AuditDecision", "Auditor"]
+
+
+@dataclass(frozen=True)
+class AuditDecision:
+    """Outcome of auditing one flagged item."""
+
+    is_error: bool
+    matched: ErrorRecord | None = None
+    reason: str = ""
+
+
+def _majority_gt_object(observations: list[Observation]) -> str | None:
+    """The ground-truth object most of the observations belong to.
+
+    Returns ``None`` when the plurality of observations are ghosts (no
+    underlying object).
+    """
+    votes = Counter(o.metadata.get("gt_object_id") for o in observations)
+    if not votes:
+        return None
+    winner, _ = votes.most_common(1)[0]
+    return winner
+
+
+class Auditor:
+    """Automatic auditor over a scene's ground truth and error ledger."""
+
+    def __init__(self, scene: WorldScene, ledger: ErrorLedger):
+        self.scene = scene
+        self.ledger = ledger
+        self._obs_error_index = ledger.obs_id_index()
+        self._missing_track_ids = ledger.missing_track_object_ids(scene.scene_id)
+
+    # ------------------------------------------------------------------
+    # Ground-truth observations
+    # ------------------------------------------------------------------
+    def make_observations(
+        self, visibility: VisibilityModel | None = None
+    ) -> list[Observation]:
+        """Perfect auditor labels for every visible (object, frame) pair."""
+        vis = visibility or VisibilityModel()
+        table = vis.visibility_table(self.scene)
+        out: list[Observation] = []
+        for obj in self.scene.objects:
+            for frame in obj.present_frames:
+                if not table[(obj.object_id, frame)]:
+                    continue
+                box = obj.box_at(frame)
+                assert box is not None
+                out.append(
+                    Observation(
+                        frame=frame,
+                        box=box,
+                        object_class=obj.object_class.value,
+                        source=SOURCE_AUDITOR,
+                        metadata={"gt_object_id": obj.object_id},
+                    )
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # Audit decisions
+    # ------------------------------------------------------------------
+    def audit_missing_track(self, track: Track) -> AuditDecision:
+        """Is this (model-only) track a real object the vendor missed?
+
+        A flagged track is a true positive when the plurality of its
+        observations belong to a ground-truth object recorded as a
+        ``MISSING_TRACK`` vendor error.
+        """
+        gt_id = _majority_gt_object(track.observations)
+        if gt_id is None:
+            return AuditDecision(False, reason="flagged track is a model ghost")
+        if gt_id in self._missing_track_ids:
+            record = next(
+                r
+                for r in self.ledger.for_object(gt_id)
+                if r.error_type is ErrorType.MISSING_TRACK
+                and r.scene_id == self.scene.scene_id
+            )
+            return AuditDecision(True, matched=record, reason="vendor missed object")
+        return AuditDecision(False, reason=f"object {gt_id} was labeled by the vendor")
+
+    def audit_missing_observation(self, bundle: ObservationBundle) -> AuditDecision:
+        """Is this (model-only) bundle a frame missing a human label?
+
+        Matches both error categories a human auditor would confirm: the
+        vendor labeled the object but skipped this frame
+        (``MISSING_OBSERVATION``), or the vendor missed the object
+        entirely (``MISSING_TRACK``) and its detections ended up bundled
+        into a neighboring labeled track.
+        """
+        gt_id = _majority_gt_object(bundle.observations)
+        if gt_id is None:
+            return AuditDecision(False, reason="bundle is a model ghost")
+        for record in self.ledger.for_object(gt_id):
+            if record.scene_id != self.scene.scene_id:
+                continue
+            if (
+                record.error_type is ErrorType.MISSING_OBSERVATION
+                and bundle.frame in record.frames
+            ):
+                return AuditDecision(True, matched=record, reason="vendor skipped frame")
+            if (
+                record.error_type is ErrorType.MISSING_TRACK
+                and bundle.frame in record.frames
+            ):
+                return AuditDecision(
+                    True, matched=record, reason="object entirely missed by vendor"
+                )
+        return AuditDecision(False, reason="frame was labeled")
+
+    def audit_model_error(self, track: Track) -> AuditDecision:
+        """Does this model track contain a real injected model error?
+
+        True when the track is a ghost (plurality of observations belong to
+        no object) or when any member observation was created by a model
+        error record (gross localization / classification).
+        """
+        gt_id = _majority_gt_object(track.observations)
+        if gt_id is None:
+            ghost_records = [
+                self._obs_error_index[o.obs_id]
+                for o in track.observations
+                if o.obs_id in self._obs_error_index
+            ]
+            matched = ghost_records[0] if ghost_records else None
+            return AuditDecision(True, matched=matched, reason="ghost track")
+        for obs in track.observations:
+            record = self._obs_error_index.get(obs.obs_id)
+            if record is not None and record.error_type.is_model_error:
+                return AuditDecision(True, matched=record, reason=record.error_type.value)
+        return AuditDecision(False, reason="track matches a real object cleanly")
+
+    def audit_label_error_observation(self, obs: Observation) -> AuditDecision:
+        """Was this human observation created by a label error (class flip)?"""
+        record = self._obs_error_index.get(obs.obs_id)
+        if record is not None and record.error_type.is_label_error:
+            return AuditDecision(True, matched=record, reason=record.error_type.value)
+        return AuditDecision(False, reason="observation not produced by a label error")

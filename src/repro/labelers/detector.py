@@ -1,0 +1,389 @@
+"""Simulated LIDAR 3D object detector.
+
+Stand-in for the PointPillars/CBGS detectors the paper runs over LIDAR
+point clouds [16, 33]. The simulator converts ground-truth scenes into
+per-frame box predictions with a confidence score, reproducing the
+detector error taxonomy the paper's assertions and experiments target:
+
+- **per-frame misses** whose probability grows with range and occlusion;
+- **flicker**: short dropouts inside otherwise-solid tracks (the ad-hoc
+  ``flicker`` assertion's target);
+- **localization noise** on every box, plus occasional **gross
+  localization errors** on a run of frames (§8.4 "localization errors");
+- **classification errors** on a run of frames (§8.4 "classification
+  errors");
+- **ghost tracks**: hallucinated objects, in two flavors — *incoherent*
+  (boxes wobble wildly, Figure 5) and *coherent* (boxes overlap smoothly
+  across frames but with implausible volume/velocity profiles, Figure 9,
+  which defeat the ad-hoc assertions).
+
+Crucially for §8.4, gross errors do **not** necessarily come with low
+confidence: a configurable fraction of error boxes get confidence ≥ 0.9,
+which is what uncertainty sampling cannot surface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import SOURCE_MODEL, Observation
+from repro.datagen.objects import CLASS_PRIORS, ObjectClass
+from repro.datagen.sensor import VisibilityModel
+from repro.datagen.world import WorldObject, WorldScene
+from repro.geometry import Box3D, Pose2D
+from repro.geometry.box import wrap_angle
+from repro.labelers.errors import ErrorLedger, ErrorRecord, ErrorType
+
+__all__ = ["DetectorConfig", "DetectorModel", "PUBLIC_DETECTOR", "INTERNAL_DETECTOR"]
+
+_WRONG_CLASS = {
+    ObjectClass.CAR.value: ObjectClass.TRUCK.value,
+    ObjectClass.TRUCK.value: ObjectClass.CAR.value,
+    ObjectClass.PEDESTRIAN.value: ObjectClass.MOTORCYCLE.value,
+    ObjectClass.MOTORCYCLE.value: ObjectClass.PEDESTRIAN.value,
+}
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Detector behaviour parameters.
+
+    Attributes:
+        detect_prob_near: Detection probability per visible frame at zero
+            range.
+        detect_prob_decay: Linear decay of detection probability per meter.
+        flicker_rate: Probability (per detected object) of a 1–2 frame
+            dropout inside the track.
+        pos_sigma, dim_sigma, yaw_sigma: Everyday localization noise.
+        gross_loc_rate: Probability (per detected object) of a gross
+            localization corruption over a short run of frames.
+        gross_loc_offset: Magnitude (m) of the gross corruption.
+        class_error_rate: Probability (per detected object) of emitting a
+            wrong class over a short run of frames.
+        ghost_tracks_per_scene: Poisson mean of hallucinated tracks.
+        ghost_coherent_fraction: Fraction of ghosts that are *coherent*
+            (Figure 9 style) rather than incoherent wobble (Figure 5).
+        conf_base: Confidence at zero range for a clean detection.
+        conf_range_slope: Confidence drop per meter of range.
+        conf_noise: Gaussian noise on confidences.
+        error_high_conf_rate: Fraction of gross-localization and
+            class-error boxes emitted with *high* confidence (≥0.9) —
+            confidently-wrong predictions that defeat uncertainty
+            sampling (§8.4).
+        ghost_high_conf_rate: Fraction of ghost boxes emitted with high
+            confidence (rarer: spurious detections usually score lower).
+        ghost_conf_mean: Mean confidence for ordinary ghost boxes.
+    """
+
+    detect_prob_near: float = 0.98
+    detect_prob_decay: float = 0.004
+    flicker_rate: float = 0.06
+    pos_sigma: float = 0.10
+    dim_sigma: float = 0.035
+    yaw_sigma: float = 0.02
+    gross_loc_rate: float = 0.02
+    gross_loc_offset: float = 1.5
+    class_error_rate: float = 0.02
+    ghost_tracks_per_scene: float = 1.2
+    ghost_coherent_fraction: float = 0.45
+    conf_base: float = 0.93
+    conf_range_slope: float = 0.0035
+    conf_noise: float = 0.05
+    error_high_conf_rate: float = 0.50
+    ghost_high_conf_rate: float = 0.10
+    ghost_conf_mean: float = 0.72
+
+
+PUBLIC_DETECTOR = DetectorConfig(
+    detect_prob_near=0.985,
+    detect_prob_decay=0.0035,
+    flicker_rate=0.10,
+    pos_sigma=0.16,
+    dim_sigma=0.06,
+    yaw_sigma=0.035,
+    gross_loc_rate=0.10,
+    class_error_rate=0.10,
+    ghost_tracks_per_scene=8.0,
+    ghost_coherent_fraction=0.55,
+    conf_base=0.88,
+    conf_noise=0.08,
+)
+"""Detector trained on noisy public data (the paper's Lyft-trained model,
+which it notes is less calibrated than the internal one)."""
+
+INTERNAL_DETECTOR = DetectorConfig(
+    detect_prob_near=0.985,
+    detect_prob_decay=0.0035,
+    flicker_rate=0.05,
+    pos_sigma=0.08,
+    dim_sigma=0.03,
+    yaw_sigma=0.015,
+    gross_loc_rate=0.015,
+    class_error_rate=0.015,
+    ghost_tracks_per_scene=2.0,
+    conf_base=0.94,
+    conf_noise=0.04,
+)
+"""Detector trained on audited internal data (better calibrated, §8.2)."""
+
+
+class DetectorModel:
+    """Simulates a 3D LIDAR detector over ground-truth scenes."""
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        visibility: VisibilityModel | None = None,
+    ):
+        self.config = config or DetectorConfig()
+        self.visibility = visibility or VisibilityModel()
+
+    # ------------------------------------------------------------------
+    def predict_scene(
+        self, scene: WorldScene, seed: int, ledger: ErrorLedger | None = None
+    ) -> tuple[list[Observation], ErrorLedger]:
+        """Run the simulated detector over one scene.
+
+        Returns model observations plus the ledger of injected model
+        errors (ghosts, gross localization, classification).
+        """
+        rng = np.random.default_rng(seed)
+        ledger = ledger if ledger is not None else ErrorLedger()
+        table = self.visibility.visibility_table(scene)
+        observations: list[Observation] = []
+
+        for obj in scene.objects:
+            visible = [f for f in obj.present_frames if table[(obj.object_id, f)]]
+            if not visible:
+                continue
+            observations.extend(
+                self._predict_object(scene, obj, visible, rng, ledger)
+            )
+
+        n_ghosts = int(rng.poisson(self.config.ghost_tracks_per_scene))
+        for _ in range(n_ghosts):
+            observations.extend(self._ghost_track(scene, rng, ledger))
+
+        return observations, ledger
+
+    # ------------------------------------------------------------------
+    # Real-object predictions
+    # ------------------------------------------------------------------
+    def _detect_prob(self, distance: float) -> float:
+        return max(0.05, self.config.detect_prob_near - self.config.detect_prob_decay * distance)
+
+    def _confidence(
+        self, rng: np.random.Generator, distance: float, *, error: bool
+    ) -> float:
+        cfg = self.config
+        if error and rng.random() < cfg.error_high_conf_rate:
+            # Confidently wrong: the §8.4 errors uncertainty sampling misses.
+            return float(np.clip(rng.normal(0.95, 0.02), 0.9, 0.99))
+        base = cfg.conf_base - cfg.conf_range_slope * distance
+        if error:
+            base -= 0.05
+        return float(np.clip(rng.normal(base, cfg.conf_noise), 0.05, 0.99))
+
+    def _predict_object(
+        self,
+        scene: WorldScene,
+        obj: WorldObject,
+        visible: list[int],
+        rng: np.random.Generator,
+        ledger: ErrorLedger,
+    ) -> list[Observation]:
+        cfg = self.config
+
+        # Per-frame detection, range-dependent.
+        detected = []
+        for frame in visible:
+            dist = scene.ego_poses[frame].distance_to(obj.poses[frame])
+            if rng.random() < self._detect_prob(dist):
+                detected.append(frame)
+        if len(detected) < 1:
+            return []
+
+        # Flicker: drop a short interior run.
+        if len(detected) >= 4 and rng.random() < cfg.flicker_rate:
+            run_len = int(rng.integers(1, 3))
+            start_idx = int(rng.integers(1, len(detected) - run_len))
+            dropped = set(detected[start_idx : start_idx + run_len])
+            detected = [f for f in detected if f not in dropped]
+
+        # Choose error windows (if any).
+        gross_frames: set[int] = set()
+        if len(detected) >= 3 and rng.random() < cfg.gross_loc_rate:
+            run_len = int(rng.integers(2, min(5, len(detected)) + 1))
+            start_idx = int(rng.integers(0, len(detected) - run_len + 1))
+            gross_frames = set(detected[start_idx : start_idx + run_len])
+
+        class_frames: set[int] = set()
+        if len(detected) >= 3 and rng.random() < cfg.class_error_rate:
+            run_len = int(rng.integers(2, min(6, len(detected)) + 1))
+            start_idx = int(rng.integers(0, len(detected) - run_len + 1))
+            class_frames = set(detected[start_idx : start_idx + run_len])
+
+        gross_dir = rng.uniform(-math.pi, math.pi)
+        out: list[Observation] = []
+        gross_obs: list[Observation] = []
+        class_obs: list[Observation] = []
+        for frame in detected:
+            box = obj.box_at(frame)
+            assert box is not None
+            dist = scene.ego_poses[frame].distance_to(obj.poses[frame])
+            noisy = box.jittered(
+                rng, pos_sigma=cfg.pos_sigma, dim_sigma=cfg.dim_sigma, yaw_sigma=cfg.yaw_sigma
+            )
+            is_gross = frame in gross_frames
+            is_class_err = frame in class_frames
+            if is_gross:
+                # Offset the box and inflate/deflate it: a box that still
+                # roughly tracks the object (often still overlapping) but
+                # is badly localized.
+                noisy = noisy.translated(
+                    cfg.gross_loc_offset * math.cos(gross_dir),
+                    cfg.gross_loc_offset * math.sin(gross_dir),
+                ).scaled(float(rng.uniform(0.55, 1.7)))
+            emitted_class = obj.object_class.value
+            if is_class_err:
+                emitted_class = _WRONG_CLASS[emitted_class]
+            obs = Observation(
+                frame=frame,
+                box=noisy,
+                object_class=emitted_class,
+                source=SOURCE_MODEL,
+                confidence=self._confidence(rng, dist, error=is_gross or is_class_err),
+                metadata={"gt_object_id": obj.object_id},
+            )
+            out.append(obs)
+            if is_gross:
+                gross_obs.append(obs)
+            if is_class_err:
+                class_obs.append(obs)
+
+        if gross_obs:
+            ledger.record(
+                ErrorRecord(
+                    error_type=ErrorType.MODEL_LOCALIZATION_ERROR,
+                    scene_id=scene.scene_id,
+                    source=SOURCE_MODEL,
+                    gt_object_id=obj.object_id,
+                    frames=tuple(o.frame for o in gross_obs),
+                    obs_ids=tuple(o.obs_id for o in gross_obs),
+                    object_class=obj.object_class.value,
+                    details={"offset_m": cfg.gross_loc_offset},
+                )
+            )
+        if class_obs:
+            ledger.record(
+                ErrorRecord(
+                    error_type=ErrorType.MODEL_CLASS_ERROR,
+                    scene_id=scene.scene_id,
+                    source=SOURCE_MODEL,
+                    gt_object_id=obj.object_id,
+                    frames=tuple(o.frame for o in class_obs),
+                    obs_ids=tuple(o.obs_id for o in class_obs),
+                    object_class=obj.object_class.value,
+                    details={"emitted_as": class_obs[0].object_class},
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Ghost tracks
+    # ------------------------------------------------------------------
+    def _ghost_track(
+        self, scene: WorldScene, rng: np.random.Generator, ledger: ErrorLedger
+    ) -> list[Observation]:
+        cfg = self.config
+        coherent = rng.random() < cfg.ghost_coherent_fraction
+        n_frames = int(rng.integers(3, 9))
+        start_frame = int(rng.integers(0, max(scene.n_frames - n_frames, 1)))
+        anchor = scene.ego_poses[min(start_frame, scene.n_frames - 1)]
+        radius = float(rng.uniform(6.0, 35.0))
+        bearing = float(rng.uniform(-math.pi, math.pi))
+        cx = anchor.x + radius * math.cos(bearing)
+        cy = anchor.y + radius * math.sin(bearing)
+        ghost_class = str(
+            rng.choice([c.value for c in (ObjectClass.CAR, ObjectClass.TRUCK)])
+        )
+        prior = CLASS_PRIORS[ObjectClass(ghost_class)]
+
+        # Incoherent ghosts usually also flicker (the classic spurious-
+        # detection signature the ad-hoc assertions were written for);
+        # coherent ghosts stay solid tracks the assertions cannot see.
+        dropped_frame = -1
+        if not coherent and n_frames >= 4 and rng.random() < 0.6:
+            dropped_frame = start_frame + int(rng.integers(1, n_frames - 1))
+
+        out: list[Observation] = []
+        length, width, height = prior.length_mean, prior.width_mean, prior.height_mean
+        yaw = float(rng.uniform(-math.pi, math.pi))
+        for i in range(n_frames):
+            frame = start_frame + i
+            if frame >= scene.n_frames:
+                break
+            if frame == dropped_frame:
+                continue
+            if coherent:
+                # Figure 9 style: boxes overlap frame to frame (small drift)
+                # but the size pumps up and down implausibly and the heading
+                # swings — consistent overlap, inconsistent object.
+                cx += float(rng.normal(0.0, 0.35))
+                cy += float(rng.normal(0.0, 0.35))
+                pump = float(np.exp(rng.normal(0.0, 0.28)))
+                box = Box3D(
+                    x=cx,
+                    y=cy,
+                    z=prior.z_center,
+                    length=max(length * pump, 0.5),
+                    width=max(width * pump, 0.4),
+                    height=max(height * float(np.exp(rng.normal(0.0, 0.2))), 0.4),
+                    yaw=wrap_angle(yaw + float(rng.normal(0.0, 0.5))),
+                )
+            else:
+                # Figure 5 style: boxes jump around with little overlap
+                # (but within tracker gating, so they still form a track
+                # of wildly inconsistent predictions, as in the figure).
+                box = Box3D(
+                    x=cx + float(rng.normal(0.0, 1.4)),
+                    y=cy + float(rng.normal(0.0, 1.4)),
+                    z=prior.z_center,
+                    length=max(length * float(np.exp(rng.normal(0.0, 0.4))), 0.5),
+                    width=max(width * float(np.exp(rng.normal(0.0, 0.4))), 0.4),
+                    height=max(height * float(np.exp(rng.normal(0.0, 0.3))), 0.4),
+                    yaw=float(rng.uniform(-math.pi, math.pi)),
+                )
+            dist = scene.ego_poses[frame].distance_to(Pose2D(box.x, box.y))
+            if rng.random() < cfg.ghost_high_conf_rate:
+                conf = float(np.clip(rng.normal(0.95, 0.02), 0.9, 0.99))
+            else:
+                conf = float(np.clip(rng.normal(cfg.ghost_conf_mean, 0.15), 0.05, 0.99))
+            out.append(
+                Observation(
+                    frame=frame,
+                    box=box,
+                    object_class=ghost_class,
+                    source=SOURCE_MODEL,
+                    confidence=conf,
+                    metadata={"gt_object_id": None, "ghost": True},
+                )
+            )
+
+        if out:
+            ledger.record(
+                ErrorRecord(
+                    error_type=ErrorType.GHOST_TRACK,
+                    scene_id=scene.scene_id,
+                    source=SOURCE_MODEL,
+                    gt_object_id=None,
+                    frames=tuple(o.frame for o in out),
+                    obs_ids=tuple(o.obs_id for o in out),
+                    object_class=ghost_class,
+                    details={"coherent": coherent},
+                )
+            )
+        return out

@@ -1,0 +1,194 @@
+"""Ground-truth ledger of injected labeling and model errors.
+
+The paper's evaluation relies on expert auditors manually checking whether
+each item Fixy flags is a real error. Our simulators *inject* every error
+deliberately, so we record each one in an :class:`ErrorLedger` at injection
+time. The evaluation harness then audits flagged items exactly — this is
+the substitution that makes automatic precision/recall possible (DESIGN.md
+§2).
+
+Error taxonomy (mapping to the paper):
+
+- ``MISSING_TRACK``: a vendor missed an object entirely (§8.2, Figures 1,
+  4, 8 — the most egregious error class).
+- ``MISSING_OBSERVATION``: a vendor labeled an object but skipped some
+  frames (§8.3, Figure 6).
+- ``CLASS_FLIP``: a vendor labeled a box with the wrong class.
+- ``GHOST_TRACK``: the detector hallucinated a track (Figures 5, 9).
+- ``MODEL_CLASS_ERROR`` / ``MODEL_LOCALIZATION_ERROR``: detector errors on
+  real objects (§8.4 searches for both "localization and classification
+  errors").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = ["ErrorType", "ErrorRecord", "ErrorLedger"]
+
+
+class ErrorType(str, enum.Enum):
+    """Categories of injected errors."""
+
+    MISSING_TRACK = "missing_track"
+    MISSING_OBSERVATION = "missing_observation"
+    CLASS_FLIP = "class_flip"
+    GHOST_TRACK = "ghost_track"
+    MODEL_CLASS_ERROR = "model_class_error"
+    MODEL_LOCALIZATION_ERROR = "model_localization_error"
+
+    @property
+    def is_label_error(self) -> bool:
+        """Errors made by the human labeling vendor."""
+        return self in (
+            ErrorType.MISSING_TRACK,
+            ErrorType.MISSING_OBSERVATION,
+            ErrorType.CLASS_FLIP,
+        )
+
+    @property
+    def is_model_error(self) -> bool:
+        """Errors made by the ML detector."""
+        return not self.is_label_error
+
+
+_error_counter = itertools.count()
+
+
+def _next_error_id() -> str:
+    return f"err-{next(_error_counter):08d}"
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One injected error.
+
+    Attributes:
+        error_type: Category of the error.
+        scene_id: Scene the error lives in.
+        source: Which observation source made the error (``"human"`` or
+            ``"model"``).
+        gt_object_id: The ground-truth object affected; ``None`` for ghost
+            tracks, which correspond to no real object.
+        frames: Frames affected (e.g. the dropped frames of a missing
+            observation, or all visible frames of a missing track).
+        obs_ids: Observation ids created *by* the error (ghost boxes,
+            flipped-class boxes); empty for pure omissions.
+        object_class: Ground-truth class of the affected object (or the
+            emitted class for ghosts).
+        details: Free-form extras (e.g. jitter magnitude).
+        error_id: Unique id, auto-assigned.
+    """
+
+    error_type: ErrorType
+    scene_id: str
+    source: str
+    gt_object_id: str | None
+    frames: tuple[int, ...]
+    obs_ids: tuple[str, ...] = ()
+    object_class: str = ""
+    details: dict = field(default_factory=dict, compare=False, hash=False)
+    error_id: str = field(default_factory=_next_error_id)
+
+    def to_dict(self) -> dict:
+        return {
+            "error_id": self.error_id,
+            "error_type": self.error_type.value,
+            "scene_id": self.scene_id,
+            "source": self.source,
+            "gt_object_id": self.gt_object_id,
+            "frames": list(self.frames),
+            "obs_ids": list(self.obs_ids),
+            "object_class": self.object_class,
+            "details": dict(self.details),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ErrorRecord":
+        return ErrorRecord(
+            error_id=data["error_id"],
+            error_type=ErrorType(data["error_type"]),
+            scene_id=data["scene_id"],
+            source=data["source"],
+            gt_object_id=data.get("gt_object_id"),
+            frames=tuple(data.get("frames", ())),
+            obs_ids=tuple(data.get("obs_ids", ())),
+            object_class=data.get("object_class", ""),
+            details=dict(data.get("details", {})),
+        )
+
+
+class ErrorLedger:
+    """Append-only collection of injected errors with query helpers."""
+
+    def __init__(self, records: Iterable[ErrorRecord] = ()):
+        self._records: list[ErrorRecord] = list(records)
+
+    def record(self, record: ErrorRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[ErrorRecord]) -> None:
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ErrorRecord]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def for_scene(self, scene_id: str) -> list[ErrorRecord]:
+        return [r for r in self._records if r.scene_id == scene_id]
+
+    def of_type(self, *error_types: ErrorType) -> list[ErrorRecord]:
+        wanted = set(error_types)
+        return [r for r in self._records if r.error_type in wanted]
+
+    def label_errors(self) -> list[ErrorRecord]:
+        return [r for r in self._records if r.error_type.is_label_error]
+
+    def model_errors(self) -> list[ErrorRecord]:
+        return [r for r in self._records if r.error_type.is_model_error]
+
+    def for_object(self, gt_object_id: str) -> list[ErrorRecord]:
+        return [r for r in self._records if r.gt_object_id == gt_object_id]
+
+    def obs_id_index(self) -> dict[str, ErrorRecord]:
+        """Map every error-created observation id to its record."""
+        index: dict[str, ErrorRecord] = {}
+        for record in self._records:
+            for obs_id in record.obs_ids:
+                index[obs_id] = record
+        return index
+
+    def missing_track_object_ids(self, scene_id: str | None = None) -> set[str]:
+        """Ground-truth ids of objects entirely missed by the vendor."""
+        out = set()
+        for record in self._records:
+            if record.error_type is not ErrorType.MISSING_TRACK:
+                continue
+            if scene_id is not None and record.scene_id != scene_id:
+                continue
+            if record.gt_object_id is not None:
+                out.add(record.gt_object_id)
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps([r.to_dict() for r in self._records]), encoding="utf-8"
+        )
+
+    @staticmethod
+    def load(path: str | Path) -> "ErrorLedger":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return ErrorLedger(ErrorRecord.from_dict(r) for r in data)

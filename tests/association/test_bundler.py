@@ -1,0 +1,103 @@
+"""Tests for frame bundlers."""
+
+import pytest
+
+from repro.association import CenterDistanceBundler, IoUBundler, TrackBundler
+from repro.core.model import SOURCE_HUMAN, SOURCE_MODEL, Observation
+from repro.geometry import Box3D
+
+
+def obs(x=0.0, y=0.0, frame=0, source=SOURCE_MODEL, cls="car"):
+    return Observation(
+        frame=frame,
+        box=Box3D(x=x, y=y, z=0.85, length=4.5, width=1.9, height=1.7),
+        object_class=cls,
+        source=source,
+        confidence=0.9 if source == SOURCE_MODEL else None,
+    )
+
+
+class TestIsAssociated:
+    def test_track_bundler_threshold(self):
+        bundler = TrackBundler()
+        a = Box3D(x=0, y=0, z=0.85, length=4.5, width=1.9, height=1.7)
+        assert bundler.is_associated(a, a)
+        far = a.translated(3.0, 0.0)
+        assert not bundler.is_associated(a, far)
+
+    def test_iou_bundler_validation(self):
+        with pytest.raises(ValueError):
+            IoUBundler(threshold=1.0)
+        with pytest.raises(ValueError):
+            IoUBundler(matcher="magic")
+
+    def test_center_distance_bundler(self):
+        bundler = CenterDistanceBundler(max_distance=2.0)
+        a = Box3D(x=0, y=0, z=0.85, length=4.5, width=1.9, height=1.7)
+        assert bundler.is_associated(a, a.translated(1.0, 0.0))
+        assert not bundler.is_associated(a, a.translated(3.0, 0.0))
+        with pytest.raises(ValueError):
+            CenterDistanceBundler(max_distance=0.0)
+
+
+class TestBundleFrame:
+    def test_empty(self):
+        assert TrackBundler().bundle_frame([]) == []
+
+    def test_mixed_frames_rejected(self):
+        with pytest.raises(ValueError):
+            TrackBundler().bundle_frame([obs(frame=0), obs(frame=1)])
+
+    def test_overlapping_cross_source_pair_bundles(self):
+        human = obs(source=SOURCE_HUMAN)
+        model = obs(x=0.2, source=SOURCE_MODEL)
+        bundles = TrackBundler().bundle_frame([human, model])
+        assert len(bundles) == 1
+        assert bundles[0].sources == {SOURCE_HUMAN, SOURCE_MODEL}
+
+    def test_same_source_never_bundled(self):
+        # Two identical model boxes stay separate bundles.
+        bundles = TrackBundler().bundle_frame([obs(), obs()])
+        assert len(bundles) == 2
+
+    def test_disjoint_boxes_stay_separate(self):
+        human = obs(x=0, source=SOURCE_HUMAN)
+        model = obs(x=50, source=SOURCE_MODEL)
+        bundles = TrackBundler().bundle_frame([human, model])
+        assert len(bundles) == 2
+        assert all(len(b) == 1 for b in bundles)
+
+    def test_one_to_one_between_sources(self):
+        # Two model boxes both overlap one human box; only the better match
+        # joins its bundle.
+        human = obs(x=0.0, source=SOURCE_HUMAN)
+        close = obs(x=0.1, source=SOURCE_MODEL)
+        farther = obs(x=0.8, source=SOURCE_MODEL)
+        bundles = TrackBundler().bundle_frame([human, close, farther])
+        assert len(bundles) == 2
+        paired = next(b for b in bundles if len(b) == 2)
+        assert close in list(paired)
+        assert farther not in list(paired)
+
+    def test_three_sources_merge_transitively(self):
+        human = obs(x=0.0, source=SOURCE_HUMAN)
+        model = obs(x=0.1, source=SOURCE_MODEL)
+        auditor = obs(x=0.05, source="auditor")
+        bundles = TrackBundler().bundle_frame([human, model, auditor])
+        assert len(bundles) == 1
+        assert len(bundles[0]) == 3
+
+    def test_all_observations_preserved(self):
+        observations = [
+            obs(x=float(i) * 10, source=SOURCE_MODEL) for i in range(3)
+        ] + [obs(x=float(i) * 10 + 0.1, source=SOURCE_HUMAN) for i in range(3)]
+        bundles = TrackBundler().bundle_frame(observations)
+        flat = [o for b in bundles for o in b]
+        assert sorted(o.obs_id for o in flat) == sorted(o.obs_id for o in observations)
+
+    def test_hungarian_matcher_works(self):
+        bundler = IoUBundler(threshold=0.1, matcher="hungarian")
+        human = obs(x=0.0, source=SOURCE_HUMAN)
+        model = obs(x=0.3, source=SOURCE_MODEL)
+        bundles = bundler.bundle_frame([human, model])
+        assert len(bundles) == 1

@@ -1,0 +1,115 @@
+"""Tests for matching algorithms and union-find."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.association import UnionFind, greedy_match, hungarian_match
+
+
+class TestGreedyMatch:
+    def test_empty(self):
+        assert greedy_match(np.zeros((0, 3))) == []
+        assert greedy_match(np.zeros((3, 0))) == []
+
+    def test_identity(self):
+        assert greedy_match(np.eye(3), threshold=0.5) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_threshold_filters(self):
+        mat = np.array([[0.9, 0.0], [0.0, 0.3]])
+        assert greedy_match(mat, threshold=0.5) == [(0, 0)]
+
+    def test_greedy_takes_largest_first(self):
+        # Greedy pairs (0,1)=0.9 first, forcing (1,0)=0.2.
+        mat = np.array([[0.8, 0.9], [0.2, 0.85]])
+        assert greedy_match(mat) == [(0, 1), (1, 0)]
+
+    def test_rectangular(self):
+        mat = np.array([[0.9, 0.1, 0.2]])
+        assert greedy_match(mat, threshold=0.05) == [(0, 0)]
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            greedy_match(np.array([[np.nan]]))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            greedy_match(np.zeros(3))
+
+
+class TestHungarianMatch:
+    def test_optimal_beats_greedy_total(self):
+        mat = np.array([[0.8, 0.9], [0.2, 0.85]])
+        # Optimal: (0,0)+(1,1) = 1.65 > greedy's 1.1.
+        assert hungarian_match(mat) == [(0, 0), (1, 1)]
+
+    def test_threshold_filters(self):
+        mat = np.array([[0.9, 0.0], [0.0, 0.3]])
+        assert hungarian_match(mat, threshold=0.5) == [(0, 0)]
+
+    def test_empty(self):
+        assert hungarian_match(np.zeros((0, 0))) == []
+
+
+affinities = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    elements=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(affinities)
+def test_matchings_are_one_to_one(mat):
+    for match in (greedy_match, hungarian_match):
+        pairs = match(mat, threshold=0.1)
+        rows = [i for i, _ in pairs]
+        cols = [j for _, j in pairs]
+        assert len(rows) == len(set(rows))
+        assert len(cols) == len(set(cols))
+        for i, j in pairs:
+            assert mat[i, j] > 0.1
+
+
+@settings(max_examples=80, deadline=None)
+@given(affinities)
+def test_hungarian_total_at_least_greedy(mat):
+    greedy_total = sum(mat[i, j] for i, j in greedy_match(mat, threshold=0.0))
+    optimal_total = sum(mat[i, j] for i, j in hungarian_match(mat, threshold=0.0))
+    # Hungarian maximizes total affinity over *maximum* matchings; with a
+    # threshold of 0 both only keep positive entries, so optimal >= greedy
+    # up to floating noise.
+    assert optimal_total >= greedy_total - 1e-9
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(4)
+        assert uf.groups() == [[0], [1], [2], [3]]
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.union(2, 3)
+        assert uf.groups() == [[0, 1], [2, 3]]
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+
+    def test_transitive(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+        assert uf.groups()[0] == [0, 1, 2]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_zero_elements(self):
+        assert UnionFind(0).groups() == []

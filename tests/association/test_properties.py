@@ -1,0 +1,82 @@
+"""Property-based tests of association invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.association import IoUBundler, TrackBuilder
+from repro.core.model import Observation
+from repro.geometry import Box3D
+
+
+@st.composite
+def observation_batches(draw):
+    """A batch of observations over a handful of frames/sources."""
+    n = draw(st.integers(min_value=0, max_value=25))
+    observations = []
+    for i in range(n):
+        frame = draw(st.integers(min_value=0, max_value=6))
+        source = draw(st.sampled_from(["human", "model"]))
+        observations.append(
+            Observation(
+                frame=frame,
+                box=Box3D(
+                    x=draw(st.floats(min_value=-40, max_value=40)),
+                    y=draw(st.floats(min_value=-40, max_value=40)),
+                    z=0.85,
+                    length=draw(st.floats(min_value=0.5, max_value=9)),
+                    width=draw(st.floats(min_value=0.4, max_value=3)),
+                    height=1.7,
+                    yaw=draw(st.floats(min_value=-3.1, max_value=3.1)),
+                ),
+                object_class=draw(st.sampled_from(["car", "truck"])),
+                source=source,
+                confidence=0.9 if source == "model" else None,
+            )
+        )
+    return observations
+
+
+@settings(max_examples=60, deadline=None)
+@given(observation_batches())
+def test_build_scene_partitions_observations(observations):
+    """Every observation lands in exactly one track — no loss, no dupes."""
+    scene = TrackBuilder().build_scene("prop", 0.2, observations)
+    seen = [o.obs_id for t in scene.tracks for o in t.observations]
+    assert sorted(seen) == sorted(o.obs_id for o in observations)
+
+
+@settings(max_examples=60, deadline=None)
+@given(observation_batches())
+def test_tracks_have_sorted_unique_frames(observations):
+    scene = TrackBuilder().build_scene("prop", 0.2, observations)
+    for track in scene.tracks:
+        frames = track.frames
+        assert frames == sorted(frames)
+        assert len(frames) == len(set(frames))
+
+
+@settings(max_examples=60, deadline=None)
+@given(observation_batches())
+def test_bundles_never_mix_same_source(observations):
+    """A bundle holds at most one observation per source."""
+    scene = TrackBuilder().build_scene("prop", 0.2, observations)
+    for bundle in scene.bundles:
+        sources = [o.source for o in bundle.observations]
+        assert len(sources) == len(set(sources))
+
+
+@settings(max_examples=60, deadline=None)
+@given(observation_batches())
+def test_bundle_frame_grouping(observations):
+    """bundle_frame output is a partition of its one-frame input."""
+    by_frame = {}
+    for obs in observations:
+        by_frame.setdefault(obs.frame, []).append(obs)
+    bundler = IoUBundler(threshold=0.3)
+    for frame, group in by_frame.items():
+        bundles = bundler.bundle_frame(group)
+        flat = [o.obs_id for b in bundles for o in b.observations]
+        assert sorted(flat) == sorted(o.obs_id for o in group)
+        assert all(b.frame == frame for b in bundles)

@@ -1,0 +1,163 @@
+"""Tests for cross-frame track building."""
+
+import pytest
+
+from repro.association import TemporalAffinity, TrackBuilder
+from repro.core.model import SOURCE_HUMAN, SOURCE_MODEL, Observation
+from repro.datagen import SceneGenerator
+from repro.geometry import Box3D
+from repro.labelers import DetectorModel, HumanLabeler
+
+
+def obs(x=0.0, y=0.0, frame=0, source=SOURCE_MODEL, cls="car", conf=0.9):
+    return Observation(
+        frame=frame,
+        box=Box3D(x=x, y=y, z=0.85, length=4.5, width=1.9, height=1.7),
+        object_class=cls,
+        source=source,
+        confidence=conf if source == SOURCE_MODEL else None,
+    )
+
+
+class TestTemporalAffinity:
+    def test_overlap_scores_above_one(self):
+        aff = TemporalAffinity()
+        a = Box3D(x=0, y=0, z=0.85, length=4.5, width=1.9, height=1.7)
+        assert aff.score(a, a) > 1.0
+
+    def test_distance_fallback(self):
+        aff = TemporalAffinity(max_center_jump=4.0)
+        a = Box3D(x=0, y=0, z=0.85, length=2.0, width=1.0, height=1.0)
+        b = a.translated(3.0, 0.0)  # no overlap, within jump
+        score = aff.score(a, b)
+        assert 0.0 < score < 1.0
+
+    def test_too_far_scores_zero(self):
+        aff = TemporalAffinity(max_center_jump=4.0)
+        a = Box3D(x=0, y=0, z=0.85, length=2.0, width=1.0, height=1.0)
+        assert aff.score(a, a.translated(10.0, 0.0)) == 0.0
+
+    def test_overlap_beats_distance(self):
+        aff = TemporalAffinity()
+        a = Box3D(x=0, y=0, z=0.85, length=4.5, width=1.9, height=1.7)
+        overlapping = a.translated(1.0, 0.0)
+        nearby = a.translated(3.5, 0.0)
+        assert aff.score(a, overlapping) > aff.score(a, nearby)
+
+
+class TestTrackBuilderBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrackBuilder(max_gap=-1)
+        with pytest.raises(ValueError):
+            TrackBuilder(matcher="quantum")
+
+    def test_single_object_single_track(self):
+        observations = [obs(x=i * 0.5, frame=i) for i in range(5)]
+        scene = TrackBuilder().build_scene("s", 0.2, observations)
+        assert len(scene) == 1
+        assert scene.tracks[0].frames == [0, 1, 2, 3, 4]
+
+    def test_two_far_objects_two_tracks(self):
+        observations = [obs(x=i * 0.5, frame=i) for i in range(5)]
+        observations += [obs(x=100 + i * 0.5, frame=i) for i in range(5)]
+        scene = TrackBuilder().build_scene("s", 0.2, observations)
+        assert len(scene) == 2
+        assert all(len(t) == 5 for t in scene)
+
+    def test_gap_bridging(self):
+        # Missing frame 2; max_gap=2 should bridge it.
+        frames = [0, 1, 3, 4]
+        observations = [obs(x=f * 0.5, frame=f) for f in frames]
+        scene = TrackBuilder(max_gap=2).build_scene("s", 0.2, observations)
+        assert len(scene) == 1
+        assert scene.tracks[0].frames == frames
+
+    def test_gap_exceeded_splits_track(self):
+        frames = [0, 1, 8, 9]
+        observations = [obs(x=f * 0.5, frame=f) for f in frames]
+        scene = TrackBuilder(max_gap=2).build_scene("s", 0.2, observations)
+        assert len(scene) == 2
+
+    def test_cross_source_bundling_within_track(self):
+        observations = []
+        for f in range(4):
+            observations.append(obs(x=f * 0.5, frame=f, source=SOURCE_HUMAN))
+            observations.append(obs(x=f * 0.5 + 0.1, frame=f, source=SOURCE_MODEL))
+        scene = TrackBuilder().build_scene("s", 0.2, observations)
+        assert len(scene) == 1
+        track = scene.tracks[0]
+        assert all(len(b) == 2 for b in track)
+        assert track.has_human and track.has_model
+
+    def test_empty_observations(self):
+        scene = TrackBuilder().build_scene("s", 0.2, [])
+        assert len(scene) == 0
+
+    def test_scene_metadata_passthrough(self):
+        scene = TrackBuilder().build_scene("s", 0.2, [], metadata={"k": 1})
+        assert scene.metadata == {"k": 1}
+        assert scene.dt == 0.2
+
+    def test_track_ids_unique(self):
+        observations = [obs(x=i * 100.0, frame=0) for i in range(5)]
+        scene = TrackBuilder().build_scene("s", 0.2, observations)
+        ids = [t.track_id for t in scene]
+        assert len(set(ids)) == len(ids)
+
+
+class TestTrackBuilderOnSimulatedData:
+    @pytest.fixture(scope="class")
+    def built(self):
+        world = SceneGenerator().generate("trk", seed=33)
+        human_obs, _ = HumanLabeler().label_scene(world, seed=1)
+        model_obs, _ = DetectorModel().predict_scene(world, seed=2)
+        scene = TrackBuilder().build_scene(
+            world.scene_id, world.dt, human_obs + model_obs
+        )
+        return world, scene
+
+    def test_every_observation_lands_in_exactly_one_track(self, built):
+        world, scene = built
+        all_ids = [o.obs_id for t in scene for o in t.observations]
+        assert len(all_ids) == len(set(all_ids))
+
+    def test_tracks_are_mostly_pure(self, built):
+        """Most multi-observation tracks should contain a single ground-truth
+        object (association quality check)."""
+        world, scene = built
+        pure = total = 0
+        for track in scene:
+            if track.n_observations < 4:
+                continue
+            gt_ids = [
+                o.metadata.get("gt_object_id")
+                for o in track.observations
+                if o.metadata.get("gt_object_id")
+            ]
+            if not gt_ids:
+                continue
+            total += 1
+            if len(set(gt_ids)) == 1:
+                pure += 1
+        assert total > 0
+        assert pure / total > 0.9
+
+    def test_objects_not_fragmented(self, built):
+        """A long-lived labeled object should map to few tracks."""
+        world, scene = built
+        from collections import Counter
+
+        by_gt = Counter()
+        for track in scene:
+            gt_ids = {
+                o.metadata.get("gt_object_id")
+                for o in track.observations
+                if o.metadata.get("gt_object_id")
+            }
+            for gt in gt_ids:
+                by_gt[gt] += 1
+        # Objects seen by both sources over many frames should form 1-3
+        # tracks, not dozens.
+        fragmented = [gt for gt, n in by_gt.items() if n > 4]
+        assert len(fragmented) <= max(1, len(by_gt) // 5)

@@ -1,0 +1,145 @@
+"""Tests for the ad-hoc model assertion baselines."""
+
+import pytest
+
+from repro.baselines import (
+    AppearAssertion,
+    ConsistencyAssertion,
+    FlickerAssertion,
+    MultiboxAssertion,
+    run_assertions,
+)
+from repro.core import Scene
+from repro.core.model import Observation, ObservationBundle, Track
+from repro.geometry import Box3D, Pose2D
+
+
+def obs(frame, x=0.0, source="model", cls="car", conf=0.9, l=4.5, w=1.9, h=1.7):
+    return Observation(
+        frame=frame,
+        box=Box3D(x=x, y=0, z=0.85, length=l, width=w, height=h),
+        object_class=cls,
+        source=source,
+        confidence=conf if source == "model" else None,
+    )
+
+
+def track_of(track_id, observations):
+    bundles = {}
+    for o in observations:
+        bundles.setdefault(o.frame, ObservationBundle(frame=o.frame)).add(o)
+    return Track(track_id=track_id, bundles=list(bundles.values()))
+
+
+def scene_of(*tracks):
+    return Scene(scene_id="s", dt=0.2, tracks=list(tracks))
+
+
+class TestConsistencyAssertion:
+    def test_flags_model_only_tracks(self):
+        clean = track_of("clean", [obs(f, x=0.4 * f) for f in range(5)])
+        labeled = track_of(
+            "labeled",
+            [obs(f) for f in range(5)] + [obs(f, source="human") for f in range(5)],
+        )
+        flags = ConsistencyAssertion().check_scene(scene_of(clean, labeled))
+        assert [f.track_id for f in flags] == ["clean"]
+
+    def test_severity_increases_with_inconsistency(self):
+        steady = track_of("steady", [obs(f, x=0.4 * f) for f in range(6)])
+        flipping = track_of(
+            "flipping",
+            [obs(f, x=0.4 * f, cls="car" if f % 2 else "truck") for f in range(6)],
+        )
+        gappy = track_of("gappy", [obs(f, x=0.4 * f) for f in (0, 1, 4, 5)])
+        flags = {
+            f.track_id: f.severity
+            for f in ConsistencyAssertion().check_scene(
+                scene_of(steady, flipping, gappy)
+            )
+        }
+        assert flags["flipping"] > flags["steady"]
+        assert flags["gappy"] > flags["steady"]
+
+    def test_volume_jump_severity(self):
+        pumping = track_of(
+            "pumping", [obs(f, x=0.2 * f, l=4.5 * (2.0 if f % 2 else 1.0)) for f in range(6)]
+        )
+        steady = track_of("steady", [obs(f, x=0.2 * f) for f in range(6)])
+        flags = {
+            f.track_id: f.severity
+            for f in ConsistencyAssertion().check_scene(scene_of(pumping, steady))
+        }
+        assert flags["pumping"] > flags["steady"]
+
+    def test_single_obs_tracks_skipped(self):
+        lone = track_of("lone", [obs(0)])
+        assert ConsistencyAssertion().check_scene(scene_of(lone)) == []
+
+
+class TestAppearAssertion:
+    def test_flags_short_tracks(self):
+        short = track_of("short", [obs(0), obs(1)])
+        long = track_of("long", [obs(f) for f in range(6)])
+        flags = AppearAssertion(min_frames=3).check_scene(scene_of(short, long))
+        assert [f.track_id for f in flags] == ["short"]
+
+    def test_severity_shorter_is_worse(self):
+        one = track_of("one", [obs(0)])
+        two = track_of("two", [obs(0), obs(1)])
+        flags = {
+            f.track_id: f.severity
+            for f in AppearAssertion(min_frames=3).check_scene(scene_of(one, two))
+        }
+        assert flags["one"] > flags["two"]
+
+    def test_human_tracks_skipped(self):
+        human_short = track_of("hs", [obs(0, source="human")])
+        assert AppearAssertion().check_scene(scene_of(human_short)) == []
+
+
+class TestFlickerAssertion:
+    def test_flags_gappy_tracks(self):
+        gappy = track_of("gappy", [obs(f) for f in (0, 1, 3, 4, 6)])
+        solid = track_of("solid", [obs(f) for f in range(5)])
+        flags = FlickerAssertion().check_scene(scene_of(gappy, solid))
+        assert [f.track_id for f in flags] == ["gappy"]
+        assert flags[0].metadata["gaps"] == 2
+
+
+class TestMultiboxAssertion:
+    def test_flags_triple_overlap(self):
+        a = track_of("a", [obs(0, x=0.0)])
+        b = track_of("b", [obs(0, x=0.3)])
+        c = track_of("c", [obs(0, x=0.6)])
+        flags = MultiboxAssertion().check_scene(scene_of(a, b, c))
+        assert len(flags) == 1
+        assert flags[0].metadata["frame"] == 0
+        assert set(flags[0].track_id.split("+")) == {"a", "b", "c"}
+
+    def test_two_boxes_not_flagged(self):
+        a = track_of("a", [obs(0, x=0.0)])
+        b = track_of("b", [obs(0, x=0.3)])
+        assert MultiboxAssertion().check_scene(scene_of(a, b)) == []
+
+    def test_disjoint_boxes_not_flagged(self):
+        tracks = [track_of(f"t{i}", [obs(0, x=20.0 * i)]) for i in range(4)]
+        assert MultiboxAssertion().check_scene(scene_of(*tracks)) == []
+
+
+class TestRunAssertions:
+    def test_concatenates_across_assertions_and_scenes(self):
+        short = track_of("short", [obs(0)])
+        gappy = track_of("gappy", [obs(f) for f in (0, 2, 4)])
+        scene_a = scene_of(short)
+        scene_b = scene_of(gappy)
+        flags = run_assertions(
+            [AppearAssertion(min_frames=2), FlickerAssertion()], [scene_a, scene_b]
+        )
+        assertions = {f.assertion for f in flags}
+        assert assertions == {"appear", "flicker"}
+
+    def test_accepts_single_scene(self):
+        short = track_of("short", [obs(0)])
+        flags = run_assertions([AppearAssertion(min_frames=2)], scene_of(short))
+        assert len(flags) == 1

@@ -1,0 +1,113 @@
+"""Tests for flag orderings and uncertainty sampling."""
+
+import pytest
+
+from repro.baselines import (
+    FlaggedItem,
+    item_confidence,
+    order_by_confidence,
+    order_by_severity,
+    order_randomly,
+    uncertainty_sample_observations,
+    uncertainty_sample_tracks,
+)
+from repro.core import Scene
+from repro.core.model import Observation, ObservationBundle, Track
+from repro.geometry import Box3D
+
+
+def obs(frame, conf=0.9, source="model"):
+    return Observation(
+        frame=frame,
+        box=Box3D(x=0, y=0, z=0.85, length=4.5, width=1.9, height=1.7),
+        object_class="car",
+        source=source,
+        confidence=conf if source == "model" else None,
+    )
+
+
+def track_of(track_id, observations):
+    bundles = {}
+    for o in observations:
+        bundles.setdefault(o.frame, ObservationBundle(frame=o.frame)).add(o)
+    return Track(track_id=track_id, bundles=list(bundles.values()))
+
+
+def flag(track_id, confs, severity=1.0):
+    track = track_of(track_id, [obs(f, conf=c) for f, c in enumerate(confs)])
+    return FlaggedItem(
+        item=track, severity=severity, assertion="test",
+        scene_id="s", track_id=track_id,
+    )
+
+
+class TestItemConfidence:
+    def test_mean_of_track(self):
+        assert item_confidence(flag("t", [0.8, 0.6])) == pytest.approx(0.7)
+
+    def test_no_confidence_is_zero(self):
+        human = track_of("h", [obs(0, source="human")])
+        f = FlaggedItem(item=human, severity=1.0, assertion="a",
+                        scene_id="s", track_id="h")
+        assert item_confidence(f) == 0.0
+
+    def test_list_item(self):
+        f = FlaggedItem(item=[obs(0, conf=0.5), obs(1, conf=0.7)],
+                        severity=1.0, assertion="a", scene_id="s", track_id="g")
+        assert item_confidence(f) == pytest.approx(0.6)
+
+
+class TestOrderings:
+    def test_random_is_deterministic_per_seed(self):
+        flags = [flag(f"t{i}", [0.5]) for i in range(10)]
+        a = order_randomly(flags, seed=3)
+        b = order_randomly(flags, seed=3)
+        c = order_randomly(flags, seed=4)
+        assert [f.track_id for f in a] == [f.track_id for f in b]
+        assert [f.track_id for f in a] != [f.track_id for f in c]
+
+    def test_random_is_permutation(self):
+        flags = [flag(f"t{i}", [0.5]) for i in range(10)]
+        shuffled = order_randomly(flags, seed=0)
+        assert sorted(f.track_id for f in shuffled) == sorted(
+            f.track_id for f in flags
+        )
+
+    def test_confidence_order(self):
+        flags = [flag("low", [0.3]), flag("high", [0.9]), flag("mid", [0.6])]
+        ordered = order_by_confidence(flags)
+        assert [f.track_id for f in ordered] == ["high", "mid", "low"]
+
+    def test_severity_order(self):
+        flags = [flag("a", [0.5], severity=1.0), flag("b", [0.5], severity=5.0)]
+        assert [f.track_id for f in order_by_severity(flags)] == ["b", "a"]
+
+
+class TestUncertaintySampling:
+    def scene(self):
+        certain = track_of("certain", [obs(f, conf=0.95) for f in range(3)])
+        uncertain = track_of("uncertain", [obs(f, conf=0.52) for f in range(3)])
+        confident_low = track_of("low", [obs(f, conf=0.1) for f in range(3)])
+        return Scene(scene_id="s", dt=0.2,
+                     tracks=[certain, uncertain, confident_low])
+
+    def test_observations_ordered_by_threshold_distance(self):
+        sampled = uncertainty_sample_observations(self.scene(), threshold=0.5)
+        assert sampled[0].track_id == "uncertain"
+        assert sampled[0].uncertainty > sampled[-1].uncertainty
+
+    def test_tracks_ordered(self):
+        sampled = uncertainty_sample_tracks(self.scene(), threshold=0.5)
+        assert sampled[0].track_id == "uncertain"
+
+    def test_human_tracks_excluded(self):
+        human = track_of("h", [obs(0, source="human")])
+        scene = Scene(scene_id="s", dt=0.2, tracks=[human])
+        assert uncertainty_sample_tracks(scene) == []
+        assert uncertainty_sample_observations(scene) == []
+
+    def test_high_confidence_errors_missed(self):
+        """The §8.4 structural point: a 0.95-confidence item ranks at the
+        bottom of uncertainty sampling."""
+        sampled = uncertainty_sample_tracks(self.scene(), threshold=0.5)
+        assert sampled[-1].track_id == "certain"

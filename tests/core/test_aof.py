@@ -1,0 +1,85 @@
+"""Tests for application objective functions."""
+
+import pytest
+
+from repro.core import (
+    AOF,
+    ComposeAOF,
+    IdentityAOF,
+    InvertAOF,
+    KeepIfAOF,
+    ZeroIfAOF,
+)
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        aof = IdentityAOF()
+        assert aof(0.37) == 0.37
+        assert aof(0.0, item="anything") == 0.0
+
+    def test_base_class_is_identity(self):
+        assert AOF()(0.5) == 0.5
+
+
+class TestInvert:
+    def test_inverts(self):
+        aof = InvertAOF()
+        assert aof(0.2) == pytest.approx(0.8)
+        assert aof(1.0) == pytest.approx(aof.eps)
+
+    def test_clamps_out_of_range(self):
+        aof = InvertAOF()
+        assert aof(1.7) == pytest.approx(aof.eps)
+        assert aof(-0.5) == pytest.approx(1.0)
+
+    def test_floor_preserves_ordering(self):
+        aof = InvertAOF()
+        assert aof(0.99) > aof(1.0)
+        assert aof(0.1) > aof(0.9)
+
+    def test_eps_validated(self):
+        with pytest.raises(ValueError):
+            InvertAOF(eps=0.0)
+        with pytest.raises(ValueError):
+            InvertAOF(eps=1.0)
+
+
+class TestZeroIf:
+    def test_zeroes_on_predicate(self):
+        aof = ZeroIfAOF(lambda item: item == "bad")
+        assert aof(0.9, "bad") == 0.0
+        assert aof(0.9, "good") == 0.9
+
+    def test_none_item_passes_through(self):
+        aof = ZeroIfAOF(lambda item: True)
+        assert aof(0.9, None) == 0.9
+
+    def test_label(self):
+        assert "has_human" in repr(ZeroIfAOF(lambda t: True, label="has_human"))
+
+
+class TestKeepIf:
+    def test_keeps_on_predicate(self):
+        aof = KeepIfAOF(lambda item: item == "good")
+        assert aof(0.9, "good") == 0.9
+        assert aof(0.9, "bad") == 0.0
+
+    def test_none_item_kept(self):
+        aof = KeepIfAOF(lambda item: False)
+        assert aof(0.9, None) == 0.9
+
+
+class TestCompose:
+    def test_left_to_right(self):
+        aof = ComposeAOF(InvertAOF(), ZeroIfAOF(lambda item: item == "drop"))
+        assert aof(0.2, "keep") == pytest.approx(0.8)
+        assert aof(0.2, "drop") == 0.0
+
+    def test_requires_aofs(self):
+        with pytest.raises(ValueError):
+            ComposeAOF()
+
+    def test_repr(self):
+        text = repr(ComposeAOF(IdentityAOF(), InvertAOF()))
+        assert "IdentityAOF" in text and "InvertAOF" in text

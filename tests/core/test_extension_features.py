@@ -1,0 +1,95 @@
+"""Tests for the extension features (aspect ratio, heading alignment)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AspectRatioFeature,
+    FeatureContext,
+    HeadingAlignmentFeature,
+)
+from repro.core.model import Observation, ObservationBundle
+from repro.geometry import Box3D
+
+CTX = FeatureContext(dt=0.2)
+
+
+def obs(frame=0, x=0.0, y=0.0, yaw=0.0, l=4.5, w=1.9):
+    return Observation(
+        frame=frame,
+        box=Box3D(x=x, y=y, z=0.85, length=l, width=w, height=1.7, yaw=yaw),
+        object_class="car",
+        source="model",
+        confidence=0.9,
+    )
+
+
+def bundle(o):
+    return ObservationBundle(frame=o.frame, observations=[o])
+
+
+class TestAspectRatio:
+    def test_value(self):
+        assert AspectRatioFeature().compute(obs(l=4.0, w=2.0), CTX) == pytest.approx(2.0)
+
+    def test_class_conditional(self):
+        assert AspectRatioFeature().class_conditional
+
+    def test_group_key(self):
+        feature = AspectRatioFeature()
+        assert feature.group_key(obs(), CTX) == "car"
+
+
+class TestHeadingAlignment:
+    def test_forward_motion_aligned(self):
+        # Moving +x with yaw 0: perfectly aligned.
+        t = (bundle(obs(frame=0, x=0.0, yaw=0.0)), bundle(obs(frame=1, x=2.0, yaw=0.0)))
+        assert HeadingAlignmentFeature().compute(t, CTX) == pytest.approx(0.0)
+
+    def test_sideways_motion_misaligned(self):
+        # Moving +y with yaw 0: 90 degrees off.
+        t = (bundle(obs(frame=0, y=0.0, yaw=0.0)), bundle(obs(frame=1, y=2.0, yaw=0.0)))
+        assert HeadingAlignmentFeature().compute(t, CTX) == pytest.approx(math.pi / 2)
+
+    def test_reverse_motion_is_pi(self):
+        t = (bundle(obs(frame=0, x=2.0, yaw=0.0)), bundle(obs(frame=1, x=0.0, yaw=0.0)))
+        assert HeadingAlignmentFeature().compute(t, CTX) == pytest.approx(math.pi)
+
+    def test_slow_motion_not_applicable(self):
+        t = (bundle(obs(frame=0, x=0.0)), bundle(obs(frame=1, x=0.05)))
+        assert HeadingAlignmentFeature(min_speed_mps=1.0).compute(t, CTX) is None
+
+    def test_zero_gap_none(self):
+        b = bundle(obs(frame=0))
+        assert HeadingAlignmentFeature().compute((b, b), CTX) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeadingAlignmentFeature(min_speed_mps=0.0)
+
+    def test_distinguishes_ghost_drift(self, training_scenes):
+        """A ghost drifting sideways scores lower than an aligned car."""
+        from repro.core import Fixy, CountFeature, VelocityFeature, VolumeFeature
+        from tests.core.conftest import make_obs, make_track, scene_of
+
+        features = [VolumeFeature(), VelocityFeature(), CountFeature(),
+                    HeadingAlignmentFeature()]
+        fixy = Fixy(features).fit(training_scenes)
+
+        aligned = make_track(
+            "aligned",
+            {f: [make_obs(f, x=2.0 * 0.2 * f, source="human")] for f in range(6)},
+        )
+        # Sideways drifter: moves +y while heading +x.
+        sideways = make_track(
+            "sideways",
+            {f: [Observation(
+                frame=f,
+                box=Box3D(x=30.0, y=2.0 * 0.2 * f, z=0.85,
+                          length=4.5, width=1.9, height=1.7, yaw=0.0),
+                object_class="car", source="human",
+            )] for f in range(6)},
+        )
+        ranked = fixy.rank_tracks(scene_of([aligned, sideways]))
+        assert [s.track_id for s in ranked] == ["aligned", "sideways"]

@@ -1,0 +1,230 @@
+"""Tests for feature base classes and the built-in library (Table 2)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    SOURCE_HUMAN,
+    SOURCE_MODEL,
+    ClassAgreementFeature,
+    CountFeature,
+    DistanceFeature,
+    FeatureContext,
+    ModelOnlyFeature,
+    Observation,
+    ObservationBundle,
+    Track,
+    TrackLengthFeature,
+    VelocityFeature,
+    VolumeFeature,
+    VolumeRatioFeature,
+    YawRateFeature,
+    default_features,
+    model_error_features,
+)
+from repro.geometry import Box3D, Pose2D
+
+
+def obs(frame=0, x=0.0, source=SOURCE_MODEL, cls="car", l=4.0, w=2.0, h=1.5, yaw=0.0):
+    return Observation(
+        frame=frame,
+        box=Box3D(x=x, y=0, z=0.85, length=l, width=w, height=h, yaw=yaw),
+        object_class=cls,
+        source=source,
+        confidence=0.9 if source == SOURCE_MODEL else None,
+    )
+
+
+def bundle(*observations):
+    return ObservationBundle(frame=observations[0].frame, observations=list(observations))
+
+
+def track(*bundles):
+    return Track(track_id="t", bundles=list(bundles))
+
+
+CTX = FeatureContext(dt=0.2, ego_poses={i: Pose2D(0.0, 0.0, 0.0) for i in range(100)})
+
+
+class TestFeatureContext:
+    def test_ego_pose_lookup(self):
+        assert CTX.ego_pose_at(3) == Pose2D(0.0, 0.0, 0.0)
+        with pytest.raises(KeyError):
+            CTX.ego_pose_at(1000)
+
+    def test_missing_ego_raises(self):
+        ctx = FeatureContext(dt=0.2)
+        with pytest.raises(ValueError):
+            ctx.ego_pose_at(0)
+
+    def test_from_scene_list_metadata(self):
+        from repro.core import Scene
+
+        scene = Scene(scene_id="s", dt=0.5,
+                      metadata={"ego_poses": [Pose2D(1.0, 2.0, 0.0)]})
+        ctx = FeatureContext.from_scene(scene)
+        assert ctx.dt == 0.5
+        assert ctx.ego_pose_at(0) == Pose2D(1.0, 2.0, 0.0)
+
+    def test_from_scene_without_ego(self):
+        from repro.core import Scene
+
+        ctx = FeatureContext.from_scene(Scene(scene_id="s", dt=0.2))
+        assert ctx.ego_poses is None
+
+
+class TestVolumeFeature:
+    def test_value(self):
+        assert VolumeFeature().compute(obs(), CTX) == pytest.approx(4.0 * 2.0 * 1.5)
+
+    def test_class_conditional_group(self):
+        feature = VolumeFeature()
+        assert feature.group_key(obs(cls="truck"), CTX) == "truck"
+
+
+class TestDistanceFeature:
+    def test_distance_value(self):
+        feature = DistanceFeature()
+        assert feature.compute(obs(x=30.0), CTX) == pytest.approx(30.0)
+
+    def test_manual_potential_decays(self):
+        feature = DistanceFeature(scale_m=30.0)
+        near = feature.manual_potential(5.0)
+        far = feature.manual_potential(60.0)
+        assert near > far
+        assert far == pytest.approx(math.exp(-2.0))
+
+    def test_not_learnable(self):
+        assert not DistanceFeature().learnable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistanceFeature(scale_m=0.0)
+
+
+class TestModelOnlyFeature:
+    def test_model_only_bundle(self):
+        assert ModelOnlyFeature().compute(bundle(obs()), CTX) == 1.0
+
+    def test_mixed_bundle(self):
+        mixed = bundle(obs(), obs(source=SOURCE_HUMAN))
+        assert ModelOnlyFeature().compute(mixed, CTX) == 0.0
+
+    def test_human_only_bundle(self):
+        human = bundle(obs(source=SOURCE_HUMAN))
+        assert ModelOnlyFeature().compute(human, CTX) == 0.0
+
+
+class TestVelocityFeature:
+    def test_velocity_from_center_offset(self):
+        b0 = bundle(obs(frame=0, x=0.0))
+        b1 = bundle(obs(frame=1, x=2.0))
+        # 2 m over 0.2 s = 10 m/s.
+        assert VelocityFeature().compute((b0, b1), CTX) == pytest.approx(10.0)
+
+    def test_velocity_across_gap(self):
+        b0 = bundle(obs(frame=0, x=0.0))
+        b2 = bundle(obs(frame=2, x=2.0))
+        # 2 m over 0.4 s = 5 m/s.
+        assert VelocityFeature().compute((b0, b2), CTX) == pytest.approx(5.0)
+
+    def test_zero_gap_returns_none(self):
+        b0 = bundle(obs(frame=0))
+        assert VelocityFeature().compute((b0, b0), CTX) is None
+
+    def test_group_key_from_first_bundle(self):
+        b0 = bundle(obs(frame=0, cls="motorcycle"))
+        b1 = bundle(obs(frame=1, cls="motorcycle"))
+        assert VelocityFeature().group_key((b0, b1), CTX) == "motorcycle"
+
+
+class TestCountFeature:
+    def test_filters_short_tracks(self):
+        feature = CountFeature()
+        short = track(bundle(obs(frame=0)), bundle(obs(frame=1)))
+        assert feature.compute(short, CTX) == 0.0
+        long = track(*[bundle(obs(frame=f)) for f in range(3)])
+        assert feature.compute(long, CTX) == 1.0
+
+    def test_counts_observations_not_bundles(self):
+        feature = CountFeature()
+        # Two bundles but three observations (one is a pair).
+        t = track(
+            bundle(obs(frame=0), obs(frame=0, source=SOURCE_HUMAN)),
+            bundle(obs(frame=1)),
+        )
+        assert feature.compute(t, CTX) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountFeature(min_observations=0)
+
+
+class TestClassAgreementFeature:
+    def test_agreement_values(self):
+        feature = ClassAgreementFeature()
+        agree = bundle(obs(), obs(source=SOURCE_HUMAN))
+        assert feature.compute(agree, CTX) == 0.0
+        disagree = bundle(obs(cls="car"), obs(source=SOURCE_HUMAN, cls="truck"))
+        assert feature.compute(disagree, CTX) == 1.0
+
+    def test_singleton_not_applicable(self):
+        assert ClassAgreementFeature().compute(bundle(obs()), CTX) is None
+
+
+class TestExtensionFeatures:
+    def test_track_length(self):
+        t = track(*[bundle(obs(frame=f)) for f in range(5)])
+        assert TrackLengthFeature().compute(t, CTX) == 5.0
+
+    def test_volume_ratio(self):
+        b0 = bundle(obs(frame=0, l=4.0))
+        b1 = bundle(obs(frame=1, l=8.0))
+        assert VolumeRatioFeature().compute((b0, b1), CTX) == pytest.approx(math.log(2.0))
+
+    def test_yaw_rate(self):
+        b0 = bundle(obs(frame=0, yaw=0.0))
+        b1 = bundle(obs(frame=1, yaw=0.1))
+        assert YawRateFeature().compute((b0, b1), CTX) == pytest.approx(0.5)
+
+    def test_yaw_rate_wraps(self):
+        b0 = bundle(obs(frame=0, yaw=math.pi - 0.05))
+        b1 = bundle(obs(frame=1, yaw=-math.pi + 0.05))
+        assert YawRateFeature().compute((b0, b1), CTX) == pytest.approx(0.5)
+
+
+class TestFeatureSets:
+    def test_default_features_match_table2(self):
+        names = {f.name for f in default_features()}
+        assert names == {"volume", "distance", "model_only", "velocity", "count"}
+
+    def test_default_without_distance(self):
+        names = {f.name for f in default_features(include_distance=False)}
+        assert "distance" not in names
+
+    def test_model_error_features_follow_8_4(self):
+        names = {f.name for f in model_error_features()}
+        assert "distance" not in names
+        assert "model_only" not in names
+        assert "track_length" in names
+        assert {"volume", "velocity"} <= names
+
+    def test_items_of_dispatch(self):
+        t = track(bundle(obs(frame=0)), bundle(obs(frame=1)))
+        assert len(VolumeFeature().items_of(t)) == 2
+        assert len(ModelOnlyFeature().items_of(t)) == 2
+        assert len(VelocityFeature().items_of(t)) == 1
+        assert CountFeature().items_of(t) == [t]
+
+    def test_observations_of_dispatch(self):
+        o0, o1 = obs(frame=0), obs(frame=1)
+        b0, b1 = (
+            ObservationBundle(frame=0, observations=[o0]),
+            ObservationBundle(frame=1, observations=[o1]),
+        )
+        t = Track(track_id="t", bundles=[b0, b1])
+        assert VolumeFeature().observations_of(o0) == [o0]
+        assert ModelOnlyFeature().observations_of(b0) == [o0]
+        assert VelocityFeature().observations_of((b0, b1)) == [o0, o1]
+        assert CountFeature().observations_of(t) == [o0, o1]

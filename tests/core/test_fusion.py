@@ -1,0 +1,132 @@
+"""Tests for factor-graph track class fusion."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import ClassPosterior, infer_track_class, uniform_confusion
+
+from tests.core.conftest import make_obs, make_track
+
+CLASSES = ["car", "truck", "pedestrian", "motorcycle"]
+
+
+def track_with_classes(emitted):
+    frames = {
+        f: [make_obs(f, x=0.4 * f, cls=cls, source="model")]
+        for f, cls in enumerate(emitted)
+    }
+    return make_track("fusion", frames)
+
+
+class TestUniformConfusion:
+    def test_rows_sum_to_one(self):
+        matrix = uniform_confusion(CLASSES, accuracy=0.85)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_diagonal_dominant(self):
+        matrix = uniform_confusion(CLASSES, accuracy=0.85)
+        assert (np.diag(matrix) == 0.85).all()
+        assert matrix[0, 1] == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_confusion(["one"])
+        with pytest.raises(ValueError):
+            uniform_confusion(CLASSES, accuracy=1.0)
+
+
+class TestInferTrackClass:
+    def test_unanimous_observations(self):
+        posterior = infer_track_class(track_with_classes(["car"] * 6), CLASSES)
+        assert posterior.map_class == "car"
+        assert posterior.probability_of("car") > 0.99
+
+    def test_majority_wins_over_flips(self):
+        emitted = ["car"] * 6 + ["truck"] * 2
+        posterior = infer_track_class(track_with_classes(emitted), CLASSES)
+        assert posterior.map_class == "car"
+
+    def test_margin_small_when_split(self):
+        split = infer_track_class(track_with_classes(["car", "truck"] * 3), CLASSES)
+        unanimous = infer_track_class(track_with_classes(["car"] * 6), CLASSES)
+        assert split.margin < unanimous.margin
+
+    def test_posterior_sums_to_one(self):
+        posterior = infer_track_class(track_with_classes(["car", "truck"]), CLASSES)
+        assert sum(posterior.probabilities) == pytest.approx(1.0)
+
+    def test_prior_breaks_ties(self):
+        emitted = ["car", "truck"] * 3
+        prior = {"car": 0.1, "truck": 0.8, "pedestrian": 0.05, "motorcycle": 0.05}
+        posterior = infer_track_class(track_with_classes(emitted), CLASSES, prior=prior)
+        assert posterior.map_class == "truck"
+
+    def test_asymmetric_confusion(self):
+        # The detector (almost) never emits "pedestrian" for a true car,
+        # so even one pedestrian emission strongly implies not-car.
+        matrix = uniform_confusion(CLASSES, accuracy=0.9)
+        car, ped = CLASSES.index("car"), CLASSES.index("pedestrian")
+        matrix[car, ped] = 1e-6
+        matrix[car] /= matrix[car].sum()
+        emitted = ["car", "car", "pedestrian"]
+        with_asym = infer_track_class(track_with_classes(emitted), CLASSES,
+                                      confusion=matrix)
+        plain = infer_track_class(track_with_classes(emitted), CLASSES)
+        assert with_asym.probability_of("car") < plain.probability_of("car")
+
+    def test_validation(self):
+        track = track_with_classes(["car"])
+        with pytest.raises(ValueError):
+            infer_track_class(track, CLASSES, confusion=np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            infer_track_class(track, ["truck", "pedestrian"])  # 'car' unknown
+        with pytest.raises(ValueError):
+            infer_track_class(track, CLASSES, prior={"boat": 1.0})
+        from repro.core import Track
+
+        with pytest.raises(ValueError):
+            infer_track_class(Track(track_id="empty", bundles=[]), CLASSES)
+
+    def test_probability_of_unknown_class(self):
+        posterior = infer_track_class(track_with_classes(["car"]), CLASSES)
+        with pytest.raises(KeyError):
+            posterior.probability_of("boat")
+
+    def test_matches_direct_bayes(self):
+        """Cross-check sum-product against a hand-computed posterior."""
+        emitted = ["car", "car", "truck"]
+        matrix = uniform_confusion(CLASSES, accuracy=0.8)
+        posterior = infer_track_class(track_with_classes(emitted), CLASSES,
+                                      confusion=matrix)
+        index = {c: i for i, c in enumerate(CLASSES)}
+        direct = np.ones(len(CLASSES))
+        for cls in emitted:
+            direct *= matrix[:, index[cls]]
+        direct /= direct.sum()
+        np.testing.assert_allclose(posterior.probabilities, direct, atol=1e-12)
+
+    def test_recovers_injected_class_errors(self):
+        """End-to-end: the detector's class-error runs are outvoted."""
+        from repro.datagen import SceneGenerator
+        from repro.labelers import DetectorConfig, DetectorModel
+
+        cfg = DetectorConfig(class_error_rate=1.0, gross_loc_rate=0.0,
+                             ghost_tracks_per_scene=0.0)
+        scene = SceneGenerator().generate("fusion-e2e", seed=99)
+        obs, ledger = DetectorModel(cfg).predict_scene(scene, seed=99)
+        by_object = {}
+        for o in obs:
+            by_object.setdefault(o.metadata["gt_object_id"], []).append(o)
+        checked = 0
+        for record in ledger.model_errors():
+            group = by_object.get(record.gt_object_id)
+            if group is None or len(group) < 3 * len(record.obs_ids):
+                continue  # too corrupted for a majority to exist
+            frames = {}
+            for o in group:
+                frames.setdefault(o.frame, []).append(o)
+            track = make_track(record.gt_object_id, frames)
+            posterior = infer_track_class(track, CLASSES)
+            assert posterior.map_class == record.object_class
+            checked += 1
+        assert checked > 0

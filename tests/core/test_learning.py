@@ -1,0 +1,131 @@
+"""Tests for feature distribution learning (the offline phase)."""
+
+import pytest
+
+from repro.core import (
+    FeatureContext,
+    FeatureDistributionLearner,
+    VelocityFeature,
+    VolumeFeature,
+    default_features,
+)
+from repro.core.learning import _POOLED
+
+from tests.core.conftest import make_obs, make_track, moving_track, scene_of
+
+
+@pytest.fixture(scope="module")
+def learned(training_scenes):
+    learner = FeatureDistributionLearner(default_features())
+    return learner.fit(training_scenes)
+
+
+CTX = FeatureContext(dt=0.2)
+
+
+class TestCollectValues:
+    def test_values_grouped_by_class(self, training_scenes):
+        learner = FeatureDistributionLearner([VolumeFeature()])
+        values = learner.collect_values(training_scenes)
+        buckets = values["volume"]
+        assert set(buckets) >= {"car", "truck", _POOLED}
+        assert len(buckets[_POOLED]) == len(buckets["car"]) + len(buckets["truck"])
+
+    def test_only_trusted_sources_used(self, training_scenes):
+        # Add a scene of model-only garbage; learning from human labels
+        # must ignore it entirely.
+        garbage = scene_of(
+            [
+                moving_track(
+                    "ghost", n_frames=10, speed=50.0, source="model",
+                    l=0.2, w=0.2, h=0.2, conf=0.9,
+                )
+            ],
+            scene_id="garbage",
+        )
+        learner = FeatureDistributionLearner([VolumeFeature()])
+        with_garbage = learner.collect_values(training_scenes + [garbage])
+        without = learner.collect_values(training_scenes)
+        assert len(with_garbage["volume"][_POOLED]) == len(without["volume"][_POOLED])
+
+    def test_manual_features_skipped(self, training_scenes):
+        learner = FeatureDistributionLearner(default_features())
+        values = learner.collect_values(training_scenes)
+        assert "distance" not in values
+        assert "model_only" not in values
+        assert "count" not in values
+
+
+class TestFit:
+    def test_learned_feature_names(self, learned):
+        assert learned.feature_names == ["velocity", "volume"]
+
+    def test_class_conditional_distributions(self, learned):
+        volume = VolumeFeature()
+        car_dist = learned.lookup(volume, "car")
+        truck_dist = learned.lookup(volume, "truck")
+        assert car_dist is not None and truck_dist is not None
+        car_volume = 4.5 * 1.9 * 1.7
+        truck_volume = 8.5 * 2.6 * 3.2
+        # Each class's typical volume is likely under its own distribution
+        # and unlikely under the other's.
+        assert car_dist.likelihood(car_volume) > 0.3
+        assert truck_dist.likelihood(truck_volume) > 0.3
+        assert car_dist.likelihood(truck_volume) < 0.05
+        assert truck_dist.likelihood(car_volume) < 0.05
+
+    def test_pooled_fallback_for_unseen_class(self, learned):
+        volume = VolumeFeature()
+        dist = learned.lookup(volume, "motorcycle")
+        assert dist is not None  # pooled fallback
+        assert dist is learned.lookup(volume, None)
+
+    def test_velocity_distribution_plausible(self, learned):
+        velocity = VelocityFeature()
+        car_dist = learned.lookup(velocity, "car")
+        assert car_dist.likelihood(2.0) > 0.2
+        assert car_dist.likelihood(40.0) < 1e-3
+
+    def test_likelihood_in_unit_interval(self, learned, training_scenes):
+        ctx = FeatureContext.from_scene(training_scenes[0])
+        volume = VolumeFeature()
+        for track in training_scenes[0].tracks:
+            for obs in track.observations:
+                like = learned.likelihood(volume, obs, ctx)
+                assert 0.0 <= like <= 1.0
+
+    def test_likelihood_none_for_unlearned_feature(self, learned):
+        from repro.core import TrackLengthFeature
+
+        track = moving_track("t", n_frames=5)
+        assert learned.likelihood(TrackLengthFeature(), track, CTX) is None
+
+    def test_min_samples_falls_back_to_pool(self, training_scenes):
+        # One lone pedestrian observation: below min_samples, so no
+        # per-class distribution is fitted for pedestrians.
+        ped_scene = scene_of(
+            [make_track("ped", {0: [make_obs(0, 0.0, cls="pedestrian",
+                                            l=0.7, w=0.7, h=1.75)]})],
+            scene_id="ped",
+        )
+        learner = FeatureDistributionLearner([VolumeFeature()], min_samples=8)
+        model = learner.fit(training_scenes + [ped_scene])
+        groups = model.distributions["volume"]
+        assert "pedestrian" not in groups
+        assert model.lookup(VolumeFeature(), "pedestrian") is groups[_POOLED]
+
+
+class TestLearnedFeatureDistribution:
+    def test_max_density_normalization(self, learned):
+        volume = VolumeFeature()
+        dist = learned.lookup(volume, "car")
+        # The best value in training scores at (or near) 1.
+        best = max(
+            dist.likelihood(v)
+            for v in [4.5 * 1.9 * 1.7 * f for f in (0.9, 0.95, 1.0, 1.05, 1.1)]
+        )
+        assert best > 0.8
+
+    def test_n_samples_recorded(self, learned):
+        dist = learned.lookup(VolumeFeature(), "car")
+        assert dist.n_samples > 100

@@ -1,0 +1,191 @@
+"""Tests for the OBT data model (Table 1)."""
+
+import pytest
+
+from repro.core import (
+    SOURCE_HUMAN,
+    SOURCE_MODEL,
+    Observation,
+    ObservationBundle,
+    Scene,
+    Track,
+)
+from repro.geometry import Box3D
+
+
+def box(x=0.0):
+    return Box3D(x=x, y=0, z=0.85, length=4.5, width=1.9, height=1.7)
+
+
+def obs(frame=0, source=SOURCE_MODEL, cls="car", conf=0.9, x=0.0):
+    return Observation(
+        frame=frame,
+        box=box(x),
+        object_class=cls,
+        source=source,
+        confidence=conf if source == SOURCE_MODEL else None,
+    )
+
+
+class TestObservation:
+    def test_auto_ids_unique(self):
+        assert obs().obs_id != obs().obs_id
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            obs(frame=-1)
+        with pytest.raises(ValueError):
+            Observation(frame=0, box=box(), object_class="car",
+                        source=SOURCE_MODEL, confidence=1.5)
+
+    def test_source_flags(self):
+        assert obs(source=SOURCE_MODEL).is_model
+        assert obs(source=SOURCE_HUMAN).is_human
+        assert not obs(source=SOURCE_HUMAN).is_model
+
+    def test_serialization_roundtrip(self):
+        original = obs()
+        clone = Observation.from_dict(original.to_dict())
+        assert clone.obs_id == original.obs_id
+        assert clone.box == original.box
+        assert clone.confidence == original.confidence
+
+    def test_metadata_not_compared(self):
+        a = obs()
+        b = Observation(
+            frame=a.frame, box=a.box, object_class=a.object_class,
+            source=a.source, confidence=a.confidence, obs_id=a.obs_id,
+            metadata={"x": 1},
+        )
+        assert a == b
+
+
+class TestObservationBundle:
+    def test_frame_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            ObservationBundle(frame=0, observations=[obs(frame=1)])
+        bundle = ObservationBundle(frame=0)
+        with pytest.raises(ValueError):
+            bundle.add(obs(frame=2))
+
+    def test_sources_and_flags(self):
+        bundle = ObservationBundle(
+            frame=0, observations=[obs(source=SOURCE_HUMAN), obs(source=SOURCE_MODEL)]
+        )
+        assert bundle.has_human and bundle.has_model
+        assert bundle.sources == {SOURCE_HUMAN, SOURCE_MODEL}
+        assert len(bundle.by_source(SOURCE_HUMAN)) == 1
+
+    def test_classes_agree(self):
+        agree = ObservationBundle(frame=0, observations=[obs(), obs()])
+        assert agree.classes_agree()
+        disagree = ObservationBundle(
+            frame=0, observations=[obs(cls="car"), obs(cls="truck")]
+        )
+        assert not disagree.classes_agree()
+
+    def test_representative_prefers_confident_model(self):
+        low = obs(conf=0.3)
+        high = obs(conf=0.95)
+        human = obs(source=SOURCE_HUMAN)
+        bundle = ObservationBundle(frame=0, observations=[human, low, high])
+        assert bundle.representative() is high
+
+    def test_representative_falls_back_to_first(self):
+        human = obs(source=SOURCE_HUMAN)
+        bundle = ObservationBundle(frame=0, observations=[human])
+        assert bundle.representative() is human
+
+    def test_len_iter(self):
+        bundle = ObservationBundle(frame=0, observations=[obs(), obs()])
+        assert len(bundle) == 2
+        assert len(list(bundle)) == 2
+
+
+def track_from_frames(frames, source=SOURCE_MODEL, cls="car"):
+    bundles = [
+        ObservationBundle(frame=f, observations=[obs(frame=f, source=source, cls=cls)])
+        for f in frames
+    ]
+    return Track(track_id="t", bundles=bundles)
+
+
+class TestTrack:
+    def test_bundles_sorted(self):
+        track = track_from_frames([3, 1, 2])
+        assert track.frames == [1, 2, 3]
+
+    def test_duplicate_frames_rejected(self):
+        with pytest.raises(ValueError):
+            track_from_frames([1, 1])
+        track = track_from_frames([0])
+        with pytest.raises(ValueError):
+            track.add(ObservationBundle(frame=0, observations=[obs(frame=0)]))
+
+    def test_add_keeps_sorted(self):
+        track = track_from_frames([0, 2])
+        track.add(ObservationBundle(frame=1, observations=[obs(frame=1)]))
+        assert track.frames == [0, 1, 2]
+
+    def test_observations_and_counts(self):
+        track = track_from_frames([0, 1, 2])
+        assert track.n_observations == 3
+        assert len(track.observations) == 3
+
+    def test_transitions(self):
+        track = track_from_frames([0, 1, 3])
+        transitions = track.transitions()
+        assert len(transitions) == 2
+        assert transitions[0][0].frame == 0
+        assert transitions[1][1].frame == 3
+
+    def test_bundle_at(self):
+        track = track_from_frames([0, 5])
+        assert track.bundle_at(5).frame == 5
+        assert track.bundle_at(3) is None
+
+    def test_majority_class(self):
+        bundles = [
+            ObservationBundle(frame=0, observations=[obs(frame=0, cls="car")]),
+            ObservationBundle(frame=1, observations=[obs(frame=1, cls="car")]),
+            ObservationBundle(frame=2, observations=[obs(frame=2, cls="truck")]),
+        ]
+        assert Track(track_id="t", bundles=bundles).majority_class() == "car"
+
+    def test_majority_class_empty_raises(self):
+        track = Track(track_id="t", bundles=[])
+        with pytest.raises(ValueError):
+            track.majority_class()
+
+    def test_source_flags(self):
+        track = track_from_frames([0, 1], source=SOURCE_HUMAN)
+        assert track.has_human and not track.has_model
+
+
+class TestScene:
+    def test_dt_validated(self):
+        with pytest.raises(ValueError):
+            Scene(scene_id="s", dt=0.0)
+
+    def test_track_queries(self):
+        track = track_from_frames([0, 1])
+        scene = Scene(scene_id="s", dt=0.2, tracks=[track])
+        assert scene.track_by_id("t") is track
+        with pytest.raises(KeyError):
+            scene.track_by_id("zzz")
+        assert len(scene.observations) == 2
+        assert len(scene.bundles) == 2
+
+    def test_filter_tracks(self):
+        human = Track(
+            track_id="h",
+            bundles=[ObservationBundle(frame=0, observations=[obs(source=SOURCE_HUMAN)])],
+        )
+        model = Track(
+            track_id="m",
+            bundles=[ObservationBundle(frame=0, observations=[obs()])],
+        )
+        scene = Scene(scene_id="s", dt=0.2, tracks=[human, model])
+        filtered = scene.filter_tracks(lambda t: t.has_model)
+        assert [t.track_id for t in filtered] == ["m"]
+        assert len(scene) == 2  # original untouched

@@ -1,0 +1,69 @@
+"""Tests for scene collections and serialization."""
+
+import pytest
+
+from repro.datagen import SceneCollection, SceneGenerator, train_val_split
+
+
+@pytest.fixture(scope="module")
+def collection():
+    scenes = SceneGenerator().generate_many(6, seed=20, prefix="coll")
+    return SceneCollection(name="test", scenes=scenes, metadata={"seed": 20})
+
+
+class TestSceneCollection:
+    def test_len_iter_getitem(self, collection):
+        assert len(collection) == 6
+        assert [s.scene_id for s in collection] == [
+            collection[i].scene_id for i in range(6)
+        ]
+
+    def test_scene_by_id(self, collection):
+        target = collection[2].scene_id
+        assert collection.scene_by_id(target).scene_id == target
+        with pytest.raises(KeyError):
+            collection.scene_by_id("nope")
+
+    def test_totals(self, collection):
+        assert collection.total_objects == sum(len(s.objects) for s in collection)
+        assert collection.total_frames == sum(s.n_frames for s in collection)
+
+    def test_json_roundtrip(self, collection, tmp_path):
+        path = tmp_path / "coll.json"
+        collection.save(path)
+        loaded = SceneCollection.load(path)
+        assert loaded.to_dict() == collection.to_dict()
+
+    def test_gzip_roundtrip(self, collection, tmp_path):
+        path = tmp_path / "coll.json.gz"
+        collection.save(path)
+        loaded = SceneCollection.load(path)
+        assert loaded.to_dict() == collection.to_dict()
+        # gzip should actually compress
+        raw = tmp_path / "raw.json"
+        collection.save(raw)
+        assert path.stat().st_size < raw.stat().st_size
+
+
+class TestTrainValSplit:
+    def test_split_sizes(self, collection):
+        train, val = train_val_split(collection, val_fraction=0.25)
+        assert len(train) + len(val) == len(collection)
+        assert len(val) == 2  # round(6 * 0.25) = 2
+
+    def test_split_disjoint_and_ordered(self, collection):
+        train, val = train_val_split(collection, val_fraction=0.2)
+        train_ids = [s.scene_id for s in train]
+        val_ids = [s.scene_id for s in val]
+        assert not set(train_ids) & set(val_ids)
+        assert train_ids + val_ids == [s.scene_id for s in collection]
+
+    def test_bad_fraction(self, collection):
+        for frac in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                train_val_split(collection, val_fraction=frac)
+
+    def test_names(self, collection):
+        train, val = train_val_split(collection)
+        assert train.name.endswith("-train")
+        assert val.name.endswith("-val")

@@ -1,0 +1,129 @@
+"""Tests for motion models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    ConstantTurnModel,
+    ConstantVelocityModel,
+    ParkedModel,
+    StopAndGoModel,
+    WanderModel,
+    simulate_trajectory,
+)
+from repro.geometry import Pose2D
+
+
+START = Pose2D(1.0, 2.0, 0.5)
+
+
+def run(model, n=50, dt=0.2, seed=0):
+    return simulate_trajectory(model, START, n, dt, np.random.default_rng(seed))
+
+
+class TestParked:
+    def test_never_moves(self):
+        poses = run(ParkedModel())
+        assert all(p == START for p in poses)
+
+
+class TestConstantVelocity:
+    def test_speed_matches(self):
+        dt = 0.2
+        poses = run(ConstantVelocityModel(speed=5.0), dt=dt)
+        for a, b in zip(poses, poses[1:]):
+            assert a.distance_to(b) == pytest.approx(5.0 * dt)
+
+    def test_straight_line(self):
+        poses = run(ConstantVelocityModel(speed=5.0))
+        # All points collinear with the heading.
+        for p in poses:
+            dx, dy = p.x - START.x, p.y - START.y
+            cross = dx * math.sin(START.theta) - dy * math.cos(START.theta)
+            assert cross == pytest.approx(0.0, abs=1e-9)
+
+    def test_heading_noise_wobbles(self):
+        poses = run(ConstantVelocityModel(speed=5.0, heading_noise=0.1))
+        headings = {round(p.theta, 6) for p in poses}
+        assert len(headings) > 1
+
+
+class TestConstantTurn:
+    def test_zero_yaw_rate_is_straight(self):
+        a = run(ConstantTurnModel(speed=5.0, yaw_rate=0.0))
+        b = run(ConstantVelocityModel(speed=5.0))
+        for pa, pb in zip(a, b):
+            assert pa.x == pytest.approx(pb.x)
+            assert pa.y == pytest.approx(pb.y)
+
+    def test_turns_accumulate_heading(self):
+        dt = 0.2
+        poses = run(ConstantTurnModel(speed=5.0, yaw_rate=0.1), n=10, dt=dt)
+        assert poses[-1].theta == pytest.approx(START.theta + 9 * 0.1 * dt)
+
+    def test_full_circle_returns_near_start(self):
+        # speed*T = 2*pi*R with yaw_rate = speed/R; choose yaw_rate so one
+        # full revolution fits in the trajectory.
+        dt = 0.05
+        n = 401  # 20 s
+        yaw_rate = 2 * math.pi / 20.0
+        poses = simulate_trajectory(
+            ConstantTurnModel(speed=3.0, yaw_rate=yaw_rate),
+            START,
+            n,
+            dt,
+            np.random.default_rng(0),
+        )
+        assert poses[-1].distance_to(poses[0]) < 1.0
+
+
+class TestStopAndGo:
+    def test_contains_stopped_and_moving_phases(self):
+        dt = 0.2
+        poses = run(StopAndGoModel(cruise_speed=8.0), n=200, dt=dt, seed=3)
+        speeds = [a.distance_to(b) / dt for a, b in zip(poses, poses[1:])]
+        assert min(speeds) == pytest.approx(0.0, abs=1e-9)
+        assert max(speeds) == pytest.approx(8.0, rel=0.01)
+
+    def test_speed_never_exceeds_cruise(self):
+        dt = 0.2
+        poses = run(StopAndGoModel(cruise_speed=8.0), n=300, dt=dt, seed=5)
+        speeds = [a.distance_to(b) / dt for a, b in zip(poses, poses[1:])]
+        assert all(s <= 8.0 + 1e-9 for s in speeds)
+
+    def test_heading_constant(self):
+        poses = run(StopAndGoModel(cruise_speed=8.0), n=100, seed=7)
+        assert all(p.theta == pytest.approx(START.theta) for p in poses)
+
+
+class TestWander:
+    def test_moves_at_speed(self):
+        dt = 0.2
+        poses = run(WanderModel(speed=1.4), dt=dt)
+        for a, b in zip(poses, poses[1:]):
+            assert a.distance_to(b) == pytest.approx(1.4 * dt, rel=1e-6)
+
+    def test_heading_diffuses(self):
+        poses = run(WanderModel(speed=1.4, heading_diffusion=0.5), n=100, seed=9)
+        assert abs(poses[-1].theta - START.theta) > 1e-3
+
+
+class TestSimulateTrajectory:
+    def test_length_and_start(self):
+        poses = run(ConstantVelocityModel(speed=1.0), n=17)
+        assert len(poses) == 17
+        assert poses[0] == START
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            simulate_trajectory(ParkedModel(), START, 0, 0.2, rng)
+        with pytest.raises(ValueError):
+            simulate_trajectory(ParkedModel(), START, 10, 0.0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = run(WanderModel(speed=1.0), seed=42)
+        b = run(WanderModel(speed=1.0), seed=42)
+        assert a == b

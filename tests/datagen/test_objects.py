@@ -1,0 +1,90 @@
+"""Tests for the object taxonomy and physical priors."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import CLASS_PRIORS, ObjectClass, sample_dimensions
+from repro.datagen.objects import sample_speed
+
+
+class TestObjectClass:
+    def test_all_paper_classes_present(self):
+        values = {c.value for c in ObjectClass}
+        assert values == {"car", "truck", "pedestrian", "motorcycle"}
+
+    def test_from_string(self):
+        assert ObjectClass.from_string("car") is ObjectClass.CAR
+        assert ObjectClass.from_string("TRUCK") is ObjectClass.TRUCK
+
+    def test_from_string_invalid(self):
+        with pytest.raises(ValueError, match="unknown object class"):
+            ObjectClass.from_string("bicycle")
+
+    def test_priors_cover_all_classes(self):
+        assert set(CLASS_PRIORS) == set(ObjectClass)
+
+
+class TestPriors:
+    @pytest.mark.parametrize("cls", list(ObjectClass))
+    def test_prior_values_sane(self, cls):
+        prior = CLASS_PRIORS[cls]
+        assert prior.length_mean > 0
+        assert prior.width_mean > 0
+        assert prior.height_mean > 0
+        assert 0 <= prior.stationary_prob <= 1
+        assert prior.speed_mean > 0
+
+    def test_truck_bigger_than_car(self):
+        car = CLASS_PRIORS[ObjectClass.CAR]
+        truck = CLASS_PRIORS[ObjectClass.TRUCK]
+        car_vol = car.length_mean * car.width_mean * car.height_mean
+        truck_vol = truck.length_mean * truck.width_mean * truck.height_mean
+        assert truck_vol > 2 * car_vol
+
+    def test_pedestrian_slowest(self):
+        ped = CLASS_PRIORS[ObjectClass.PEDESTRIAN]
+        for cls in (ObjectClass.CAR, ObjectClass.TRUCK, ObjectClass.MOTORCYCLE):
+            assert ped.speed_mean < CLASS_PRIORS[cls].speed_mean
+
+
+class TestSampling:
+    @pytest.mark.parametrize("cls", list(ObjectClass))
+    def test_dimensions_positive(self, cls):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            l, w, h = sample_dimensions(cls, rng)
+            assert l > 0 and w > 0 and h > 0
+
+    def test_dimensions_concentrate_near_mean(self):
+        rng = np.random.default_rng(1)
+        samples = np.array(
+            [sample_dimensions(ObjectClass.CAR, rng) for _ in range(500)]
+        )
+        prior = CLASS_PRIORS[ObjectClass.CAR]
+        assert samples[:, 0].mean() == pytest.approx(prior.length_mean, rel=0.05)
+        assert samples[:, 1].mean() == pytest.approx(prior.width_mean, rel=0.05)
+
+    def test_dimensions_deterministic_given_seed(self):
+        a = sample_dimensions(ObjectClass.CAR, np.random.default_rng(3))
+        b = sample_dimensions(ObjectClass.CAR, np.random.default_rng(3))
+        assert a == b
+
+    def test_classes_separable_by_volume(self):
+        """Class volumes should form distinct clusters (Fixy relies on it)."""
+        rng = np.random.default_rng(2)
+        vols = {}
+        for cls in ObjectClass:
+            dims = [sample_dimensions(cls, rng) for _ in range(200)]
+            vols[cls] = np.array([l * w * h for l, w, h in dims])
+        assert np.percentile(vols[ObjectClass.TRUCK], 5) > np.percentile(
+            vols[ObjectClass.CAR], 95
+        )
+        assert np.percentile(vols[ObjectClass.CAR], 5) > np.percentile(
+            vols[ObjectClass.PEDESTRIAN], 95
+        )
+
+    def test_speed_positive(self):
+        rng = np.random.default_rng(4)
+        for cls in ObjectClass:
+            for _ in range(100):
+                assert sample_speed(cls, rng) > 0

@@ -1,0 +1,162 @@
+"""Tests for the LIDAR visibility/occlusion model."""
+
+import math
+
+import pytest
+
+from repro.datagen import (
+    ObjectClass,
+    SceneGenerator,
+    VisibilityModel,
+    WorldObject,
+    WorldScene,
+    visible_objects,
+)
+from repro.datagen.sensor import AngularInterval
+from repro.geometry import Box3D, Pose2D
+
+
+EGO = Pose2D(0.0, 0.0, 0.0)
+
+
+def car_box(x, y, yaw=0.0):
+    return Box3D(x=x, y=y, z=0.85, length=4.5, width=1.9, height=1.7, yaw=yaw)
+
+
+class TestAngularInterval:
+    def test_covers_center(self):
+        iv = AngularInterval(center=0.0, half_width=0.2)
+        assert iv.covers(0.0)
+        assert iv.covers(0.19)
+        assert not iv.covers(0.3)
+
+    def test_covers_wraps(self):
+        iv = AngularInterval(center=math.pi - 0.05, half_width=0.2)
+        assert iv.covers(-math.pi + 0.05)
+
+    def test_overlap_fraction_full(self):
+        a = AngularInterval(0.0, 0.1)
+        b = AngularInterval(0.0, 0.5)
+        assert a.overlap_fraction(b) == pytest.approx(1.0)
+
+    def test_overlap_fraction_none(self):
+        a = AngularInterval(0.0, 0.1)
+        b = AngularInterval(1.0, 0.1)
+        assert a.overlap_fraction(b) == 0.0
+
+    def test_overlap_fraction_half(self):
+        a = AngularInterval(0.0, 0.2)
+        b = AngularInterval(0.2, 0.2)
+        assert a.overlap_fraction(b) == pytest.approx(0.5)
+
+
+class TestVisibilityModel:
+    def test_unobstructed_visible(self):
+        model = VisibilityModel()
+        assert model.visible_fraction(EGO, car_box(20, 0), []) == 1.0
+
+    def test_beyond_range_invisible(self):
+        model = VisibilityModel(max_range=50.0)
+        assert model.visible_fraction(EGO, car_box(60, 0), []) == 0.0
+
+    def test_fully_occluded_by_near_identical_object(self):
+        model = VisibilityModel()
+        target = car_box(40, 0)
+        occluder = car_box(10, 0)  # same bearing, much closer -> wider shadow
+        assert model.visible_fraction(EGO, target, [occluder]) < 0.2
+        assert not model.is_visible(EGO, target, [occluder])
+
+    def test_occluder_behind_does_not_block(self):
+        model = VisibilityModel()
+        target = car_box(10, 0)
+        farther = car_box(40, 0)
+        assert model.visible_fraction(EGO, target, [farther]) == 1.0
+
+    def test_occluder_off_bearing_does_not_block(self):
+        model = VisibilityModel()
+        target = car_box(30, 0)
+        side = car_box(0, 20)  # 90 degrees away
+        assert model.visible_fraction(EGO, target, [side]) == 1.0
+
+    def test_partial_occlusion(self):
+        model = VisibilityModel()
+        target = car_box(40, 0, yaw=math.pi / 2)
+        # Slightly offset occluder shadows part of the interval.
+        occluder = car_box(15, 1.8)
+        frac = model.visible_fraction(EGO, target, [occluder])
+        assert 0.0 < frac < 1.0
+
+    def test_shadow_union_not_double_counted(self):
+        model = VisibilityModel()
+        target = car_box(40, 0)
+        # Two identical occluders cast the same shadow; fraction must match
+        # the single-occluder case.
+        occ = car_box(10, 0)
+        single = model.visible_fraction(EGO, target, [occ])
+        double = model.visible_fraction(EGO, target, [occ, occ])
+        assert double == pytest.approx(single)
+
+    def test_ego_inside_object(self):
+        model = VisibilityModel()
+        giant = Box3D(x=0.5, y=0, z=1, length=10, width=10, height=2)
+        assert model.visible_fraction(EGO, giant, []) == 1.0
+
+
+class TestSceneVisibility:
+    def test_visibility_table_covers_present_pairs(self):
+        scene = SceneGenerator().generate("vis", seed=11)
+        table = VisibilityModel().visibility_table(scene)
+        expected_keys = {
+            (o.object_id, f)
+            for o in scene.objects
+            for f in o.present_frames
+        }
+        assert set(table) == expected_keys
+
+    def test_visible_objects_subset_of_present(self):
+        scene = SceneGenerator().generate("vis2", seed=12)
+        vis = visible_objects(scene, 0)
+        present_ids = {o.object_id for o, _ in scene.boxes_at(0)}
+        assert {o.object_id for o, _ in vis} <= present_ids
+
+    def test_occlusion_hides_something_sometimes(self):
+        # Across several dense scenes, at least one present object should be
+        # occluded at some frame (otherwise the model is vacuous).
+        gen = SceneGenerator()
+        hidden = 0
+        for seed in range(6):
+            scene = gen.generate(f"vis3-{seed}", seed=seed)
+            table = VisibilityModel().visibility_table(scene)
+            hidden += sum(1 for v in table.values() if not v)
+        assert hidden > 0
+
+    def test_handcrafted_occlusion_scene(self):
+        # Ego at origin; a truck directly blocks a motorcycle behind it.
+        truck = WorldObject(
+            object_id="truck",
+            object_class=ObjectClass.TRUCK,
+            length=8.5,
+            width=2.6,
+            height=3.2,
+            z_center=1.6,
+            poses=[Pose2D(10.0, 0.0, 0.0)] * 3,
+        )
+        moto = WorldObject(
+            object_id="moto",
+            object_class=ObjectClass.MOTORCYCLE,
+            length=2.2,
+            width=0.9,
+            height=1.4,
+            z_center=0.7,
+            poses=[Pose2D(30.0, 0.0, 0.0)] * 3,
+        )
+        scene = WorldScene(
+            scene_id="occl",
+            dt=0.2,
+            ego_poses=[EGO] * 3,
+            objects=[truck, moto],
+        )
+        vis = visible_objects(scene, 0)
+        ids = {o.object_id for o, _ in vis}
+        assert "truck" in ids
+        assert "moto" not in ids

@@ -1,0 +1,179 @@
+"""Tests for world objects, scenes, and scene generation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    ObjectClass,
+    SceneConfig,
+    SceneGenerator,
+    WorldObject,
+    WorldScene,
+)
+from repro.geometry import Pose2D
+
+
+def simple_object(object_id="obj0", n_frames=5, gap=None):
+    poses = [Pose2D(float(i), 0.0, 0.0) for i in range(n_frames)]
+    if gap is not None:
+        for g in gap:
+            poses[g] = None
+    return WorldObject(
+        object_id=object_id,
+        object_class=ObjectClass.CAR,
+        length=4.5,
+        width=1.9,
+        height=1.7,
+        z_center=0.85,
+        poses=poses,
+    )
+
+
+def simple_scene(n_frames=5, dt=0.2):
+    return WorldScene(
+        scene_id="s0",
+        dt=dt,
+        ego_poses=[Pose2D(0.0, float(i), math.pi / 2) for i in range(n_frames)],
+        objects=[simple_object()],
+    )
+
+
+class TestWorldObject:
+    def test_box_at_present_frame(self):
+        obj = simple_object()
+        box = obj.box_at(2)
+        assert box is not None
+        assert box.x == 2.0
+        assert box.volume == pytest.approx(4.5 * 1.9 * 1.7)
+
+    def test_box_at_absent_frame(self):
+        obj = simple_object(gap=[1])
+        assert obj.box_at(1) is None
+
+    def test_present_frames(self):
+        obj = simple_object(n_frames=5, gap=[0, 4])
+        assert obj.present_frames == [1, 2, 3]
+        assert obj.n_present == 3
+
+    def test_speed_at(self):
+        obj = simple_object()
+        assert obj.speed_at(0, dt=0.2) == pytest.approx(5.0)
+
+    def test_speed_at_gap_is_none(self):
+        obj = simple_object(gap=[2])
+        assert obj.speed_at(1, dt=0.2) is None
+        assert obj.speed_at(2, dt=0.2) is None
+
+    def test_speed_at_last_frame_is_none(self):
+        obj = simple_object(n_frames=3)
+        assert obj.speed_at(2, dt=0.2) is None
+
+    def test_serialization_roundtrip(self):
+        obj = simple_object(gap=[1])
+        clone = WorldObject.from_dict(obj.to_dict())
+        assert clone.object_id == obj.object_id
+        assert clone.object_class is obj.object_class
+        assert clone.poses == obj.poses
+
+
+class TestWorldScene:
+    def test_frame_counts(self):
+        scene = simple_scene(n_frames=7, dt=0.5)
+        assert scene.n_frames == 7
+        assert scene.duration_s == pytest.approx(3.5)
+
+    def test_boxes_at(self):
+        scene = simple_scene()
+        pairs = scene.boxes_at(0)
+        assert len(pairs) == 1
+        obj, box = pairs[0]
+        assert obj.object_id == "obj0"
+        assert box.x == 0.0
+
+    def test_object_by_id(self):
+        scene = simple_scene()
+        assert scene.object_by_id("obj0").object_class is ObjectClass.CAR
+        with pytest.raises(KeyError):
+            scene.object_by_id("missing")
+
+    def test_serialization_roundtrip(self):
+        scene = simple_scene()
+        clone = WorldScene.from_dict(scene.to_dict())
+        assert clone.scene_id == scene.scene_id
+        assert clone.n_frames == scene.n_frames
+        assert clone.objects[0].poses == scene.objects[0].poses
+
+
+class TestSceneConfig:
+    def test_defaults_are_15s_at_5hz(self):
+        cfg = SceneConfig()
+        assert cfg.n_frames * cfg.dt == pytest.approx(15.0)
+
+    def test_rejects_too_few_frames(self):
+        with pytest.raises(ValueError):
+            SceneConfig(n_frames=1)
+
+    def test_rejects_bad_class_mix(self):
+        with pytest.raises(ValueError):
+            SceneConfig(class_mix=((ObjectClass.CAR, 0.5),))
+
+
+class TestSceneGenerator:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        return SceneGenerator().generate("test-scene", seed=123)
+
+    def test_deterministic(self, scene):
+        again = SceneGenerator().generate("test-scene", seed=123)
+        assert again.to_dict() == scene.to_dict()
+
+    def test_different_seeds_differ(self, scene):
+        other = SceneGenerator().generate("test-scene", seed=124)
+        assert other.to_dict() != scene.to_dict()
+
+    def test_object_count_in_range(self, scene):
+        cfg = SceneConfig()
+        assert cfg.n_objects_range[0] <= len(scene.objects) <= cfg.n_objects_range[1]
+
+    def test_frame_count(self, scene):
+        assert scene.n_frames == SceneConfig().n_frames
+        assert all(len(o.poses) == scene.n_frames for o in scene.objects)
+
+    def test_ego_moves(self, scene):
+        assert scene.ego_poses[0].distance_to(scene.ego_poses[-1]) > 10.0
+
+    def test_class_mix_present(self):
+        scenes = SceneGenerator().generate_many(12, seed=5)
+        classes = {o.object_class for s in scenes for o in s.objects}
+        assert classes == set(ObjectClass)
+
+    def test_some_objects_partial_presence(self):
+        scenes = SceneGenerator().generate_many(10, seed=6)
+        partial = [
+            o
+            for s in scenes
+            for o in s.objects
+            if 0 < o.n_present < s.n_frames
+        ]
+        assert partial, "expected some objects with partial presence"
+        cfg = SceneConfig()
+        for obj in partial:
+            assert obj.n_present >= cfg.min_presence_frames
+            # Presence should be one contiguous window.
+            frames = obj.present_frames
+            assert frames == list(range(frames[0], frames[-1] + 1))
+
+    def test_generate_many_ids_unique(self):
+        scenes = SceneGenerator().generate_many(5, seed=7, prefix="lyft")
+        ids = [s.scene_id for s in scenes]
+        assert len(set(ids)) == 5
+        assert all(i.startswith("lyft-") for i in ids)
+
+    def test_objects_within_plausible_range(self, scene):
+        anchor = scene.ego_poses[len(scene.ego_poses) // 2]
+        cfg = SceneConfig()
+        for obj in scene.objects:
+            first = next(p for p in obj.poses if p is not None)
+            assert anchor.distance_to(first) <= cfg.spawn_radius + 1e-6

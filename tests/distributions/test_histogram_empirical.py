@@ -1,0 +1,124 @@
+"""Tests for histogram density and empirical CDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    EmpiricalCDF,
+    HistogramDensity,
+    freedman_diaconis_bins,
+)
+
+
+class TestFreedmanDiaconis:
+    def test_reasonable_bin_count(self):
+        rng = np.random.default_rng(0)
+        n = freedman_diaconis_bins(rng.normal(size=1000))
+        assert 10 <= n <= 60
+
+    def test_degenerate_data(self):
+        assert freedman_diaconis_bins(np.array([1.0])) == 4
+        assert freedman_diaconis_bins(np.ones(100)) == 4
+
+    def test_clamped(self):
+        rng = np.random.default_rng(1)
+        heavy = np.concatenate([rng.normal(size=100000), [1e9]])
+        assert freedman_diaconis_bins(heavy) <= 256
+
+
+class TestHistogramDensity:
+    def test_uniform_density(self):
+        rng = np.random.default_rng(2)
+        data = rng.uniform(0, 10, 20000)
+        hist = HistogramDensity(data, bins=10)
+        assert hist.pdf(5.0) == pytest.approx(0.1, rel=0.05)
+
+    def test_out_of_range_zero(self):
+        hist = HistogramDensity([1.0, 2.0, 3.0], bins=3)
+        assert hist.pdf(-5.0) == 0.0
+        assert hist.pdf(10.0) == 0.0
+
+    def test_right_edge_included(self):
+        hist = HistogramDensity([0.0, 1.0, 2.0, 3.0], bins=3)
+        assert hist.pdf(3.0) > 0.0
+
+    def test_integrates_to_one(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=5000)
+        hist = HistogramDensity(data)
+        edges = hist.edges
+        centers = (edges[:-1] + edges[1:]) / 2
+        widths = np.diff(edges)
+        mass = float(np.sum(hist.pdf(centers) * widths))
+        assert mass == pytest.approx(1.0, abs=1e-9)
+
+    def test_constant_data(self):
+        hist = HistogramDensity([7.0] * 10)
+        assert hist.pdf(7.0) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistogramDensity([])
+        with pytest.raises(ValueError):
+            HistogramDensity([np.nan])
+        with pytest.raises(ValueError):
+            HistogramDensity([1.0], bins=0)
+        with pytest.raises(ValueError):
+            HistogramDensity(np.zeros((3, 2)))
+
+    def test_fit_classmethod(self):
+        hist = HistogramDensity.fit([1.0, 2.0, 3.0])
+        assert hist.n_samples == 3
+
+
+class TestEmpiricalCDF:
+    @pytest.fixture(scope="class")
+    def ecdf(self):
+        return EmpiricalCDF(np.arange(1, 101, dtype=float))
+
+    def test_cdf_values(self, ecdf):
+        assert ecdf.cdf(0.0) == 0.0
+        assert ecdf.cdf(50.0) == pytest.approx(0.5)
+        assert ecdf.cdf(100.0) == 1.0
+
+    def test_survival(self, ecdf):
+        assert ecdf.survival(50.0) == pytest.approx(0.5)
+
+    def test_tail_probability(self, ecdf):
+        assert ecdf.tail_probability(50.0) == pytest.approx(1.0)
+        assert ecdf.tail_probability(1.0) == pytest.approx(0.02)
+        assert ecdf.tail_probability(1000.0) == 0.0
+
+    def test_quantile(self, ecdf):
+        assert ecdf.quantile(0.0) == 1.0
+        assert ecdf.quantile(1.0) == 100.0
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    def test_batch(self, ecdf):
+        out = ecdf.cdf(np.array([0.0, 50.0, 200.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+        with pytest.raises(ValueError):
+            EmpiricalCDF([np.inf])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+        min_size=1,
+        max_size=80,
+    ),
+    st.floats(min_value=-1100, max_value=1100, allow_nan=False),
+)
+def test_ecdf_monotone_and_bounded(data, x):
+    ecdf = EmpiricalCDF(data)
+    c = ecdf.cdf(x)
+    assert 0.0 <= c <= 1.0
+    assert ecdf.cdf(x + 1.0) >= c

@@ -1,0 +1,174 @@
+"""Tests for the from-scratch Gaussian KDE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import GaussianKDE, scott_bandwidth, silverman_bandwidth
+
+
+@pytest.fixture(scope="module")
+def normal_data():
+    rng = np.random.default_rng(0)
+    return rng.normal(10.0, 2.0, size=2000)
+
+
+class TestConstruction:
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            GaussianKDE([])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            GaussianKDE([1.0, np.nan])
+        with pytest.raises(ValueError):
+            GaussianKDE([1.0, np.inf])
+
+    def test_bandwidth_rules(self, normal_data):
+        scott = GaussianKDE(normal_data, bandwidth="scott")
+        silv = GaussianKDE(normal_data, bandwidth="silverman")
+        assert scott.bandwidth[0] > 0
+        assert silv.bandwidth[0] > 0
+
+    def test_explicit_bandwidth(self, normal_data):
+        kde = GaussianKDE(normal_data, bandwidth=0.5)
+        assert kde.bandwidth[0] == 0.5
+
+    def test_bad_bandwidth(self, normal_data):
+        with pytest.raises(ValueError):
+            GaussianKDE(normal_data, bandwidth="magic")
+        with pytest.raises(ValueError):
+            GaussianKDE(normal_data, bandwidth=-1.0)
+
+    def test_single_point(self):
+        kde = GaussianKDE([5.0])
+        assert kde.n_samples == 1
+        assert kde.pdf(5.0) > kde.pdf(6.0)
+
+    def test_constant_data(self):
+        kde = GaussianKDE([3.0] * 50)
+        assert np.isfinite(kde.log_pdf(3.0))
+        assert kde.pdf(3.0) > kde.pdf(4.0)
+
+
+class TestAccuracy:
+    def test_matches_true_normal_density(self, normal_data):
+        kde = GaussianKDE(normal_data)
+        xs = np.linspace(5, 15, 21)
+        true = np.exp(-0.5 * ((xs - 10) / 2) ** 2) / (2 * np.sqrt(2 * np.pi))
+        est = kde.pdf(xs)
+        assert np.max(np.abs(est - true)) < 0.02
+
+    def test_integrates_to_one(self, normal_data):
+        kde = GaussianKDE(normal_data)
+        xs = np.linspace(-5, 25, 3001)
+        mass = np.trapezoid(kde.pdf(xs), xs)
+        assert mass == pytest.approx(1.0, abs=0.01)
+
+    def test_bimodal(self):
+        rng = np.random.default_rng(1)
+        data = np.concatenate([rng.normal(0, 0.5, 500), rng.normal(10, 0.5, 500)])
+        kde = GaussianKDE(data)
+        assert kde.pdf(0.0) > kde.pdf(5.0) * 10
+        assert kde.pdf(10.0) > kde.pdf(5.0) * 10
+
+    def test_log_pdf_stable_in_far_tail(self, normal_data):
+        kde = GaussianKDE(normal_data)
+        lp = kde.log_pdf(1000.0)
+        assert np.isfinite(lp) or lp == -np.inf
+        assert lp < -100
+
+    def test_outlier_robust_bandwidth(self):
+        rng = np.random.default_rng(2)
+        clean = rng.normal(0, 1, 1000)
+        with_outliers = np.concatenate([clean, [1e4, -1e4]])
+        kde = GaussianKDE(with_outliers)
+        # IQR-based spread keeps bandwidth near the clean scale.
+        assert kde.bandwidth[0] < 1.0
+
+
+class TestMultivariate:
+    def test_2d_fit_and_eval(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(0, 1, size=(1500, 2))
+        kde = GaussianKDE(data)
+        assert kde.dim == 2
+        center = kde.pdf(np.array([0.0, 0.0]))
+        off = kde.pdf(np.array([3.0, 3.0]))
+        assert center > off
+        true_center = 1 / (2 * np.pi)
+        assert center == pytest.approx(true_center, rel=0.15)
+
+    def test_dimension_mismatch(self):
+        kde = GaussianKDE(np.zeros((10, 2)) + np.arange(10)[:, None])
+        with pytest.raises(ValueError):
+            kde.log_pdf(np.zeros((5, 3)))
+
+    def test_batch_eval_shape(self):
+        rng = np.random.default_rng(4)
+        kde = GaussianKDE(rng.normal(size=(100, 2)))
+        out = kde.log_pdf(rng.normal(size=(7, 2)))
+        assert out.shape == (7,)
+
+
+class TestSampling:
+    def test_samples_follow_density(self, normal_data):
+        kde = GaussianKDE(normal_data)
+        rng = np.random.default_rng(5)
+        samples = kde.sample(rng, 4000)
+        assert samples.mean() == pytest.approx(10.0, abs=0.2)
+        assert samples.std() == pytest.approx(2.0, abs=0.2)
+
+    def test_2d_sample_shape(self):
+        rng = np.random.default_rng(6)
+        kde = GaussianKDE(rng.normal(size=(50, 2)))
+        assert kde.sample(rng, 9).shape == (9, 2)
+
+
+class TestBandwidthRules:
+    def test_scott_shrinks_with_n(self):
+        rng = np.random.default_rng(7)
+        small = scott_bandwidth(rng.normal(size=(50, 1)))
+        large = scott_bandwidth(rng.normal(size=(5000, 1)))
+        assert large[0] < small[0]
+
+    def test_silverman_close_to_scott_1d(self):
+        rng = np.random.default_rng(8)
+        data = rng.normal(size=(500, 1))
+        assert silverman_bandwidth(data)[0] == pytest.approx(
+            scott_bandwidth(data)[0] * (3.0 / 4.0) ** (-1 / 5), rel=1e-9
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=2,
+        max_size=60,
+    )
+)
+def test_kde_density_nonnegative_and_finite(data):
+    kde = GaussianKDE(data)
+    xs = np.linspace(min(data) - 10, max(data) + 10, 41)
+    pdf = kde.pdf(xs)
+    assert (pdf >= 0).all()
+    assert np.isfinite(pdf).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        min_size=5,
+        max_size=40,
+    ),
+    st.floats(min_value=-60, max_value=60, allow_nan=False),
+)
+def test_log_pdf_matches_pdf(data, x):
+    kde = GaussianKDE(data)
+    lp = kde.log_pdf(x)
+    p = kde.pdf(x)
+    if p > 0:
+        assert lp == pytest.approx(np.log(p), rel=1e-9, abs=1e-9)

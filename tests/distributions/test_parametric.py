@@ -1,0 +1,134 @@
+"""Tests for parametric distributions and the fitting registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Bernoulli,
+    Categorical,
+    Gaussian1D,
+    fit_distribution,
+    get_fitter,
+    register_fitter,
+)
+
+
+class TestGaussian1D:
+    def test_pdf_peak_at_mean(self):
+        g = Gaussian1D(mean=3.0, std=2.0)
+        assert g.pdf(3.0) > g.pdf(4.0) > g.pdf(6.0)
+
+    def test_pdf_value(self):
+        g = Gaussian1D(mean=0.0, std=1.0)
+        assert g.pdf(0.0) == pytest.approx(1 / math.sqrt(2 * math.pi))
+
+    def test_fit_recovers_moments(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, 5000)
+        g = Gaussian1D.fit(data)
+        assert g.mean == pytest.approx(5.0, abs=0.15)
+        assert g.std == pytest.approx(3.0, abs=0.15)
+
+    def test_fit_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            Gaussian1D.fit([1.0])
+
+    def test_invalid_std(self):
+        with pytest.raises(ValueError):
+            Gaussian1D(0.0, 0.0)
+
+    def test_batch(self):
+        g = Gaussian1D(0.0, 1.0)
+        out = g.pdf(np.array([0.0, 1.0, 2.0]))
+        assert out.shape == (3,)
+        assert out[0] > out[1] > out[2]
+
+
+class TestBernoulli:
+    def test_pmf(self):
+        b = Bernoulli(0.3)
+        assert b.pdf(1.0) == pytest.approx(0.3)
+        assert b.pdf(0.0) == pytest.approx(0.7)
+
+    def test_fit_laplace_smoothing(self):
+        b = Bernoulli.fit([1.0] * 10)
+        assert 0 < b.pdf(0.0) < 0.2
+        assert b.n_samples == 10
+
+    def test_fit_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            Bernoulli.fit([0.0, 0.5])
+
+    def test_fit_empty(self):
+        with pytest.raises(ValueError):
+            Bernoulli.fit([])
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Bernoulli(1.5)
+
+    def test_log_pdf_finite_after_smoothing(self):
+        b = Bernoulli.fit([0.0] * 5)
+        assert np.isfinite(b.log_pdf(1.0))
+
+
+class TestCategorical:
+    def test_normalizes(self):
+        c = Categorical({"car": 3.0, "truck": 1.0})
+        assert c.pdf("car") == pytest.approx(0.75)
+        assert c.pdf("truck") == pytest.approx(0.25)
+
+    def test_unknown_category_zero(self):
+        c = Categorical({"car": 1.0})
+        assert c.pdf("boat") == 0.0
+        assert c.log_pdf("boat") == -math.inf
+
+    def test_fit_with_smoothing(self):
+        c = Categorical.fit(["a", "a", "a", "b"])
+        assert c.pdf("a") == pytest.approx(4 / 6)
+        assert c.pdf("b") == pytest.approx(2 / 6)
+
+    def test_fit_empty(self):
+        with pytest.raises(ValueError):
+            Categorical.fit([])
+
+    def test_batch(self):
+        c = Categorical({"a": 1.0, "b": 1.0})
+        out = c.pdf(["a", "b", "z"])
+        np.testing.assert_allclose(out, [0.5, 0.5, 0.0])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Categorical({})
+        with pytest.raises(ValueError):
+            Categorical({"a": -1.0})
+
+
+class TestFittingRegistry:
+    def test_builtin_kinds(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=200)
+        for kind in ("kde", "histogram", "gaussian"):
+            dist = fit_distribution(data, kind=kind)
+            assert dist.pdf(0.0) > 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fitter"):
+            get_fitter("alien")
+
+    def test_register_custom(self):
+        calls = []
+
+        def fake_fitter(values):
+            calls.append(len(values))
+            return Gaussian1D(0.0, 1.0)
+
+        register_fitter("fake-test", fake_fitter)
+        dist = fit_distribution([1.0, 2.0], kind="fake-test")
+        assert calls == [2]
+        assert isinstance(dist, Gaussian1D)
+        with pytest.raises(ValueError):
+            register_fitter("fake-test", fake_fitter)
+        register_fitter("fake-test", fake_fitter, overwrite=True)

@@ -1,0 +1,39 @@
+"""Tests for the full-report harness plumbing (without running the full,
+expensive experiment set — that lives in benchmarks/)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.eval.harness import FullReport
+
+
+@dataclass
+class _StubResult:
+    text: str
+
+    def to_text(self) -> str:
+        return self.text
+
+
+class TestFullReport:
+    def test_get_and_to_text(self):
+        report = FullReport()
+        report.sections.append(("alpha", _StubResult("ALPHA RESULT")))
+        report.sections.append(("beta", _StubResult("BETA RESULT")))
+        assert report.get("alpha").text == "ALPHA RESULT"
+        text = report.to_text()
+        assert "ALPHA RESULT" in text and "BETA RESULT" in text
+        assert text.index("ALPHA") < text.index("BETA")
+
+    def test_list_sections_flattened(self):
+        report = FullReport()
+        report.sections.append(
+            ("figures", [_StubResult("FIG A"), _StubResult("FIG B")])
+        )
+        text = report.to_text()
+        assert "FIG A" in text and "FIG B" in text
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            FullReport().get("nope")

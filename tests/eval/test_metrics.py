@@ -1,0 +1,99 @@
+"""Tests for ranking metrics and reporting."""
+
+import math
+
+import pytest
+
+from repro.eval import (
+    format_kv,
+    format_table,
+    mean_or_nan,
+    precision_at_k,
+    recall_of_set,
+    summarize_precisions,
+)
+
+
+class TestPrecisionAtK:
+    def test_basic(self):
+        hits = [True, True, False, True]
+        assert precision_at_k(hits, 4) == pytest.approx(0.75)
+        assert precision_at_k(hits, 2) == pytest.approx(1.0)
+
+    def test_fewer_flagged_than_k(self):
+        # Paper: "we use the maximum number in these cases".
+        assert precision_at_k([True, False], 10) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert precision_at_k([], 10) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([True], 0)
+
+    def test_k_one(self):
+        assert precision_at_k([False, True], 1) == 0.0
+        assert precision_at_k([True, False], 1) == 1.0
+
+
+class TestRecallOfSet:
+    def test_basic(self):
+        assert recall_of_set({"a", "b"}, {"a", "b", "c", "d"}) == pytest.approx(0.5)
+
+    def test_found_outside_total_ignored(self):
+        assert recall_of_set({"a", "zzz"}, {"a", "b"}) == pytest.approx(0.5)
+
+    def test_empty_total_raises(self):
+        with pytest.raises(ValueError):
+            recall_of_set({"a"}, set())
+
+    def test_duplicates_ignored(self):
+        assert recall_of_set(["a", "a"], ["a", "b"]) == pytest.approx(0.5)
+
+
+class TestSummaries:
+    def test_mean_or_nan(self):
+        assert mean_or_nan([1.0, 3.0]) == 2.0
+        assert math.isnan(mean_or_nan([]))
+
+    def test_summarize(self):
+        per_scene = [
+            [True] * 10,
+            [True, False] * 5,
+        ]
+        summary = summarize_precisions("Fixy", "Lyft", per_scene)
+        assert summary.precision_at_10 == pytest.approx(0.75)
+        assert summary.precision_at_1 == pytest.approx(1.0)
+        assert summary.n_scenes == 2
+        row = summary.as_row()
+        assert row[0] == "Fixy"
+        assert row[2] == "75%"
+
+    def test_empty_scene_counts_as_zero(self):
+        summary = summarize_precisions("m", "d", [[True] * 10, []])
+        assert summary.precision_at_10 == pytest.approx(0.5)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Long header"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert "Long header" in lines[0]
+        # All rows align on the second column.
+        col = lines[0].index("Long header")
+        assert lines[2][col] == "1"
+
+    def test_format_table_title_and_errors(self):
+        text = format_table(["A"], [["x"]], title="T")
+        assert text.splitlines()[0] == "T"
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [["only one"]])
+
+    def test_format_kv(self):
+        text = format_kv([("key", 1), ("longer key", "v")], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("key")
+        assert lines[2].startswith("longer key")

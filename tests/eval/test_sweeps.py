@@ -1,0 +1,51 @@
+"""Tests for the sensitivity sweeps (reduced sizes)."""
+
+import pytest
+
+from repro.eval.sweeps import (
+    SweepPoint,
+    SweepResult,
+    training_size_sweep,
+    vendor_noise_sweep,
+)
+
+
+class TestSweepResult:
+    def test_to_text(self):
+        result = SweepResult(name="S", parameter_name="p")
+        result.points.append(SweepPoint(0.1, 0.8, 0.5, 3.0))
+        text = result.to_text()
+        assert "S" in text and "80%" in text and "50%" in text
+
+    def test_fixy_curve(self):
+        result = SweepResult(name="S", parameter_name="p")
+        result.points.append(SweepPoint(0.1, 0.8, 0.5, 3.0))
+        result.points.append(SweepPoint(0.2, 0.9, 0.5, 5.0))
+        assert result.fixy_curve == [0.8, 0.9]
+
+
+@pytest.fixture(scope="module")
+def noise_sweep():
+    return vendor_noise_sweep(miss_rates=(0.1, 0.4), n_scenes=2)
+
+
+class TestVendorNoiseSweep:
+    def test_points_cover_rates(self, noise_sweep):
+        assert [p.parameter for p in noise_sweep.points] == [0.1, 0.4]
+
+    def test_errors_grow_with_noise(self, noise_sweep):
+        lo, hi = noise_sweep.points
+        assert hi.n_errors_per_scene > lo.n_errors_per_scene
+
+    def test_precisions_in_range(self, noise_sweep):
+        for point in noise_sweep.points:
+            assert 0.0 <= point.fixy_precision_at_10 <= 1.0
+            assert 0.0 <= point.baseline_precision_at_10 <= 1.0
+
+
+class TestTrainingSizeSweep:
+    def test_learning_curve_sane(self):
+        result = training_size_sweep(n_train_options=(1, 4), n_scenes=2)
+        assert len(result.points) == 2
+        # More data should not make things catastrophically worse.
+        assert result.fixy_curve[1] >= result.fixy_curve[0] - 0.3

@@ -1,0 +1,208 @@
+"""Tests for factor evaluation, evidence scoring, and sum-product."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import (
+    FactorGraph,
+    FunctionFactor,
+    TableFactor,
+    log_potential,
+    log_score,
+    sum_product,
+)
+
+
+class TestLogPotential:
+    def test_positive(self):
+        assert log_potential(1.0) == 0.0
+        assert log_potential(math.e) == pytest.approx(1.0)
+
+    def test_zero_is_neg_inf(self):
+        assert log_potential(0.0) == -math.inf
+
+    def test_floor(self):
+        assert log_potential(1e-300) == pytest.approx(math.log(1e-12))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log_potential(-0.1)
+
+
+class TestFunctionFactor:
+    def test_evaluate(self):
+        f = FunctionFactor(["x", "y"], lambda x, y: x * y, label="prod")
+        assert f.evaluate({"x": 2.0, "y": 3.0}) == 6.0
+
+    def test_missing_assignment(self):
+        f = FunctionFactor(["x"], lambda x: x)
+        with pytest.raises(KeyError):
+            f.evaluate({})
+
+    def test_invalid_potential(self):
+        f = FunctionFactor(["x"], lambda x: -1.0)
+        with pytest.raises(ValueError):
+            f.evaluate({"x": 0.0})
+        g = FunctionFactor(["x"], lambda x: float("nan"))
+        with pytest.raises(ValueError):
+            g.evaluate({"x": 0.0})
+
+    def test_needs_variables(self):
+        with pytest.raises(ValueError):
+            FunctionFactor([], lambda: 1.0)
+
+    def test_log_evaluate(self):
+        f = FunctionFactor(["x"], lambda x: 0.5)
+        assert f.log_evaluate({"x": 0}) == pytest.approx(math.log(0.5))
+
+
+class TestTableFactor:
+    def test_evaluate(self):
+        t = TableFactor(
+            ["a", "b"],
+            [[0, 1], ["x", "y"]],
+            np.array([[0.1, 0.2], [0.3, 0.4]]),
+        )
+        assert t.evaluate({"a": 1, "b": "y"}) == pytest.approx(0.4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            TableFactor(["a"], [[0, 1]], np.zeros((3,)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TableFactor(["a"], [[0, 1]], np.array([-0.1, 0.5]))
+
+    def test_unknown_value(self):
+        t = TableFactor(["a"], [[0, 1]], np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            t.evaluate({"a": 7})
+
+    def test_marginalize_onto(self):
+        t = TableFactor(
+            ["a", "b"],
+            [[0, 1], [0, 1]],
+            np.array([[0.1, 0.2], [0.3, 0.4]]),
+        )
+        np.testing.assert_allclose(t.marginalize_onto("a"), [0.3, 0.7])
+        np.testing.assert_allclose(t.marginalize_onto("b"), [0.4, 0.6])
+        with pytest.raises(KeyError):
+            t.marginalize_onto("zzz")
+
+
+class TestLogScore:
+    def test_sums_log_potentials(self):
+        g = FactorGraph()
+        g.add_variable("x")
+        g.add_variable("y")
+        g.add_factor("fx", ["x"], payload=FunctionFactor(["x"], lambda x: 0.5))
+        g.add_factor("fy", ["y"], payload=FunctionFactor(["y"], lambda y: 0.25))
+        score = log_score(g, {"x": 0, "y": 0})
+        assert score == pytest.approx(math.log(0.5) + math.log(0.25))
+
+    def test_zero_factor_gives_neg_inf(self):
+        g = FactorGraph()
+        g.add_variable("x")
+        g.add_factor("f", ["x"], payload=FunctionFactor(["x"], lambda x: 0.0))
+        assert log_score(g, {"x": 1}) == -math.inf
+
+    def test_non_factor_payload_rejected(self):
+        g = FactorGraph()
+        g.add_variable("x")
+        g.add_factor("f", ["x"], payload="not a factor")
+        with pytest.raises(TypeError):
+            log_score(g, {"x": 1})
+
+
+class TestSumProduct:
+    def test_single_variable(self):
+        g = FactorGraph()
+        g.add_variable("x")
+        g.add_factor(
+            "prior", ["x"],
+            payload=TableFactor(["x"], [[0, 1]], np.array([0.2, 0.8])),
+        )
+        marginals = sum_product(g)
+        np.testing.assert_allclose(marginals["x"], [0.2, 0.8])
+
+    def test_chain_matches_brute_force(self):
+        # x - f(x,y) - y with priors on both.
+        prior_x = np.array([0.6, 0.4])
+        prior_y = np.array([0.3, 0.7])
+        pairwise = np.array([[0.9, 0.1], [0.2, 0.8]])
+
+        g = FactorGraph()
+        g.add_variable("x")
+        g.add_variable("y")
+        g.add_factor("px", ["x"], payload=TableFactor(["x"], [[0, 1]], prior_x))
+        g.add_factor("py", ["y"], payload=TableFactor(["y"], [[0, 1]], prior_y))
+        g.add_factor(
+            "pxy", ["x", "y"],
+            payload=TableFactor(["x", "y"], [[0, 1], [0, 1]], pairwise),
+        )
+        marginals = sum_product(g)
+
+        joint = prior_x[:, None] * prior_y[None, :] * pairwise
+        joint /= joint.sum()
+        np.testing.assert_allclose(marginals["x"], joint.sum(axis=1), atol=1e-12)
+        np.testing.assert_allclose(marginals["y"], joint.sum(axis=0), atol=1e-12)
+
+    def test_longer_chain(self):
+        rng = np.random.default_rng(0)
+        n = 5
+        g = FactorGraph()
+        tables = []
+        for i in range(n):
+            g.add_variable(f"x{i}")
+        for i in range(n - 1):
+            t = rng.uniform(0.1, 1.0, size=(2, 2))
+            tables.append(t)
+            g.add_factor(
+                f"f{i}", [f"x{i}", f"x{i+1}"],
+                payload=TableFactor([f"x{i}", f"x{i+1}"], [[0, 1], [0, 1]], t),
+            )
+        marginals = sum_product(g)
+
+        # Brute force over all 2^n assignments.
+        brute = {f"x{i}": np.zeros(2) for i in range(n)}
+        total = 0.0
+        for mask in range(2**n):
+            bits = [(mask >> i) & 1 for i in range(n)]
+            weight = 1.0
+            for i in range(n - 1):
+                weight *= tables[i][bits[i], bits[i + 1]]
+            total += weight
+            for i in range(n):
+                brute[f"x{i}"][bits[i]] += weight
+        for i in range(n):
+            np.testing.assert_allclose(
+                marginals[f"x{i}"], brute[f"x{i}"] / total, atol=1e-10
+            )
+
+    def test_cyclic_graph_rejected(self):
+        g = FactorGraph()
+        g.add_variable("a")
+        g.add_variable("b")
+        t = np.ones((2, 2))
+        g.add_factor("f1", ["a", "b"], payload=TableFactor(["a", "b"], [[0, 1], [0, 1]], t))
+        g.add_factor("f2", ["a", "b"], payload=TableFactor(["a", "b"], [[0, 1], [0, 1]], t))
+        with pytest.raises(ValueError):
+            sum_product(g)
+
+    def test_uncovered_variable_rejected(self):
+        g = FactorGraph()
+        g.add_variable("a")
+        g.add_variable("orphan")
+        g.add_factor("f", ["a"], payload=TableFactor(["a"], [[0, 1]], np.ones(2)))
+        with pytest.raises(ValueError):
+            sum_product(g)
+
+    def test_inconsistent_domains_rejected(self):
+        g = FactorGraph()
+        g.add_variable("a")
+        g.add_factor("f1", ["a"], payload=TableFactor(["a"], [[0, 1]], np.ones(2)))
+        g.add_factor("f2", ["a"], payload=TableFactor(["a"], [[0, 1, 2]], np.ones(3)))
+        with pytest.raises(ValueError):
+            sum_product(g)

@@ -1,0 +1,137 @@
+"""Tests for factor graph structure."""
+
+import pytest
+
+from repro.factorgraph import FactorGraph
+
+
+def chain_graph(n_vars=3):
+    """v0 - f01 - v1 - f12 - v2 ... plus a unary factor on v0."""
+    g = FactorGraph()
+    for i in range(n_vars):
+        g.add_variable(f"v{i}")
+    g.add_factor("u0", ["v0"])
+    for i in range(n_vars - 1):
+        g.add_factor(f"f{i}{i+1}", [f"v{i}", f"v{i+1}"])
+    return g
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = chain_graph(3)
+        assert g.n_variables == 3
+        assert g.n_factors == 3
+        assert g.n_edges == 1 + 2 + 2
+
+    def test_duplicate_variable(self):
+        g = FactorGraph()
+        g.add_variable("v")
+        with pytest.raises(ValueError):
+            g.add_variable("v")
+
+    def test_duplicate_factor(self):
+        g = FactorGraph()
+        g.add_variable("v")
+        g.add_factor("f", ["v"])
+        with pytest.raises(ValueError):
+            g.add_factor("f", ["v"])
+
+    def test_name_collision_across_kinds(self):
+        g = FactorGraph()
+        g.add_variable("x")
+        with pytest.raises(ValueError):
+            g.add_factor("x", ["x"])
+        g.add_factor("f", ["x"])
+        with pytest.raises(ValueError):
+            g.add_variable("f")
+
+    def test_factor_requires_known_variables(self):
+        g = FactorGraph()
+        g.add_variable("v")
+        with pytest.raises(KeyError):
+            g.add_factor("f", ["v", "missing"])
+
+    def test_factor_requires_nonempty_scope(self):
+        g = FactorGraph()
+        with pytest.raises(ValueError):
+            g.add_factor("f", [])
+
+    def test_factor_rejects_duplicate_scope(self):
+        g = FactorGraph()
+        g.add_variable("v")
+        with pytest.raises(ValueError):
+            g.add_factor("f", ["v", "v"])
+
+    def test_payloads(self):
+        g = FactorGraph()
+        var = g.add_variable("v", payload={"x": 1})
+        fac = g.add_factor("f", ["v"], payload="dist")
+        assert var.payload == {"x": 1}
+        assert fac.payload == "dist"
+
+
+class TestQueries:
+    def test_scope_and_factors_of(self):
+        g = chain_graph(3)
+        assert [v.name for v in g.factor_scope("f01")] == ["v0", "v1"]
+        assert [f.name for f in g.factors_of("v1")] == ["f01", "f12"]
+
+    def test_degree(self):
+        g = chain_graph(3)
+        assert g.degree("v0") == 2  # u0 and f01
+        assert g.degree("v1") == 2
+        assert g.degree("f01") == 2
+        assert g.degree("u0") == 1
+
+    def test_missing_nodes_raise(self):
+        g = chain_graph(2)
+        with pytest.raises(KeyError):
+            g.variable("zzz")
+        with pytest.raises(KeyError):
+            g.factor("zzz")
+        with pytest.raises(KeyError):
+            g.degree("zzz")
+        with pytest.raises(KeyError):
+            g.factor_scope("zzz")
+        with pytest.raises(KeyError):
+            g.factors_of("zzz")
+
+    def test_has_checks(self):
+        g = chain_graph(2)
+        assert g.has_variable("v0")
+        assert not g.has_variable("f01")
+        assert g.has_factor("f01")
+        assert not g.has_factor("v0")
+
+
+class TestStructure:
+    def test_chain_is_tree(self):
+        assert chain_graph(4).is_tree()
+
+    def test_cycle_detected(self):
+        g = FactorGraph()
+        for name in ("a", "b"):
+            g.add_variable(name)
+        g.add_factor("f1", ["a", "b"])
+        g.add_factor("f2", ["a", "b"])  # creates a cycle
+        assert not g.is_tree()
+
+    def test_connected_components(self):
+        g = FactorGraph()
+        for name in ("a", "b", "c"):
+            g.add_variable(name)
+        g.add_factor("fab", ["a", "b"])
+        g.add_factor("uc", ["c"])
+        comps = g.connected_components()
+        assert len(comps) == 2
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [2, 3]
+
+    def test_isolated_variable_component(self):
+        g = FactorGraph()
+        g.add_variable("lonely")
+        assert g.connected_components() == [{"lonely"}]
+        assert g.is_tree()
+
+    def test_validate(self):
+        chain_graph(5).validate()

@@ -1,0 +1,112 @@
+"""Tests for MAP inference (max-product)."""
+
+import numpy as np
+import pytest
+
+from repro.factorgraph import FactorGraph, TableFactor, max_product, sum_product
+
+
+def single_var_graph(potentials):
+    g = FactorGraph()
+    g.add_variable("x")
+    g.add_factor(
+        "f", ["x"],
+        payload=TableFactor(["x"], [list(range(len(potentials)))],
+                            np.asarray(potentials)),
+    )
+    return g
+
+
+class TestMaxProduct:
+    def test_single_variable(self):
+        g = single_var_graph([0.2, 0.7, 0.1])
+        assert max_product(g) == {"x": 1}
+
+    def test_chain_map_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        n = 4
+        g = FactorGraph()
+        tables = []
+        for i in range(n):
+            g.add_variable(f"x{i}")
+        for i in range(n - 1):
+            t = rng.uniform(0.05, 1.0, size=(2, 2))
+            tables.append(t)
+            g.add_factor(
+                f"f{i}", [f"x{i}", f"x{i+1}"],
+                payload=TableFactor([f"x{i}", f"x{i+1}"], [[0, 1], [0, 1]], t),
+            )
+        assignment = max_product(g)
+
+        best_weight, best_bits = -1.0, None
+        for mask in range(2**n):
+            bits = [(mask >> i) & 1 for i in range(n)]
+            weight = 1.0
+            for i in range(n - 1):
+                weight *= tables[i][bits[i], bits[i + 1]]
+            if weight > best_weight:
+                best_weight, best_bits = weight, bits
+        assert [assignment[f"x{i}"] for i in range(n)] == best_bits
+
+    def test_map_can_differ_from_marginal_argmax(self):
+        """Classic case: per-variable marginal argmaxes need not form the
+        joint MAP. Construct one and check max_product gets the joint."""
+        # Pairwise potential strongly favors (0,0) OR anything with x=1,
+        # arranged so marginals favor x=1 but the single best joint is (0,0).
+        table = np.array([[0.5, 0.01], [0.3, 0.3]])
+        g = FactorGraph()
+        g.add_variable("x")
+        g.add_variable("y")
+        g.add_factor(
+            "f", ["x", "y"],
+            payload=TableFactor(["x", "y"], [[0, 1], [0, 1]], table),
+        )
+        marginals = sum_product(g)
+        assert int(np.argmax(marginals["x"])) == 1  # 0.6 vs 0.51 mass
+        assert max_product(g) == {"x": 0, "y": 0}   # joint max 0.5
+
+    def test_disconnected_components_independent(self):
+        g = FactorGraph()
+        g.add_variable("a")
+        g.add_variable("b")
+        g.add_factor("fa", ["a"],
+                     payload=TableFactor(["a"], [[0, 1]], np.array([0.9, 0.1])))
+        g.add_factor("fb", ["b"],
+                     payload=TableFactor(["b"], [[0, 1]], np.array([0.2, 0.8])))
+        assert max_product(g) == {"a": 0, "b": 1}
+
+    def test_zero_everywhere_rejected(self):
+        g = single_var_graph([0.0, 0.0])
+        with pytest.raises(ValueError, match="positive potential"):
+            max_product(g)
+
+    def test_huge_joint_rejected(self):
+        g = FactorGraph()
+        domain = list(range(200))
+        for i in range(4):
+            g.add_variable(f"x{i}")
+        # Connect all four so the component's joint is 200^4 > cap.
+        for i in range(3):
+            g.add_factor(
+                f"f{i}", [f"x{i}", f"x{i+1}"],
+                payload=TableFactor([f"x{i}", f"x{i+1}"], [domain, domain],
+                                    np.ones((200, 200))),
+            )
+        with pytest.raises(ValueError, match="too large"):
+            max_product(g)
+
+    def test_consistent_with_loopy_small_graph(self):
+        # max_product is exact even with a cycle (brute force).
+        g = FactorGraph()
+        g.add_variable("a")
+        g.add_variable("b")
+        t1 = np.array([[0.9, 0.1], [0.1, 0.9]])
+        t2 = np.array([[0.2, 0.8], [0.8, 0.2]])
+        g.add_factor("f1", ["a", "b"],
+                     payload=TableFactor(["a", "b"], [[0, 1], [0, 1]], t1))
+        g.add_factor("f2", ["a", "b"],
+                     payload=TableFactor(["a", "b"], [[0, 1], [0, 1]], t2))
+        assignment = max_product(g)
+        joint = t1 * t2
+        best = np.unravel_index(np.argmax(joint), joint.shape)
+        assert (assignment["a"], assignment["b"]) == best

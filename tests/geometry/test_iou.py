@@ -1,0 +1,232 @@
+"""Unit and property tests for polygon clipping and IoU."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Box3D,
+    bev_iou,
+    compute_iou,
+    convex_intersection_area,
+    iou_3d,
+    pairwise_center_distance,
+    pairwise_iou,
+    polygon_area,
+)
+from repro.geometry.iou import clip_polygon
+
+
+def square(cx=0.0, cy=0.0, half=1.0):
+    return np.array(
+        [
+            [cx + half, cy + half],
+            [cx - half, cy + half],
+            [cx - half, cy - half],
+            [cx + half, cy - half],
+        ]
+    )
+
+
+class TestPolygonArea:
+    def test_unit_square(self):
+        assert polygon_area(square(half=0.5)) == pytest.approx(1.0)
+
+    def test_triangle(self):
+        tri = np.array([[0, 0], [2, 0], [0, 2]])
+        assert polygon_area(tri) == pytest.approx(2.0)
+
+    def test_degenerate(self):
+        assert polygon_area(np.zeros((0, 2))) == 0.0
+        assert polygon_area(np.array([[0, 0], [1, 1]])) == 0.0
+
+    def test_orientation_invariant(self):
+        sq = square()
+        assert polygon_area(sq) == pytest.approx(polygon_area(sq[::-1]))
+
+
+class TestClipping:
+    def test_identical_squares(self):
+        result = clip_polygon(square(), square())
+        assert polygon_area(result) == pytest.approx(4.0)
+
+    def test_half_overlap(self):
+        a = square(cx=0.0)
+        b = square(cx=1.0)
+        assert convex_intersection_area(a, b) == pytest.approx(2.0)
+
+    def test_disjoint(self):
+        assert convex_intersection_area(square(0), square(5)) == 0.0
+
+    def test_contained(self):
+        outer = square(half=2.0)
+        inner = square(half=0.5)
+        assert convex_intersection_area(outer, inner) == pytest.approx(1.0)
+        assert convex_intersection_area(inner, outer) == pytest.approx(1.0)
+
+    def test_corner_touch(self):
+        a = square(cx=0, cy=0)
+        b = square(cx=2, cy=2)
+        assert convex_intersection_area(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rotated_diamond_in_square(self):
+        # Diamond with vertices at (+-1, 0), (0, +-1) inside unit-ish square.
+        diamond = np.array([[1, 0], [0, 1], [-1, 0], [0, -1]], dtype=float)
+        sq = square(half=1.0)
+        assert convex_intersection_area(diamond, sq) == pytest.approx(2.0)
+
+
+def box(x=0.0, y=0.0, yaw=0.0, l=4.0, w=2.0, h=1.5, z=0.75):
+    return Box3D(x=x, y=y, z=z, length=l, width=w, height=h, yaw=yaw)
+
+
+class TestBevIoU:
+    def test_identical(self):
+        assert bev_iou(box(), box()) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert bev_iou(box(0), box(100)) == 0.0
+
+    def test_half_offset(self):
+        # Shift along length by half: intersection 2x2=4... actually l=4,w=2
+        # shifted by 2 => inter = 2*2 = 4, union = 8+8-4 = 12.
+        assert bev_iou(box(0), box(2.0)) == pytest.approx(4.0 / 12.0)
+
+    def test_rotation_symmetry(self):
+        a, b = box(yaw=0.3), box(x=1.0, yaw=-0.2)
+        assert bev_iou(a, b) == pytest.approx(bev_iou(b, a))
+
+    def test_yaw_invariance_joint_rotation(self):
+        # Rotating both boxes about the origin preserves IoU.
+        a, b = box(0.0), box(1.5, 0.5, yaw=0.2)
+        base = bev_iou(a, b)
+        theta = 0.9
+        c, s = math.cos(theta), math.sin(theta)
+
+        def rot(bx):
+            return Box3D(
+                x=c * bx.x - s * bx.y,
+                y=s * bx.x + c * bx.y,
+                z=bx.z,
+                length=bx.length,
+                width=bx.width,
+                height=bx.height,
+                yaw=bx.yaw + theta,
+            )
+
+        assert bev_iou(rot(a), rot(b)) == pytest.approx(base, abs=1e-9)
+
+    def test_90_degree_cross(self):
+        # 4x2 box crossed with its 90-degree rotation: intersection 2x2.
+        a = box(yaw=0.0)
+        b = box(yaw=math.pi / 2)
+        inter = 4.0
+        union = 8.0 + 8.0 - inter
+        assert bev_iou(a, b) == pytest.approx(inter / union)
+
+
+class TestIoU3D:
+    def test_identical(self):
+        assert iou_3d(box(), box()) == pytest.approx(1.0)
+
+    def test_no_z_overlap(self):
+        a = box(z=0.75)
+        b = box(z=10.0)
+        assert iou_3d(a, b) == 0.0
+
+    def test_partial_z_overlap(self):
+        a = Box3D(x=0, y=0, z=0.5, length=2, width=2, height=1)
+        b = Box3D(x=0, y=0, z=1.0, length=2, width=2, height=1)
+        inter = 4.0 * 0.5
+        union = 4.0 + 4.0 - inter
+        assert iou_3d(a, b) == pytest.approx(inter / union)
+
+    def test_3d_never_exceeds_bev_for_same_footprint(self):
+        a = box(z=0.75)
+        b = box(x=1.0, z=1.0)
+        assert iou_3d(a, b) <= bev_iou(a, b) + 1e-12
+
+
+class TestComputeIoU:
+    def test_modes(self):
+        a, b = box(), box(x=1.0)
+        assert compute_iou(a, b, mode="bev") == pytest.approx(bev_iou(a, b))
+        assert compute_iou(a, b, mode="3d") == pytest.approx(iou_3d(a, b))
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            compute_iou(box(), box(), mode="4d")
+
+
+class TestPairwise:
+    def test_shape(self):
+        a = [box(0), box(10)]
+        b = [box(0), box(10), box(20)]
+        mat = pairwise_iou(a, b)
+        assert mat.shape == (2, 3)
+        assert mat[0, 0] == pytest.approx(1.0)
+        assert mat[1, 1] == pytest.approx(1.0)
+        assert mat[0, 1] == 0.0
+
+    def test_empty(self):
+        assert pairwise_iou([], [box()]).shape == (0, 1)
+        assert pairwise_center_distance([], []).shape == (0, 0)
+
+    def test_center_distance(self):
+        mat = pairwise_center_distance([box(0, 0)], [box(3, 4)])
+        assert mat[0, 0] == pytest.approx(5.0)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+finite = st.floats(min_value=-50, max_value=50, allow_nan=False)
+dim = st.floats(min_value=0.5, max_value=10, allow_nan=False)
+angle = st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False)
+
+
+@st.composite
+def boxes(draw):
+    return Box3D(
+        x=draw(finite),
+        y=draw(finite),
+        z=draw(st.floats(min_value=-2, max_value=2)),
+        length=draw(dim),
+        width=draw(dim),
+        height=draw(dim),
+        yaw=draw(angle),
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(boxes(), boxes())
+def test_iou_bounded_and_symmetric(a, b):
+    val = bev_iou(a, b)
+    assert 0.0 <= val <= 1.0
+    assert bev_iou(b, a) == pytest.approx(val, abs=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(boxes())
+def test_self_iou_is_one(a):
+    assert bev_iou(a, a) == pytest.approx(1.0, abs=1e-9)
+    assert iou_3d(a, a) == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(boxes(), boxes())
+def test_intersection_not_larger_than_either_area(a, b):
+    inter = convex_intersection_area(a.bev_corners(), b.bev_corners())
+    assert inter <= a.bev_area + 1e-6
+    assert inter <= b.bev_area + 1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(boxes(), boxes())
+def test_3d_iou_bounded(a, b):
+    val = iou_3d(a, b)
+    assert 0.0 <= val <= 1.0
+    assert iou_3d(b, a) == pytest.approx(val, abs=1e-9)

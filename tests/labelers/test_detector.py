@@ -1,0 +1,159 @@
+"""Tests for the simulated LIDAR detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import SOURCE_MODEL
+from repro.datagen import SceneGenerator
+from repro.labelers import (
+    INTERNAL_DETECTOR,
+    PUBLIC_DETECTOR,
+    DetectorConfig,
+    DetectorModel,
+    ErrorType,
+)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return SceneGenerator().generate("det-test", seed=55)
+
+
+@pytest.fixture(scope="module")
+def predictions(scene):
+    return DetectorModel().predict_scene(scene, seed=1)
+
+
+class TestPredictScene:
+    def test_deterministic(self, scene):
+        model = DetectorModel()
+        a, _ = model.predict_scene(scene, seed=1)
+        b, _ = model.predict_scene(scene, seed=1)
+        assert [o.box for o in a] == [o.box for o in b]
+
+    def test_source_and_confidence(self, predictions):
+        obs, _ = predictions
+        assert obs
+        assert all(o.source == SOURCE_MODEL for o in obs)
+        assert all(o.confidence is not None and 0 < o.confidence < 1 for o in obs)
+
+    def test_real_predictions_near_ground_truth(self, scene, predictions):
+        obs, _ = predictions
+        real = [o for o in obs if o.metadata.get("gt_object_id")]
+        assert real
+        for o in real[:80]:
+            gt = scene.object_by_id(o.metadata["gt_object_id"]).box_at(o.frame)
+            if gt is None:
+                continue
+            assert o.box.distance_to_box(gt) < 5.0
+
+    def test_detects_most_visible_objects(self, scene, predictions):
+        obs, _ = predictions
+        detected_ids = {o.metadata.get("gt_object_id") for o in obs}
+        from repro.datagen import VisibilityModel
+
+        table = VisibilityModel().visibility_table(scene)
+        visible_long = {
+            o.object_id
+            for o in scene.objects
+            if sum(table[(o.object_id, f)] for f in o.present_frames) >= 10
+        }
+        missed = visible_long - detected_ids
+        assert len(missed) <= max(1, len(visible_long) // 5)
+
+
+class TestGhostTracks:
+    def test_ghosts_recorded(self):
+        cfg = DetectorConfig(ghost_tracks_per_scene=5.0)
+        scene = SceneGenerator().generate("ghosts", seed=60)
+        obs, ledger = DetectorModel(cfg).predict_scene(scene, seed=60)
+        ghosts = ledger.of_type(ErrorType.GHOST_TRACK)
+        assert ghosts
+        index = ledger.obs_id_index()
+        ghost_obs = [o for o in obs if o.metadata.get("ghost")]
+        assert ghost_obs
+        for o in ghost_obs:
+            assert o.obs_id in index
+            assert o.metadata["gt_object_id"] is None
+
+    def test_both_ghost_flavors_appear(self):
+        cfg = DetectorConfig(ghost_tracks_per_scene=6.0, ghost_coherent_fraction=0.5)
+        model = DetectorModel(cfg)
+        flavors = set()
+        for seed in range(8):
+            scene = SceneGenerator().generate(f"gf-{seed}", seed=seed)
+            _, ledger = model.predict_scene(scene, seed=seed)
+            for r in ledger.of_type(ErrorType.GHOST_TRACK):
+                flavors.add(r.details["coherent"])
+        assert flavors == {True, False}
+
+    def test_no_ghosts_when_disabled(self, scene):
+        cfg = DetectorConfig(ghost_tracks_per_scene=0.0)
+        _, ledger = DetectorModel(cfg).predict_scene(scene, seed=2)
+        assert not ledger.of_type(ErrorType.GHOST_TRACK)
+
+
+class TestInjectedModelErrors:
+    def test_gross_localization_recorded(self):
+        cfg = DetectorConfig(gross_loc_rate=1.0, class_error_rate=0.0,
+                             ghost_tracks_per_scene=0.0)
+        scene = SceneGenerator().generate("gross", seed=61)
+        obs, ledger = DetectorModel(cfg).predict_scene(scene, seed=61)
+        errors = ledger.of_type(ErrorType.MODEL_LOCALIZATION_ERROR)
+        assert errors
+        index = ledger.obs_id_index()
+        for record in errors:
+            assert record.obs_ids
+            for obs_id in record.obs_ids:
+                assert index[obs_id] is record
+
+    def test_class_errors_emit_wrong_class(self):
+        cfg = DetectorConfig(class_error_rate=1.0, gross_loc_rate=0.0,
+                             ghost_tracks_per_scene=0.0)
+        scene = SceneGenerator().generate("clserr", seed=62)
+        obs, ledger = DetectorModel(cfg).predict_scene(scene, seed=62)
+        errors = ledger.of_type(ErrorType.MODEL_CLASS_ERROR)
+        assert errors
+        obs_by_id = {o.obs_id: o for o in obs}
+        for record in errors:
+            for obs_id in record.obs_ids:
+                o = obs_by_id[obs_id]
+                gt_class = scene.object_by_id(record.gt_object_id).object_class.value
+                assert o.object_class != gt_class
+
+    def test_some_errors_high_confidence(self):
+        """§8.4: errors exist with confidence >= 0.9 (uncertainty sampling
+        cannot find them)."""
+        cfg = DetectorConfig(
+            gross_loc_rate=0.6, class_error_rate=0.6,
+            ghost_tracks_per_scene=3.0, error_high_conf_rate=0.5,
+        )
+        model = DetectorModel(cfg)
+        high_conf_errors = 0
+        for seed in range(6):
+            scene = SceneGenerator().generate(f"hc-{seed}", seed=seed)
+            obs, ledger = model.predict_scene(scene, seed=seed)
+            index = ledger.obs_id_index()
+            for o in obs:
+                if o.obs_id in index and o.confidence >= 0.9:
+                    high_conf_errors += 1
+        assert high_conf_errors > 0
+
+
+class TestDetectorProfiles:
+    def test_internal_cleaner_than_public(self):
+        scenes = SceneGenerator().generate_many(6, seed=70)
+        pub_errors = int_errors = 0
+        for i, scene in enumerate(scenes):
+            _, pub_ledger = DetectorModel(PUBLIC_DETECTOR).predict_scene(scene, seed=i)
+            _, int_ledger = DetectorModel(INTERNAL_DETECTOR).predict_scene(scene, seed=i)
+            pub_errors += len(pub_ledger.model_errors())
+            int_errors += len(int_ledger.model_errors())
+        assert pub_errors > int_errors
+
+    def test_confidence_decreases_with_distance(self):
+        model = DetectorModel()
+        rng = np.random.default_rng(0)
+        near = np.mean([model._confidence(rng, 5.0, error=False) for _ in range(300)])
+        far = np.mean([model._confidence(rng, 70.0, error=False) for _ in range(300)])
+        assert near > far

@@ -1,0 +1,124 @@
+"""Tests for the injected-error ledger."""
+
+import pytest
+
+from repro.labelers import ErrorLedger, ErrorRecord, ErrorType
+
+
+def record(
+    error_type=ErrorType.MISSING_TRACK,
+    scene_id="s0",
+    source="human",
+    gt_object_id="obj1",
+    frames=(0, 1, 2),
+    obs_ids=(),
+    object_class="car",
+):
+    return ErrorRecord(
+        error_type=error_type,
+        scene_id=scene_id,
+        source=source,
+        gt_object_id=gt_object_id,
+        frames=frames,
+        obs_ids=obs_ids,
+        object_class=object_class,
+    )
+
+
+class TestErrorType:
+    def test_label_vs_model_partition(self):
+        for et in ErrorType:
+            assert et.is_label_error != et.is_model_error
+
+    def test_expected_label_errors(self):
+        assert ErrorType.MISSING_TRACK.is_label_error
+        assert ErrorType.MISSING_OBSERVATION.is_label_error
+        assert ErrorType.CLASS_FLIP.is_label_error
+
+    def test_expected_model_errors(self):
+        assert ErrorType.GHOST_TRACK.is_model_error
+        assert ErrorType.MODEL_CLASS_ERROR.is_model_error
+        assert ErrorType.MODEL_LOCALIZATION_ERROR.is_model_error
+
+
+class TestErrorRecord:
+    def test_ids_unique(self):
+        assert record().error_id != record().error_id
+
+    def test_serialization_roundtrip(self):
+        r = record(obs_ids=("a", "b"), frames=(3, 4))
+        clone = ErrorRecord.from_dict(r.to_dict())
+        assert clone.error_id == r.error_id
+        assert clone.error_type is r.error_type
+        assert clone.frames == (3, 4)
+        assert clone.obs_ids == ("a", "b")
+
+
+class TestErrorLedger:
+    @pytest.fixture
+    def ledger(self):
+        ledger = ErrorLedger()
+        ledger.record(record(scene_id="s0", gt_object_id="a"))
+        ledger.record(
+            record(
+                error_type=ErrorType.GHOST_TRACK,
+                scene_id="s0",
+                source="model",
+                gt_object_id=None,
+                obs_ids=("g1", "g2"),
+            )
+        )
+        ledger.record(
+            record(
+                error_type=ErrorType.MISSING_OBSERVATION,
+                scene_id="s1",
+                gt_object_id="b",
+                frames=(5,),
+            )
+        )
+        return ledger
+
+    def test_len_iter(self, ledger):
+        assert len(ledger) == 3
+        assert len(list(ledger)) == 3
+
+    def test_for_scene(self, ledger):
+        assert len(ledger.for_scene("s0")) == 2
+        assert len(ledger.for_scene("s1")) == 1
+        assert ledger.for_scene("nope") == []
+
+    def test_of_type(self, ledger):
+        assert len(ledger.of_type(ErrorType.MISSING_TRACK)) == 1
+        assert (
+            len(ledger.of_type(ErrorType.MISSING_TRACK, ErrorType.GHOST_TRACK)) == 2
+        )
+
+    def test_label_model_partitions(self, ledger):
+        assert len(ledger.label_errors()) == 2
+        assert len(ledger.model_errors()) == 1
+
+    def test_for_object(self, ledger):
+        assert len(ledger.for_object("a")) == 1
+        assert ledger.for_object("zzz") == []
+
+    def test_obs_id_index(self, ledger):
+        index = ledger.obs_id_index()
+        assert set(index) == {"g1", "g2"}
+        assert index["g1"].error_type is ErrorType.GHOST_TRACK
+
+    def test_missing_track_object_ids(self, ledger):
+        assert ledger.missing_track_object_ids() == {"a"}
+        assert ledger.missing_track_object_ids("s0") == {"a"}
+        assert ledger.missing_track_object_ids("s1") == set()
+
+    def test_save_load_roundtrip(self, ledger, tmp_path):
+        path = tmp_path / "ledger.json"
+        ledger.save(path)
+        loaded = ErrorLedger.load(path)
+        assert len(loaded) == len(ledger)
+        assert [r.error_id for r in loaded] == [r.error_id for r in ledger]
+
+    def test_extend(self):
+        ledger = ErrorLedger()
+        ledger.extend([record(), record()])
+        assert len(ledger) == 2

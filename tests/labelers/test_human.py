@@ -1,0 +1,132 @@
+"""Tests for the simulated human labeling vendor."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import SOURCE_HUMAN
+from repro.datagen import SceneGenerator, VisibilityModel
+from repro.labelers import (
+    CLEAN_VENDOR,
+    NOISY_VENDOR,
+    ErrorType,
+    HumanLabeler,
+    HumanLabelerConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return SceneGenerator().generate("human-test", seed=77)
+
+
+class TestLabelScene:
+    def test_deterministic(self, scene):
+        labeler = HumanLabeler()
+        obs_a, ledger_a = labeler.label_scene(scene, seed=1)
+        obs_b, ledger_b = labeler.label_scene(scene, seed=1)
+        assert [o.box for o in obs_a] == [o.box for o in obs_b]
+        assert len(ledger_a) == len(ledger_b)
+
+    def test_source_and_confidence(self, scene):
+        obs, _ = HumanLabeler().label_scene(scene, seed=2)
+        assert obs, "expected some labels"
+        assert all(o.source == SOURCE_HUMAN for o in obs)
+        assert all(o.confidence is None for o in obs)
+
+    def test_labels_only_visible_frames(self, scene):
+        labeler = HumanLabeler()
+        obs, _ = labeler.label_scene(scene, seed=3)
+        table = labeler.visibility.visibility_table(scene)
+        for o in obs:
+            gt_id = o.metadata["gt_object_id"]
+            assert table[(gt_id, o.frame)], "labeled an invisible object-frame"
+
+    def test_boxes_jittered_but_close(self, scene):
+        labeler = HumanLabeler()
+        obs, _ = labeler.label_scene(scene, seed=4)
+        for o in obs[:50]:
+            gt = scene.object_by_id(o.metadata["gt_object_id"]).box_at(o.frame)
+            assert gt is not None
+            assert o.box.distance_to_box(gt) < 1.0
+            assert 0.5 < o.box.volume / gt.volume < 2.0
+
+    def test_extends_provided_ledger(self, scene):
+        from repro.labelers import ErrorLedger
+
+        ledger = ErrorLedger()
+        _, returned = HumanLabeler().label_scene(scene, seed=5, ledger=ledger)
+        assert returned is ledger
+
+
+class TestErrorInjection:
+    def test_noisy_vendor_misses_more_tracks(self):
+        scenes = SceneGenerator().generate_many(8, seed=10)
+        noisy_misses = clean_misses = 0
+        for i, scene in enumerate(scenes):
+            _, noisy_ledger = HumanLabeler(NOISY_VENDOR).label_scene(scene, seed=i)
+            _, clean_ledger = HumanLabeler(CLEAN_VENDOR).label_scene(scene, seed=i)
+            noisy_misses += len(noisy_ledger.of_type(ErrorType.MISSING_TRACK))
+            clean_misses += len(clean_ledger.of_type(ErrorType.MISSING_TRACK))
+        assert noisy_misses > clean_misses
+
+    def test_missing_track_means_no_labels(self, scene):
+        obs, ledger = HumanLabeler(NOISY_VENDOR).label_scene(scene, seed=6)
+        labeled_ids = {o.metadata["gt_object_id"] for o in obs}
+        for missed in ledger.missing_track_object_ids(scene.scene_id):
+            assert missed not in labeled_ids
+
+    def test_class_flip_recorded_with_obs_ids(self):
+        cfg = HumanLabelerConfig(class_flip_rate=1.0, miss_track_base_rate=0.0,
+                                 short_track_miss_boost=0.0, small_class_miss_boost=0.0,
+                                 far_miss_boost=0.0)
+        scene = SceneGenerator().generate("flip", seed=20)
+        obs, ledger = HumanLabeler(cfg).label_scene(scene, seed=20)
+        flips = ledger.of_type(ErrorType.CLASS_FLIP)
+        assert flips
+        index = ledger.obs_id_index()
+        flipped_obs = [o for o in obs if o.obs_id in index]
+        assert flipped_obs
+        for o in flipped_obs:
+            gt_class = scene.object_by_id(o.metadata["gt_object_id"]).object_class.value
+            assert o.object_class != gt_class
+
+    def test_missing_observation_drops_interior_frames(self):
+        cfg = HumanLabelerConfig(miss_frames_rate=1.0, miss_track_base_rate=0.0,
+                                 short_track_miss_boost=0.0, small_class_miss_boost=0.0,
+                                 far_miss_boost=0.0, class_flip_rate=0.0)
+        scene = SceneGenerator().generate("dropf", seed=21)
+        obs, ledger = HumanLabeler(cfg).label_scene(scene, seed=21)
+        drops = ledger.of_type(ErrorType.MISSING_OBSERVATION)
+        assert drops
+        by_object = {}
+        for o in obs:
+            by_object.setdefault(o.metadata["gt_object_id"], set()).add(o.frame)
+        for d in drops:
+            labeled = by_object.get(d.gt_object_id, set())
+            # Dropped frames are really absent from the labels.
+            assert not labeled & set(d.frames)
+            if labeled:
+                # And the drop is interior: labels exist both before & after.
+                assert min(labeled) < min(d.frames)
+                assert max(labeled) > max(d.frames)
+
+    def test_zero_error_config_only_unavoidable_misses(self):
+        cfg = HumanLabelerConfig(
+            miss_track_base_rate=0.0,
+            short_track_miss_boost=0.0,
+            far_miss_boost=0.0,
+            small_class_miss_boost=0.0,
+            miss_frames_rate=0.0,
+            class_flip_rate=0.0,
+        )
+        scene = SceneGenerator().generate("clean", seed=22)
+        _, ledger = HumanLabeler(cfg).label_scene(scene, seed=22)
+        for r in ledger:
+            assert r.details.get("reason") == "too_short"
+
+    def test_miss_probability_monotone_in_visibility(self, scene):
+        labeler = HumanLabeler()
+        obj = scene.objects[0]
+        short = labeler._miss_probability(scene, obj, obj.present_frames[:3])
+        longer = labeler._miss_probability(scene, obj, obj.present_frames[:20])
+        assert short >= longer

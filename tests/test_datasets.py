@@ -1,0 +1,86 @@
+"""Tests for the composed synthetic datasets."""
+
+import pytest
+
+from repro.core.model import SOURCE_HUMAN, SOURCE_MODEL
+from repro.datasets import (
+    SYNTHETIC_INTERNAL,
+    SYNTHETIC_LYFT,
+    build_dataset,
+    build_labeled_scene,
+)
+from repro.datagen import SceneGenerator
+from repro.labelers import CLEAN_VENDOR, INTERNAL_DETECTOR
+
+
+@pytest.fixture(scope="module")
+def small_lyft():
+    return build_dataset(SYNTHETIC_LYFT, n_train_scenes=2, n_val_scenes=3)
+
+
+class TestProfiles:
+    def test_paper_scene_counts(self):
+        assert SYNTHETIC_LYFT.n_val_scenes == 46
+        assert SYNTHETIC_INTERNAL.n_val_scenes == 13
+
+    def test_lyft_noisier_than_internal(self):
+        assert (
+            SYNTHETIC_LYFT.vendor.miss_track_base_rate
+            > SYNTHETIC_INTERNAL.vendor.miss_track_base_rate
+        )
+        assert (
+            SYNTHETIC_LYFT.detector.ghost_tracks_per_scene
+            > SYNTHETIC_INTERNAL.detector.ghost_tracks_per_scene
+        )
+
+
+class TestBuildDataset:
+    def test_sizes(self, small_lyft):
+        assert len(small_lyft.train_scenes) == 2
+        assert len(small_lyft.val_scenes) == 3
+        assert small_lyft.name == "synthetic-lyft"
+
+    def test_train_scenes_human_only(self, small_lyft):
+        for scene in small_lyft.train_scenes:
+            sources = {o.source for o in scene.observations}
+            assert sources == {SOURCE_HUMAN}
+
+    def test_train_scenes_have_ego_poses(self, small_lyft):
+        for scene in small_lyft.train_scenes:
+            assert "ego_poses" in scene.metadata
+            assert len(scene.metadata["ego_poses"]) == 75
+
+    def test_val_scenes_have_both_sources(self, small_lyft):
+        for ls in small_lyft.val_scenes:
+            sources = {o.source for o in ls.scene.observations}
+            assert sources == {SOURCE_HUMAN, SOURCE_MODEL}
+
+    def test_val_scene_parts_consistent(self, small_lyft):
+        for ls in small_lyft.val_scenes:
+            n_obs = len(ls.human_observations) + len(ls.model_observations)
+            assert len(ls.scene.observations) == n_obs
+            assert ls.scene_id == ls.world.scene_id
+
+    def test_deterministic(self):
+        a = build_dataset(SYNTHETIC_INTERNAL, n_train_scenes=1, n_val_scenes=1)
+        b = build_dataset(SYNTHETIC_INTERNAL, n_train_scenes=1, n_val_scenes=1)
+        obs_a = [o.box for o in a.val_scenes[0].scene.observations]
+        obs_b = [o.box for o in b.val_scenes[0].scene.observations]
+        assert obs_a == obs_b
+
+    def test_errors_recorded(self, small_lyft):
+        total_errors = sum(len(ls.ledger) for ls in small_lyft.val_scenes)
+        assert total_errors > 0
+
+    def test_auditor_construction(self, small_lyft):
+        auditor = small_lyft.val_scenes[0].auditor()
+        assert auditor.scene is small_lyft.val_scenes[0].world
+
+
+class TestBuildLabeledScene:
+    def test_single_scene(self):
+        world = SceneGenerator().generate("one", seed=5)
+        ls = build_labeled_scene(world, CLEAN_VENDOR, INTERNAL_DETECTOR, seed=5)
+        assert ls.scene.dt == world.dt
+        assert "ego_poses" in ls.scene.metadata
+        assert ls.human_observations or ls.model_observations

@@ -1,0 +1,102 @@
+"""Cross-module integration tests: determinism and end-to-end coherence."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Fixy,
+    MissingTrackFinder,
+    Scorer,
+    compile_scene,
+    default_features,
+)
+from repro.datasets import SYNTHETIC_INTERNAL, build_dataset
+from repro.factorgraph import log_score
+
+
+class TestDeterminism:
+    def test_full_pipeline_bit_identical(self):
+        """Same profile, same seeds → identical rankings, run to run."""
+
+        def run():
+            dataset = build_dataset(SYNTHETIC_INTERNAL, n_train_scenes=2,
+                                    n_val_scenes=2)
+            finder = MissingTrackFinder().fit(dataset.train_scenes)
+            out = []
+            for ls in dataset.val_scenes:
+                for scored in finder.rank(ls.scene, top_k=10):
+                    out.append((scored.scene_id, scored.track_id, scored.score))
+            return out
+
+        assert run() == run()
+
+
+class TestScorerAgreesWithFactorGraph:
+    def test_track_score_equals_normalized_graph_log_score(self):
+        """The Scorer's component score must equal the factor graph's
+        evidence log-score over the component's factors, divided by the
+        factor count — Eq. 2 + §6 normalization."""
+        dataset = build_dataset(SYNTHETIC_INTERNAL, n_train_scenes=2,
+                                n_val_scenes=1)
+        fixy = Fixy(default_features()).fit(dataset.train_scenes)
+        scene = dataset.val_scenes[0].scene
+        compiled = fixy.compile(scene)
+        scorer = Scorer(compiled)
+
+        checked = 0
+        for track in scene.tracks:
+            score = scorer.score_track(track)
+            if score is None or score == -math.inf:
+                continue
+            factor_names = compiled.factors_of_observations(track.observations)
+            total = sum(
+                math.log(max(compiled.factors[name].value, 1e-12))
+                for name in factor_names
+            )
+            assert score == pytest.approx(total / len(factor_names))
+            checked += 1
+        assert checked > 0
+
+    def test_whole_graph_log_score_is_sum_over_factors(self):
+        """repro.factorgraph.log_score over a compiled scene equals the
+        unnormalized sum of all factor log-potentials (when none is 0)."""
+        dataset = build_dataset(SYNTHETIC_INTERNAL, n_train_scenes=2,
+                                n_val_scenes=1)
+        features = [f for f in default_features() if f.name != "model_only"]
+        fixy = Fixy(features).fit(dataset.train_scenes)
+        scene = dataset.val_scenes[0].scene
+        compiled = fixy.compile(scene)
+
+        total = log_score(compiled.graph, {})
+        if any(f.value == 0.0 for f in compiled.factors.values()):
+            # A zeroed potential (e.g. the count filter on a short track)
+            # makes the whole-scene evidence impossible.
+            assert total == -math.inf
+        else:
+            expected = sum(
+                math.log(max(f.value, 1e-12)) for f in compiled.factors.values()
+            )
+            assert total == pytest.approx(expected)
+
+
+class TestLayering:
+    def test_core_has_no_simulator_dependencies(self):
+        """repro.core must not import the simulator packages (a user with
+        real data should not need them)."""
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "import repro.core\n"
+            "bad = [m for m in sys.modules if m.startswith(('repro.datagen',"
+            " 'repro.labelers', 'repro.datasets', 'repro.eval'))]\n"
+            "assert not bad, bad\n"
+            "print('clean')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr
+        assert "clean" in result.stdout

@@ -1,0 +1,95 @@
+"""Tests for ASCII BEV rendering."""
+
+import pytest
+
+from repro.datagen import SceneGenerator
+from repro.datasets import SYNTHETIC_INTERNAL, build_labeled_scene
+from repro.geometry import Pose2D
+from repro.viz import Canvas, render_tracks, render_world_frame
+
+
+@pytest.fixture(scope="module")
+def labeled():
+    world = SceneGenerator().generate("viz", seed=13)
+    return build_labeled_scene(
+        world, SYNTHETIC_INTERNAL.vendor, SYNTHETIC_INTERNAL.detector, seed=13
+    )
+
+
+class TestCanvas:
+    def test_dimensions(self):
+        text = Canvas(width=20, height=10).render()
+        lines = text.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 borders
+        assert all(len(line) == 22 for line in lines)
+
+    def test_plot_center(self):
+        cv = Canvas(width=21, height=11)
+        assert cv.plot(0.0, 0.0, "E")
+        lines = cv.render().splitlines()
+        assert lines[6][11] == "E"  # middle row/col (+1 border offset)
+
+    def test_plot_out_of_view(self):
+        cv = Canvas(half_extent_m=10.0)
+        assert not cv.plot(100.0, 0.0, "x")
+
+    def test_forward_is_up_left_is_left(self):
+        cv = Canvas(width=21, height=21, half_extent_m=10.0)
+        cv.plot(8.0, 0.0, "F")   # forward
+        cv.plot(0.0, 8.0, "L")   # left
+        lines = cv.render().splitlines()[1:-1]
+        f_row = next(i for i, l in enumerate(lines) if "F" in l)
+        l_col = next(l.index("L") for l in lines if "L" in l)
+        assert f_row < 10          # forward renders above center
+        assert l_col > 11          # +y renders right of center column
+
+    def test_range_rings(self):
+        cv = Canvas(half_extent_m=50.0)
+        cv.draw_range_rings(spacing_m=20.0)
+        assert "." in cv.render()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Canvas(width=2)
+        with pytest.raises(ValueError):
+            Canvas(half_extent_m=0.0)
+
+
+class TestRenderWorldFrame:
+    def test_renders_with_missed_highlight(self, labeled):
+        missing = labeled.ledger.missing_track_object_ids(labeled.scene_id)
+        text = render_world_frame(labeled.world, 10, missing_ids=missing)
+        assert labeled.scene_id in text
+        assert "E" in text
+        if missing:
+            # At least one frame in the scene shows an X eventually.
+            any_x = any(
+                "X" in render_world_frame(labeled.world, f, missing_ids=missing)
+                for f in range(0, labeled.world.n_frames, 10)
+            )
+            assert any_x
+
+    def test_frame_bounds(self, labeled):
+        with pytest.raises(IndexError):
+            render_world_frame(labeled.world, 10_000)
+
+
+class TestRenderTracks:
+    def test_renders_sources(self, labeled):
+        text = render_tracks(labeled.scene, 10)
+        assert "bundles in view" in text
+        assert "E" in text
+
+    def test_uses_scene_ego_by_default(self, labeled):
+        with_meta = render_tracks(labeled.scene, 10)
+        explicit = render_tracks(
+            labeled.scene, 10, ego=labeled.world.ego_poses[10]
+        )
+        assert with_meta == explicit
+
+    def test_identity_fallback_without_ego(self, labeled):
+        from repro.core.model import Scene
+
+        bare = Scene(scene_id="bare", dt=0.2, tracks=list(labeled.scene.tracks))
+        text = render_tracks(bare, 10, ego=Pose2D.identity())
+        assert "bare" in text
