@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Benchmark harness: run the perf suite and persist BENCH_scaling.json.
+
+Runs the A/B compile+rank comparison (scalar reference vs columnar fast
+path, :mod:`repro.eval.perf`) and — unless ``--skip-pytest`` — the
+existing ``bench_scaling.py`` / ``bench_runtime.py`` pytest benchmarks,
+then writes everything to ``BENCH_scaling.json`` at the repo root so
+future PRs can track the perf trajectory::
+
+    PYTHONPATH=src python benchmarks/run_perf_harness.py
+    PYTHONPATH=src python benchmarks/run_perf_harness.py --densities 10 100 --skip-pytest
+
+The JSON layout::
+
+    {
+      "generated_at": <unix seconds>,
+      "ab": {...},            # repro.eval.perf.ab_compile_rank report
+      "pytest_benchmarks": [  # mean seconds per benchmark test
+        {"name": ..., "mean_s": ..., "stddev_s": ...}, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_pytest_benchmarks(files: list[str]) -> list[dict]:
+    """Run pytest-benchmark files and harvest mean/stddev per test."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out_json = Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *files,
+            "--benchmark-only",
+            "-q",
+            f"--benchmark-json={out_json}",
+        ]
+        env = {"PYTHONPATH": str(REPO_ROOT / "src")}
+        import os
+
+        proc = subprocess.run(
+            cmd, cwd=REPO_ROOT, env={**os.environ, **env}, capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            print(proc.stdout[-4000:], file=sys.stderr)
+            raise RuntimeError(f"pytest benchmarks failed ({proc.returncode})")
+        data = json.loads(out_json.read_text())
+    return [
+        {
+            "name": bench["fullname"],
+            "mean_s": bench["stats"]["mean"],
+            "stddev_s": bench["stats"]["stddev"],
+            "rounds": bench["stats"]["rounds"],
+        }
+        for bench in data.get("benchmarks", [])
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_scaling.json"),
+        help="output JSON path (default: BENCH_scaling.json at repo root)",
+    )
+    parser.add_argument(
+        "--densities", type=int, nargs="+", default=[10, 25, 50, 100],
+        help="objects per scene for the A/B sweep",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--skip-pytest", action="store_true",
+        help="skip the bench_scaling.py / bench_runtime.py pytest run",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.eval.perf import ab_compile_rank, render_report
+
+    report: dict = {"generated_at": time.time()}
+    ab = ab_compile_rank(densities=tuple(args.densities), repeats=args.repeats)
+    report["ab"] = ab
+    print(render_report(ab))
+
+    if not args.skip_pytest:
+        report["pytest_benchmarks"] = run_pytest_benchmarks(
+            ["benchmarks/bench_scaling.py", "benchmarks/bench_runtime.py"]
+        )
+        for bench in report["pytest_benchmarks"]:
+            print(f"  {bench['name']}: {bench['mean_s']*1e3:.1f} ms mean")
+
+    Path(args.out).write_text(json.dumps(report, indent=2), encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,13 +7,16 @@ Subcommands (also exposed as ``python -m repro.cli``):
 - ``experiment``  run one named experiment and print the paper-style
                   table (``all`` runs the full §8 report);
 - ``rank``        fit on a dataset's training split and print the top
-                  potential missing labels of one validation scene.
+                  potential missing labels of one validation scene;
+- ``bench``       A/B the scalar reference vs the columnar fast path
+                  (compile+rank) and optionally persist the report.
 
 Examples::
 
     python -m repro.cli generate --profile lyft --out /tmp/lyft --val 4
     python -m repro.cli experiment table3
     python -m repro.cli rank --profile internal --scene 0 --top 10
+    python -m repro.cli bench --densities 10 100 --out BENCH_scaling.json
 """
 
 from __future__ import annotations
@@ -64,6 +67,28 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--top", type=int, default=10)
     rank.add_argument("--train", type=int, default=None)
     rank.add_argument("--val", type=int, default=None)
+    rank.add_argument(
+        "--scalar", action="store_true",
+        help="use the scalar reference pipeline instead of the columnar "
+        "fast path (for verification)",
+    )
+    rank.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker threads for multi-scene compilation (default 1)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="A/B the scalar vs columnar compile+rank pipelines"
+    )
+    bench.add_argument(
+        "--densities", type=int, nargs="+", default=[10, 25, 50, 100],
+        help="objects per scene to sweep",
+    )
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--out", default=None,
+        help="also write the JSON report to this path",
+    )
 
     return parser
 
@@ -134,7 +159,9 @@ def _cmd_rank(args) -> int:
         )
         return 2
     labeled = dataset.val_scenes[args.scene]
-    finder = MissingTrackFinder().fit(dataset.train_scenes)
+    finder = MissingTrackFinder(
+        vectorized=not args.scalar, n_jobs=args.jobs
+    ).fit(dataset.train_scenes)
     ranked = finder.rank(labeled.scene, top_k=args.top)
     auditor = labeled.auditor()
 
@@ -150,12 +177,34 @@ def _cmd_rank(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.eval.perf import ab_compile_rank, render_report
+
+    report = ab_compile_rank(
+        densities=tuple(args.densities), repeats=args.repeats
+    )
+    print(render_report(report))
+    if args.out:
+        import time
+
+        Path(args.out).write_text(
+            json.dumps({"generated_at": time.time(), "ab": report}, indent=2),
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_rank(args)
 
 

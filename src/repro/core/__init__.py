@@ -14,7 +14,13 @@ from repro.core.applications import (
     ModelErrorFinder,
     top_k_per_class,
 )
-from repro.core.compile import CompiledScene, PotentialFactor, compile_scene
+from repro.core.columnar import FeatureColumn, FeatureMatrix, ObservationTable
+from repro.core.compile import (
+    CompiledColumns,
+    CompiledScene,
+    PotentialFactor,
+    compile_scene,
+)
 from repro.core.engine import Fixy
 from repro.core.fusion import ClassPosterior, infer_track_class, uniform_confusion
 from repro.core.features import (
@@ -63,14 +69,18 @@ __all__ = [
     "BundleFeature",
     "ClassAgreementFeature",
     "ClassPosterior",
+    "CompiledColumns",
     "CompiledScene",
     "ComposeAOF",
     "CountFeature",
     "DistanceFeature",
     "Feature",
+    "FeatureColumn",
     "FeatureContext",
     "FeatureDistributionLearner",
+    "FeatureMatrix",
     "Fixy",
+    "ObservationTable",
     "IdentityAOF",
     "InvertAOF",
     "KeepIfAOF",

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 __all__ = [
     "AOF",
     "IdentityAOF",
@@ -31,8 +33,30 @@ __all__ = [
 class AOF:
     """Base application objective function: the identity transform."""
 
+    #: Whether the transform ignores ``item``. Item-free AOFs let the
+    #: columnar compile path skip materializing item lists entirely, so
+    #: only set it on subclasses whose ``__call__`` never reads ``item``.
+    item_free: bool = False
+
     def __call__(self, likelihood: float, item=None) -> float:
         return likelihood
+
+    def apply_batch(self, likelihoods, items) -> np.ndarray:
+        """Transform a batch of likelihoods (columnar compile path).
+
+        ``items`` is aligned with ``likelihoods`` (and may be ``None``
+        when :attr:`item_free` is set). The default loops over
+        ``__call__`` so subclasses that only override the scalar form
+        stay correct; array-math overrides exist where the transform is
+        item-independent.
+        """
+        arr = np.asarray(likelihoods, dtype=float)
+        if items is None:
+            items = [None] * arr.size
+        return np.asarray(
+            [self(float(value), item) for value, item in zip(arr, items)],
+            dtype=float,
+        )
 
     def __repr__(self) -> str:
         return type(self).__name__
@@ -41,6 +65,11 @@ class AOF:
 class IdentityAOF(AOF):
     """Keep the likelihood as-is — used when searching for *likely* items
     (e.g. consistent model-only tracks that are probably missed labels)."""
+
+    item_free = True
+
+    def apply_batch(self, likelihoods, items) -> np.ndarray:
+        return np.asarray(likelihoods, dtype=float)
 
 
 class InvertAOF(AOF):
@@ -53,6 +82,8 @@ class InvertAOF(AOF):
     letting genuinely unlikely values dominate.
     """
 
+    item_free = True
+
     def __init__(self, eps: float = 1e-4):
         if not 0 < eps < 1:
             raise ValueError(f"eps must be in (0, 1), got {eps}")
@@ -61,6 +92,10 @@ class InvertAOF(AOF):
     def __call__(self, likelihood: float, item=None) -> float:
         clamped = min(max(likelihood, 0.0), 1.0)
         return max(1.0 - clamped, self.eps)
+
+    def apply_batch(self, likelihoods, items) -> np.ndarray:
+        arr = np.asarray(likelihoods, dtype=float)
+        return np.maximum(1.0 - np.clip(arr, 0.0, 1.0), self.eps)
 
 
 class ZeroIfAOF(AOF):
@@ -80,6 +115,13 @@ class ZeroIfAOF(AOF):
             return 0.0
         return likelihood
 
+    def apply_batch(self, likelihoods, items) -> np.ndarray:
+        arr = np.array(likelihoods, dtype=float, copy=True)
+        for i, item in enumerate(items):
+            if item is not None and self.predicate(item):
+                arr[i] = 0.0
+        return arr
+
     def __repr__(self) -> str:
         return f"ZeroIfAOF({self.label})"
 
@@ -97,6 +139,13 @@ class KeepIfAOF(AOF):
             return likelihood
         return 0.0
 
+    def apply_batch(self, likelihoods, items) -> np.ndarray:
+        arr = np.array(likelihoods, dtype=float, copy=True)
+        for i, item in enumerate(items):
+            if item is not None and not self.predicate(item):
+                arr[i] = 0.0
+        return arr
+
     def __repr__(self) -> str:
         return f"KeepIfAOF({self.label})"
 
@@ -108,11 +157,18 @@ class ComposeAOF(AOF):
         if not aofs:
             raise ValueError("ComposeAOF needs at least one AOF")
         self.aofs = aofs
+        self.item_free = all(aof.item_free for aof in aofs)
 
     def __call__(self, likelihood: float, item=None) -> float:
         out = likelihood
         for aof in self.aofs:
             out = aof(out, item)
+        return out
+
+    def apply_batch(self, likelihoods, items) -> np.ndarray:
+        out = np.asarray(likelihoods, dtype=float)
+        for aof in self.aofs:
+            out = aof.apply_batch(out, items)
         return out
 
     def __repr__(self) -> str:

@@ -65,9 +65,18 @@ def _default_class_of(scored: ScoredItem) -> str:
 
 
 class MissingTrackFinder:
-    """Find tracks entirely missed by human labelers (§7, §8.2)."""
+    """Find tracks entirely missed by human labelers (§7, §8.2).
 
-    def __init__(self, features: list[Feature] | None = None, min_samples: int = 8):
+    Extra keyword arguments (``vectorized``, ``fast_density``,
+    ``n_jobs``, ...) pass through to :class:`~repro.core.engine.Fixy`.
+    """
+
+    def __init__(
+        self,
+        features: list[Feature] | None = None,
+        min_samples: int = 8,
+        **fixy_options,
+    ):
         feats = features if features is not None else default_features()
         aofs: dict[str, AOF] = {}
         # "The AOF zeros out any track that contains any human proposals."
@@ -79,7 +88,7 @@ class MissingTrackFinder:
                 aofs[feature.name] = ZeroIfAOF(
                     lambda track: track.has_human, label="track_has_human"
                 )
-        self.fixy = Fixy(feats, aofs=aofs, min_samples=min_samples)
+        self.fixy = Fixy(feats, aofs=aofs, min_samples=min_samples, **fixy_options)
 
     def fit(self, historical_scenes: list[Scene]) -> "MissingTrackFinder":
         self.fixy.fit(historical_scenes)
@@ -97,11 +106,20 @@ class MissingTrackFinder:
 
 
 class MissingObservationFinder:
-    """Find missing labels within human-labeled tracks (§7, §8.3)."""
+    """Find missing labels within human-labeled tracks (§7, §8.3).
 
-    def __init__(self, features: list[Feature] | None = None, min_samples: int = 8):
+    Extra keyword arguments pass through to
+    :class:`~repro.core.engine.Fixy`.
+    """
+
+    def __init__(
+        self,
+        features: list[Feature] | None = None,
+        min_samples: int = 8,
+        **fixy_options,
+    ):
         feats = features if features is not None else default_features()
-        self.fixy = Fixy(feats, min_samples=min_samples)
+        self.fixy = Fixy(feats, min_samples=min_samples, **fixy_options)
 
     def fit(self, historical_scenes: list[Scene]) -> "MissingObservationFinder":
         self.fixy.fit(historical_scenes)
@@ -126,7 +144,12 @@ class MissingObservationFinder:
 class ModelErrorFinder:
     """Find erroneous ML model predictions (§7, §8.4)."""
 
-    def __init__(self, features: list[Feature] | None = None, min_samples: int = 8):
+    def __init__(
+        self,
+        features: list[Feature] | None = None,
+        min_samples: int = 8,
+        **fixy_options,
+    ):
         feats = features if features is not None else model_error_features()
         # "The AOF inverts the probability of each feature, with the goal
         # of inverting the ranking of the tracks that are likely to be
@@ -134,7 +157,7 @@ class ModelErrorFinder:
         aofs: dict[str, AOF] = {
             f.name: InvertAOF() for f in feats if f.learnable
         }
-        self.fixy = Fixy(feats, aofs=aofs, min_samples=min_samples)
+        self.fixy = Fixy(feats, aofs=aofs, min_samples=min_samples, **fixy_options)
 
     def fit(self, historical_scenes: list[Scene]) -> "ModelErrorFinder":
         self.fixy.fit(historical_scenes)

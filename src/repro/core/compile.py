@@ -12,6 +12,25 @@ off the factors adjacent to its observations (:mod:`repro.core.scoring`).
 Factor potentials are evaluated eagerly at compile time — features and
 learned distributions are deterministic, and the paper's workloads score
 every component anyway.
+
+Two evaluation strategies produce identical factor structure:
+
+- **Columnar (default)** — the scene is lowered to a
+  :class:`~repro.core.columnar.FeatureMatrix` (each feature extracted
+  once into NumPy arrays over a shared
+  :class:`~repro.core.columnar.ObservationTable`), every learned
+  (feature, group) pair is scored with a single batched ``log_pdf`` call
+  (:meth:`~repro.core.learning.LearnedModel.likelihood_batch`), AOFs are
+  applied batch-wise, and the resulting potentials live in flat arrays
+  (:class:`CompiledColumns`). **No factor-graph node objects are
+  built**: scoring reads the arrays directly, and the ``graph`` /
+  ``factors`` views materialize lazily on first access with exactly the
+  structure, names, and insertion order the scalar path produces.
+- **Scalar reference** (``vectorized=False``) — the original
+  O(items × features) loop of per-item ``likelihood()`` calls, kept as
+  the executable specification the vectorized path is property-tested
+  against (scores must agree to 1e-9; see
+  ``tests/core/test_columnar.py``).
 """
 
 from __future__ import annotations
@@ -19,13 +38,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
+import numpy as np
+
 from repro.core.aof import AOF, IdentityAOF
+from repro.core.columnar import FeatureColumn, FeatureMatrix, ObservationTable
 from repro.core.features import Feature, FeatureContext
 from repro.core.learning import LearnedModel
 from repro.core.model import Observation, ObservationBundle, Scene, Track
 from repro.factorgraph import Factor, FactorGraph
 
-__all__ = ["PotentialFactor", "CompiledScene", "compile_scene"]
+__all__ = ["PotentialFactor", "CompiledScene", "CompiledColumns", "compile_scene"]
 
 
 class PotentialFactor(Factor):
@@ -51,25 +73,142 @@ class PotentialFactor(Factor):
 
 
 @dataclass
-class CompiledScene:
-    """A scene compiled to a factor graph, with item↔node indexes."""
+class CompiledColumns:
+    """Array-backed factor store produced by the columnar compile path.
 
-    scene: Scene
-    context: FeatureContext
-    graph: FactorGraph
-    #: factor node name -> PotentialFactor (same object as the payload)
-    factors: dict[str, PotentialFactor] = field(default_factory=dict)
-    #: track id -> track object (convenience)
-    tracks: dict[str, Track] = field(default_factory=dict)
+    One row per factor, in the scalar path's insertion order
+    (track-major, then feature, then item). Scoring runs entirely off
+    these arrays; :class:`CompiledScene` materializes graph node objects
+    from them only when a caller actually asks for the graph.
+    """
+
+    table: ObservationTable
+    matrix: FeatureMatrix
+    #: active features in compile order (factor_feature indexes this)
+    features: list[Feature]
+    factor_feature: np.ndarray
+    #: row of the factor's item within its column
+    factor_item: np.ndarray
+    potentials: np.ndarray
+    member_start: np.ndarray
+    member_stop: np.ndarray
+    #: non-contiguous member rows, keyed by factor index (rare)
+    member_overrides: dict[int, np.ndarray]
+    #: track ids in scene order
+    track_order: list[str]
+    #: ``[start, stop)`` factor range per track id
+    track_factor_slices: dict[str, tuple[int, int]]
+    #: whether every factor's members lie within its own track's
+    #: observations — the invariant the per-track slice scoring fast
+    #: path needs. A custom ``observations_of`` reaching across tracks
+    #: clears it, and scoring falls back to the edge-table union.
+    track_slices_cover_members: bool = True
+    _names: list[str] | None = field(default=None, repr=False)
+
+    @property
+    def n_factors(self) -> int:
+        return int(self.potentials.size)
+
+    def member_rows(self, i: int) -> np.ndarray:
+        """Observation rows the ``i``-th factor attaches to."""
+        rows = self.member_overrides.get(i)
+        if rows is not None:
+            return rows
+        return np.arange(self.member_start[i], self.member_stop[i])
+
+    def factor_names(self) -> list[str]:
+        """Factor names (``feature@track#index``), scalar-path identical."""
+        if self._names is None:
+            names: list[str] = [""] * self.n_factors
+            track_index = {tid: ti for ti, tid in enumerate(self.track_order)}
+            for tid, (start, stop) in self.track_factor_slices.items():
+                ti = track_index[tid]
+                for i in range(start, stop):
+                    feature = self.features[self.factor_feature[i]]
+                    column = self.matrix.columns[feature.name]
+                    item_idx = self.factor_item[i] - column.track_slices[ti][0]
+                    names[i] = f"{feature.name}@{tid}#{item_idx}"
+            self._names = names
+        return self._names
+
+
+class CompiledScene:
+    """A scene compiled to a factor graph, with item↔node indexes.
+
+    Vectorized compiles carry a :class:`CompiledColumns` payload and
+    build the ``graph`` / ``factors`` views lazily — ranking never needs
+    them, and materializing thousands of node objects per scene is the
+    kind of per-item cost the columnar pipeline exists to avoid. Scalar
+    compiles (and hand-built instances) pass ``graph`` / ``factors``
+    eagerly, exactly as before.
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        context: FeatureContext,
+        graph: FactorGraph | None = None,
+        factors: dict[str, PotentialFactor] | None = None,
+        tracks: dict[str, Track] | None = None,
+        columns: CompiledColumns | None = None,
+    ):
+        self.scene = scene
+        self.context = context
+        self.tracks = tracks if tracks is not None else {}
+        self.columns = columns
+        self._graph = graph
+        self._factors = factors
+        if columns is None:
+            if self._graph is None:
+                self._graph = FactorGraph()
+            if self._factors is None:
+                self._factors = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> FactorGraph:
+        """The factor graph (materialized on first access)."""
+        if self._graph is None:
+            self._materialize()
+        return self._graph
+
+    @property
+    def factors(self) -> dict[str, PotentialFactor]:
+        """factor node name -> PotentialFactor (same object as the payload)."""
+        if self._factors is None:
+            self._materialize()
+        return self._factors
+
+    def _materialize(self) -> None:
+        cols = self.columns
+        graph = FactorGraph()
+        for obs in cols.table.observations:
+            graph.add_variable(obs.obs_id, payload=obs)
+        factors: dict[str, PotentialFactor] = {}
+        names = cols.factor_names()
+        observations = cols.table.observations
+        for i in range(cols.n_factors):
+            feature = cols.features[cols.factor_feature[i]]
+            column = cols.matrix.columns[feature.name]
+            item = column.item_at(int(cols.factor_item[i]))
+            factor = PotentialFactor(
+                float(cols.potentials[i]), feature.name, item=item
+            )
+            obs_ids = [observations[r].obs_id for r in cols.member_rows(i)]
+            graph.add_factor(names[i], obs_ids, payload=factor)
+            factors[names[i]] = factor
+        self._graph = graph
+        self._factors = factors
 
     def factors_of_observations(self, observations: list[Observation]) -> list[str]:
         """Names of all factor nodes adjacent to any of ``observations``,
         each counted once (deduplicated, insertion-ordered)."""
+        graph = self.graph
         seen: dict[str, None] = {}
         for obs in observations:
-            if not self.graph.has_variable(obs.obs_id):
+            if not graph.has_variable(obs.obs_id):
                 continue
-            for node in self.graph.factors_of(obs.obs_id):
+            for node in graph.factors_of(obs.obs_id):
                 seen.setdefault(node.name, None)
         return list(seen)
 
@@ -80,6 +219,7 @@ def compile_scene(
     learned: LearnedModel | None = None,
     aofs: Mapping[str, AOF] | None = None,
     context: FeatureContext | None = None,
+    vectorized: bool = True,
 ) -> CompiledScene:
     """Compile a scene + features (+ learned distributions) into a graph.
 
@@ -94,6 +234,17 @@ def compile_scene(
         aofs: Optional per-feature AOF, keyed by feature name. Features
             without an entry use the identity AOF.
         context: Feature context; derived from the scene when omitted.
+        vectorized: Evaluate potentials through the columnar batch
+            pipeline with a lazily-materialized graph (default).
+            ``False`` selects the scalar reference loop. Both produce
+            identical factor structure, and — as long as the learned
+            model's batch path is exact — potentials that agree to
+            floating-point round-off. When grid acceleration is armed
+            (:meth:`~repro.core.learning.LearnedModel.enable_fast_eval`,
+            Fixy's ``fast_density`` default) and its lazy cutover has
+            triggered, batch densities instead carry the grid's
+            validated interpolation error (≤ its ``tol``, default
+            1e-5 nats).
 
     Returns:
         The compiled scene with one variable node per observation and one
@@ -103,6 +254,163 @@ def compile_scene(
     aof_map = dict(aofs or {})
     identity = IdentityAOF()
 
+    if vectorized:
+        return _compile_columnar(scene, features, learned, aof_map, identity, ctx)
+    return _compile_scalar(scene, features, learned, aof_map, identity, ctx)
+
+
+# ----------------------------------------------------------------------
+# Columnar path: extract once, batch-evaluate, store potentials as arrays.
+# ----------------------------------------------------------------------
+def _compile_columnar(
+    scene: Scene,
+    features: list[Feature],
+    learned: LearnedModel | None,
+    aof_map: Mapping[str, AOF],
+    identity: AOF,
+    ctx: FeatureContext,
+) -> CompiledScene:
+    # Learnable features without a model never call compute() on the
+    # scalar path; exclude them from extraction to match.
+    active = [f for f in features if (not f.learnable) or learned is not None]
+    table = ObservationTable(scene)
+    matrix = FeatureMatrix.build(scene, active, ctx, table)
+
+    for feature in active:
+        column = matrix.columns[feature.name]
+        aof = aof_map.get(feature.name, identity)
+        column.potentials = _column_potentials(feature, column, learned, aof)
+
+    feat_parts: list[np.ndarray] = []
+    item_parts: list[np.ndarray] = []
+    pot_parts: list[np.ndarray] = []
+    ms_parts: list[np.ndarray] = []
+    me_parts: list[np.ndarray] = []
+    overrides: dict[int, np.ndarray] = {}
+    track_factor_slices: dict[str, tuple[int, int]] = {}
+    slices_cover_members = True
+    total = 0
+
+    for ti, track in enumerate(scene.tracks):
+        track_start = total
+        obs_lo, obs_hi = table.track_obs_slices[ti]
+        for fi, feature in enumerate(active):
+            column = matrix.columns[feature.name]
+            s, e = column.track_slices[ti]
+            if e == s:
+                continue
+            block = column.potentials[s:e]
+            # A factor needs both a potential and member observations to
+            # attach to (the scalar path skips empty-member items too).
+            has_members = column.member_stop[s:e] > column.member_start[s:e]
+            if column.member_overrides:
+                has_members = has_members.copy()
+                for row in range(s, e):
+                    if row in column.member_overrides:
+                        has_members[row - s] = True
+            valid_rows = s + np.flatnonzero(~np.isnan(block) & has_members)
+            if valid_rows.size == 0:
+                continue
+            member_starts = column.member_start[valid_rows]
+            member_stops = column.member_stop[valid_rows]
+            feat_parts.append(np.full(valid_rows.size, fi, dtype=int))
+            item_parts.append(valid_rows)
+            pot_parts.append(column.potentials[valid_rows])
+            ms_parts.append(member_starts)
+            me_parts.append(member_stops)
+            if column.member_overrides:
+                for offset, row in enumerate(valid_rows):
+                    rows = column.member_overrides.get(int(row))
+                    if rows is not None:
+                        overrides[total + offset] = rows
+                        if rows.size and (rows[0] < obs_lo or rows[-1] >= obs_hi):
+                            slices_cover_members = False
+            if slices_cover_members:
+                ranged = member_stops > member_starts
+                if ((member_starts[ranged] < obs_lo)
+                        | (member_stops[ranged] > obs_hi)).any():
+                    slices_cover_members = False
+            total += int(valid_rows.size)
+        track_factor_slices[track.track_id] = (track_start, total)
+
+    def _concat(parts: list[np.ndarray], dtype) -> np.ndarray:
+        if not parts:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(parts).astype(dtype, copy=False)
+
+    columns = CompiledColumns(
+        table=table,
+        matrix=matrix,
+        features=active,
+        factor_feature=_concat(feat_parts, int),
+        factor_item=_concat(item_parts, int),
+        potentials=_concat(pot_parts, float),
+        member_start=_concat(ms_parts, int),
+        member_stop=_concat(me_parts, int),
+        member_overrides=overrides,
+        track_order=[t.track_id for t in scene.tracks],
+        track_factor_slices=track_factor_slices,
+        track_slices_cover_members=slices_cover_members,
+    )
+    if (columns.potentials < 0).any():
+        bad = float(columns.potentials[columns.potentials < 0][0])
+        raise ValueError(f"potential must be non-negative, got {bad}")
+    return CompiledScene(
+        scene=scene,
+        context=ctx,
+        tracks={t.track_id: t for t in scene.tracks},
+        columns=columns,
+    )
+
+
+def _column_potentials(
+    feature: Feature,
+    column: FeatureColumn,
+    learned: LearnedModel | None,
+    aof: AOF,
+) -> np.ndarray:
+    """AOF-transformed potentials for every row of a column (NaN = skip)."""
+    out = np.full(len(column), np.nan)
+    valid_rows = np.flatnonzero(column.valid)
+    if valid_rows.size == 0:
+        return out
+    if feature.learnable:
+        # Filtered out in _compile_columnar when learned is None.
+        values = column.values[valid_rows]
+        groups = [column.groups[r] for r in valid_rows]
+        likelihoods = learned.likelihood_batch(feature, values, groups)
+        # NaN marks "no distribution for this group" — the scalar path
+        # skips those items before the AOF ever runs; do the same.
+        known = ~np.isnan(likelihoods)
+        if not known.all():
+            valid_rows = valid_rows[known]
+            likelihoods = likelihoods[known]
+            if valid_rows.size == 0:
+                return out
+    else:
+        if column.values_list is not None:
+            raw = [column.values_list[r] for r in valid_rows]
+        else:
+            raw = column.values[valid_rows]
+        likelihoods = feature.manual_potential_batch(raw)
+    items = None
+    if not aof.item_free:
+        items = [column.item_at(int(r)) for r in valid_rows]
+    out[valid_rows] = aof.apply_batch(likelihoods, items)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Scalar reference path: the executable specification.
+# ----------------------------------------------------------------------
+def _compile_scalar(
+    scene: Scene,
+    features: list[Feature],
+    learned: LearnedModel | None,
+    aof_map: Mapping[str, AOF],
+    identity: AOF,
+    ctx: FeatureContext,
+) -> CompiledScene:
     graph = FactorGraph()
     compiled = CompiledScene(scene=scene, context=ctx, graph=graph)
 

@@ -10,10 +10,31 @@ ranking potential errors), per the workflow of §3:
     fixy.fit(historical_scenes)                  # offline
     ranked = fixy.rank_tracks(new_scenes,        # online
                               track_filter=lambda t: not t.has_human)
+
+The online phase runs on the columnar pipeline by default
+(:mod:`repro.core.columnar` / :mod:`repro.core.compile`): scenes compile
+to flat potential arrays via batched density evaluation, scoring reads
+those arrays directly, and — with ``fast_density`` — eligible KDEs are
+served from validated log-density interpolation grids once traffic
+amortizes their construction. Three engine-level layers sit on top:
+
+- a **compiled-scene LRU cache**, so repeated queries against the same
+  scene object (rank tracks, then bundles, then observations) compile
+  once;
+- a **multi-scene fast path**: ``rank_*`` over a scene list compiles the
+  scenes through a ``concurrent.futures`` pool (``n_jobs``) and merges
+  the per-scene rankings. NumPy releases the GIL inside the heavy batch
+  kernels, so threads help when cores are available; the default stays
+  serial because single-core containers gain nothing;
+- ``vectorized=False`` switches the whole engine to the scalar
+  reference pipeline for A/B verification.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import Counter, OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Mapping
 
 from repro.core.aof import AOF
@@ -37,6 +58,17 @@ class Fixy:
             resource to learn from (default: human labels).
         min_samples: Minimum per-class sample count when fitting
             class-conditional distributions.
+        vectorized: Compile scenes through the columnar batch pipeline
+            (default) or the scalar reference loop.
+        fast_density: Arm grid-accelerated density evaluation on fit
+            (lazy; builds only once batch traffic amortizes it). The
+            scalar path is never affected. See
+            :meth:`repro.core.learning.LearnedModel.enable_fast_eval`.
+        n_jobs: Worker threads for multi-scene ``rank_*`` calls. ``1``
+            (default) is serial; ``None`` or ``0`` picks a small
+            automatic pool.
+        compile_cache_size: Compiled scenes kept in the LRU cache
+            (``0`` disables caching).
     """
 
     def __init__(
@@ -45,18 +77,34 @@ class Fixy:
         aofs: Mapping[str, AOF] | None = None,
         learn_sources: tuple[str, ...] = ("human",),
         min_samples: int = 8,
+        vectorized: bool = True,
+        fast_density: bool = True,
+        n_jobs: int | None = 1,
+        compile_cache_size: int = 16,
     ):
         if not features:
             raise ValueError("Fixy needs at least one feature")
         names = [f.name for f in features]
-        if len(set(names)) != len(names):
-            raise ValueError(f"duplicate feature names: {sorted(names)}")
+        duplicates = sorted(
+            name for name, count in Counter(names).items() if count > 1
+        )
+        if duplicates:
+            raise ValueError(f"duplicate feature names: {duplicates}")
         self.features = list(features)
         self.aofs = dict(aofs or {})
+        self.vectorized = vectorized
+        self.fast_density = fast_density
+        self.n_jobs = n_jobs
         self._learner = FeatureDistributionLearner(
             self.features, sources=learn_sources, min_samples=min_samples
         )
         self.learned: LearnedModel | None = None
+        #: id(scene) -> [scene, compiled, scorer-or-None]; the scene
+        #: reference keeps the id stable while cached, the scorer slot
+        #: memoizes the edge-table build across rank_* calls.
+        self._compile_cache: OrderedDict[int, list] = OrderedDict()
+        self._compile_cache_size = max(0, int(compile_cache_size))
+        self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Offline phase
@@ -66,7 +114,20 @@ class Fixy:
         if not scenes:
             raise ValueError("fit requires at least one historical scene")
         self.learned = self._learner.fit(scenes)
+        if self.fast_density:
+            self.learned.enable_fast_eval()
+        self.clear_compile_cache()
         return self
+
+    def warmup_fast_eval(self) -> int:
+        """Build all density grids now (offline prep for serving/benchmarks).
+
+        Returns the number of accelerated distributions; 0 when unfitted
+        or ``fast_density`` is off.
+        """
+        if self.learned is None or not self.fast_density:
+            return 0
+        return self.learned.enable_fast_eval(eager=True)
 
     @property
     def is_fitted(self) -> bool:
@@ -83,14 +144,88 @@ class Fixy:
     # Online phase
     # ------------------------------------------------------------------
     def compile(self, scene: Scene) -> CompiledScene:
-        """Compile one scene into its factor graph."""
+        """Compile one scene into its factor graph (LRU-cached).
+
+        The cache is keyed by scene object identity: mutate a scene
+        in-place and you must call :meth:`clear_compile_cache` (or
+        :meth:`fit`, which clears it) to recompile.
+        """
         self._require_fitted()
+        entry = self._cache_entry(scene)
+        if entry is not None:
+            return entry[1]
         return compile_scene(
-            scene, self.features, learned=self.learned, aofs=self.aofs
+            scene,
+            self.features,
+            learned=self.learned,
+            aofs=self.aofs,
+            vectorized=self.vectorized,
         )
 
+    def _cache_entry(self, scene: Scene) -> list | None:
+        """The cache entry for ``scene``, compiling on miss (None when
+        caching is disabled)."""
+        if not self._compile_cache_size:
+            return None
+        key = id(scene)
+        with self._cache_lock:
+            hit = self._compile_cache.get(key)
+            if hit is not None and hit[0] is scene:
+                self._compile_cache.move_to_end(key)
+                return hit
+        compiled = compile_scene(
+            scene,
+            self.features,
+            learned=self.learned,
+            aofs=self.aofs,
+            vectorized=self.vectorized,
+        )
+        entry = [scene, compiled, None]
+        with self._cache_lock:
+            hit = self._compile_cache.get(key)
+            if hit is not None and hit[0] is scene:
+                # Another thread won the race; keep its entry.
+                self._compile_cache.move_to_end(key)
+                return hit
+            self._compile_cache[key] = entry
+            self._compile_cache.move_to_end(key)
+            while len(self._compile_cache) > self._compile_cache_size:
+                self._compile_cache.popitem(last=False)
+        return entry
+
+    def clear_compile_cache(self) -> None:
+        """Drop all cached compiled scenes."""
+        with self._cache_lock:
+            self._compile_cache.clear()
+
     def scorer(self, scene: Scene) -> Scorer:
-        return Scorer(self.compile(scene))
+        """A scorer for one scene (compile and scorer both LRU-cached)."""
+        self._require_fitted()
+        entry = self._cache_entry(scene)
+        if entry is None:
+            return Scorer(self.compile(scene))
+        if entry[2] is None:
+            entry[2] = Scorer(entry[1])
+        return entry[2]
+
+    def _scorers(self, scenes: list[Scene]) -> list[Scorer]:
+        """Build scorers for many scenes (optionally in parallel)."""
+        jobs = self.n_jobs
+        if jobs in (None, 0):
+            jobs = min(4, len(scenes))
+        if len(scenes) <= 1 or jobs <= 1:
+            return [self.scorer(scene) for scene in scenes]
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(self.scorer, scenes))
+
+    def _rank(
+        self, scenes: Scene | list[Scene], method: str, filt, top_k: int | None
+    ) -> list[ScoredItem]:
+        ranked: list[ScoredItem] = []
+        for scorer in self._scorers(_as_list(scenes)):
+            ranked.extend(getattr(scorer, method)(filt))
+        ranked.sort(key=lambda s: s.score, reverse=True)
+        return ranked[:top_k] if top_k is not None else ranked
 
     def rank_tracks(
         self,
@@ -99,11 +234,7 @@ class Fixy:
         top_k: int | None = None,
     ) -> list[ScoredItem]:
         """Rank tracks across one or more scenes, best score first."""
-        ranked: list[ScoredItem] = []
-        for scene in _as_list(scenes):
-            ranked.extend(self.scorer(scene).rank_tracks(track_filter))
-        ranked.sort(key=lambda s: s.score, reverse=True)
-        return ranked[:top_k] if top_k is not None else ranked
+        return self._rank(scenes, "rank_tracks", track_filter, top_k)
 
     def rank_bundles(
         self,
@@ -112,11 +243,7 @@ class Fixy:
         top_k: int | None = None,
     ) -> list[ScoredItem]:
         """Rank bundles across one or more scenes, best score first."""
-        ranked: list[ScoredItem] = []
-        for scene in _as_list(scenes):
-            ranked.extend(self.scorer(scene).rank_bundles(bundle_filter))
-        ranked.sort(key=lambda s: s.score, reverse=True)
-        return ranked[:top_k] if top_k is not None else ranked
+        return self._rank(scenes, "rank_bundles", bundle_filter, top_k)
 
     def rank_observations(
         self,
@@ -125,11 +252,7 @@ class Fixy:
         top_k: int | None = None,
     ) -> list[ScoredItem]:
         """Rank individual observations, best score first."""
-        ranked: list[ScoredItem] = []
-        for scene in _as_list(scenes):
-            ranked.extend(self.scorer(scene).rank_observations(obs_filter))
-        ranked.sort(key=lambda s: s.score, reverse=True)
-        return ranked[:top_k] if top_k is not None else ranked
+        return self._rank(scenes, "rank_observations", obs_filter, top_k)
 
 
 def _as_list(scenes: Scene | list[Scene]) -> list[Scene]:

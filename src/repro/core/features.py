@@ -103,6 +103,11 @@ class Feature(ABC):
     learnable: bool = True
     fitter: str = "kde"
     class_conditional: bool = False
+    #: Whether :meth:`columnar_values` implements this feature's batch
+    #: extraction over an ObservationTable. Setting it also promises the
+    #: default :meth:`group_key` semantics (or a matching
+    #: :meth:`columnar_group_keys` override).
+    supports_columnar: bool = False
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -112,6 +117,58 @@ class Feature(ABC):
         ``item`` is an Observation / ObservationBundle / (bundle, bundle)
         pair / Track according to :attr:`kind`.
         """
+
+    def evaluate_batch(self, items, context: FeatureContext) -> list:
+        """Feature values for many items, aligned with ``items``.
+
+        The default loops over :meth:`compute`; features whose value is
+        derivable from array math can override this to vectorize the
+        extraction itself. Entries are ``None`` where the feature does not
+        apply — callers (:class:`repro.core.columnar.FeatureMatrix`) drop
+        those rows before batch density evaluation.
+        """
+        return [self.compute(item, context) for item in items]
+
+    def columnar_values(self, table, context: FeatureContext) -> np.ndarray:
+        """Array extraction over an ObservationTable (fast path).
+
+        Only consulted when :attr:`supports_columnar` is True. Must
+        return one float row per item of this feature's kind, in the
+        table's global (track-major) item order, with ``NaN`` marking
+        items the feature does not apply to — the array analogue of
+        :meth:`compute` returning ``None``. Implementations must match
+        :meth:`compute` to floating-point round-off; the scalar compile
+        path is the executable reference they are property-tested
+        against.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares supports_columnar but does "
+            "not implement columnar_values"
+        )
+
+    def columnar_group_keys(self, table, context: FeatureContext) -> list:
+        """Conditioning keys per item for the columnar fast path.
+
+        Default: the table's per-kind item classes when
+        :attr:`class_conditional` is set (identical to what
+        :meth:`group_key` returns item by item), else all-``None``.
+        Features overriding :meth:`group_key` must override this too if
+        they claim :attr:`supports_columnar`.
+        """
+        if not self.class_conditional:
+            return [None] * table.kind_count(self.kind)
+        return table.item_classes(self.kind)
+
+    def manual_potential_batch(self, values) -> np.ndarray:
+        """Batched :meth:`manual_potential` (manual features only).
+
+        ``values`` is a sequence of non-``None`` feature values; returns
+        one potential per value. The default loops; manual features with
+        arithmetic potentials should override with array math.
+        """
+        return np.asarray(
+            [self.manual_potential(value) for value in values], dtype=float
+        )
 
     def group_key(self, item, context: FeatureContext) -> str | None:
         """Conditioning key for class-conditional features.

@@ -42,11 +42,79 @@ LIKELIHOOD_FLOOR = 1e-12
 
 @dataclass
 class LearnedFeatureDistribution:
-    """A fitted distribution plus its training-density normalizer."""
+    """A fitted distribution plus its training-density normalizer.
+
+    Batch evaluation can optionally be *grid-accelerated*
+    (:meth:`enable_fast_eval`): the log density of an eligible 1-D KDE is
+    precomputed on a validated interpolation grid
+    (:class:`~repro.distributions.grid.GriddedDensity`), turning each
+    per-query O(n_train) density evaluation into an O(log n_nodes)
+    lookup. The grid builds lazily, once cumulative batch traffic would
+    amortize its construction cost, so one-off evaluations (unit tests,
+    single scenes) keep the exact path — as does :meth:`likelihood`, the
+    scalar reference, always.
+    """
 
     distribution: Distribution
     max_density: float
     n_samples: int
+
+    def __post_init__(self) -> None:
+        import threading
+
+        # Transient acceleration state; never serialized. The lock
+        # guards the pending→ready transition: Fixy can batch-evaluate
+        # the same distribution from several compile threads (n_jobs),
+        # and the grid should be built exactly once.
+        self._fast_state = "off"  # "off" | "pending" | "ready" | "disabled"
+        self._fast_grid = None
+        self._fast_tol = 0.0
+        self._rows_seen = 0
+        self._cutover_rows = 0
+        self._fast_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def enable_fast_eval(self, tol: float = 1e-5, eager: bool = False) -> bool:
+        """Arm grid acceleration for :meth:`likelihood_batch`.
+
+        Args:
+            tol: Maximum validated interpolation error, in nats of log
+                density, within the scoring-relevant band (see
+                :mod:`repro.distributions.grid`).
+            eager: Build the grid now instead of at the lazy cutover
+                point. Use for offline preparation (benchmark warmup,
+                long-lived servers).
+
+        Returns:
+            Whether acceleration is armed (or already built). ``False``
+            when the distribution is ineligible (not a 1-D KDE).
+        """
+        from repro.distributions.grid import GriddedDensity
+
+        if self._fast_state == "ready":
+            return True
+        nodes = GriddedDensity.node_count(self.distribution)
+        if nodes is None:
+            self._fast_state = "disabled"
+            return False
+        self._fast_tol = tol
+        # Grid construction costs ~2 exact passes over `nodes` points;
+        # cut over once cumulative batch queries would have paid for it.
+        self._cutover_rows = 2 * nodes
+        self._fast_state = "pending"
+        if eager:
+            self._build_fast()
+        return self._fast_state in ("pending", "ready")
+
+    def _build_fast(self) -> None:
+        from repro.distributions.grid import GriddedDensity
+
+        grid = GriddedDensity.try_build(self.distribution, tol=self._fast_tol)
+        if grid is None:
+            self._fast_state = "disabled"
+        else:
+            self._fast_grid = grid
+            self._fast_state = "ready"
 
     def likelihood(self, value) -> float:
         """Relative likelihood in ``[LIKELIHOOD_FLOOR, 1]``."""
@@ -56,6 +124,32 @@ class LearnedFeatureDistribution:
         return float(
             min(max(density / self.max_density, LIKELIHOOD_FLOOR), 1.0)
         )
+
+    def likelihood_batch(self, values) -> np.ndarray:
+        """Relative likelihoods for a batch of values, as an ``(n,)`` array.
+
+        One ``log_pdf_batch`` call replaces ``n`` scalar ``pdf`` calls —
+        the hot-path win of the columnar compile pipeline — with the same
+        normalization and clamping as :meth:`likelihood`. When fast
+        evaluation is armed (:meth:`enable_fast_eval`) and enough batch
+        traffic has accumulated, the log densities come from the
+        validated interpolation grid instead of the exact estimator.
+        """
+        n = np.asarray(values).shape[0] if np.ndim(values) else 1
+        if self.max_density <= 0:
+            return np.full(n, LIKELIHOOD_FLOOR)
+        if self._fast_state == "pending":
+            with self._fast_lock:
+                if self._fast_state == "pending":
+                    self._rows_seen += n
+                    if self._rows_seen >= self._cutover_rows:
+                        self._build_fast()
+        if self._fast_state == "ready":
+            log_densities = self._fast_grid.log_pdf_batch(values)
+        else:
+            log_densities = self.distribution.log_pdf_batch(values)
+        densities = np.exp(log_densities)
+        return np.clip(densities / self.max_density, LIKELIHOOD_FLOOR, 1.0)
 
 
 @dataclass
@@ -140,6 +234,54 @@ class LearnedModel:
         if dist is None:
             return None
         return dist.likelihood(value)
+
+    def enable_fast_eval(self, tol: float = 1e-5, eager: bool = False) -> int:
+        """Arm grid-accelerated batch evaluation on eligible distributions.
+
+        Returns the number of distributions armed (or built, with
+        ``eager=True``). See
+        :meth:`LearnedFeatureDistribution.enable_fast_eval`.
+        """
+        count = 0
+        for groups in self.distributions.values():
+            for lfd in groups.values():
+                if lfd.enable_fast_eval(tol, eager=eager):
+                    count += 1
+        return count
+
+    def likelihood_batch(
+        self, feature: Feature, values, groups: list
+    ) -> np.ndarray:
+        """Relative likelihoods for precomputed feature values.
+
+        Args:
+            feature: The feature the values belong to.
+            values: ``(n,)`` or ``(n, d)`` array of feature values (already
+                extracted, e.g. by
+                :class:`repro.core.columnar.FeatureMatrix` — this method
+                never calls ``feature.compute``).
+            groups: Conditioning key per row (``None`` for pooled).
+
+        Returns:
+            ``(n,)`` float array. Rows whose group has no learned
+            distribution (and no pooled fallback) are ``NaN`` — the batch
+            marker for the scalar path's ``None``.
+        """
+        arr = np.asarray(values, dtype=float)
+        n = arr.shape[0]
+        if len(groups) != n:
+            raise ValueError(f"got {n} values but {len(groups)} group keys")
+        out = np.full(n, np.nan)
+        rows_by_group: dict[str | None, list[int]] = {}
+        for row, group in enumerate(groups):
+            rows_by_group.setdefault(group, []).append(row)
+        for group, rows in rows_by_group.items():
+            dist = self.lookup(feature, group)
+            if dist is None:
+                continue
+            idx = np.asarray(rows, dtype=int)
+            out[idx] = dist.likelihood_batch(arr[idx])
+        return out
 
     @property
     def feature_names(self) -> list[str]:

@@ -14,6 +14,24 @@ likelihoods 0.37 and 0.39 and a velocity likelihood of 0.21 scores
 
 A component touching a zero potential (an AOF that zeroed it out) scores
 ``-inf`` and is dropped from rankings.
+
+Implementation: on construction the :class:`Scorer` builds, in one
+pass, a log-potential array (one entry per factor, via
+:func:`~repro.factorgraph.factors.log_potentials`) plus a
+row-sorted edge table mapping each observation to the array positions
+of its adjacent factors. Scoring a component is then a NumPy gather +
+reduce — no graph traversal — and the ``rank_*`` methods read both the
+score and the factor count from that one lookup (previously
+``factors_of_observations`` walked the graph twice per ranked item).
+
+Vectorized compiles feed the edge table straight from
+:class:`~repro.core.compile.CompiledColumns` arrays without ever
+materializing factor-graph nodes; ``rank_tracks`` additionally uses the
+per-track factor slices those arrays carry (factors of a track are
+contiguous, so a track's score is a single vector reduce). Scalar
+compiles and hand-built :class:`~repro.core.compile.CompiledScene`
+instances build the same structures by walking ``compiled.factors``
+once.
 """
 
 from __future__ import annotations
@@ -22,9 +40,11 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.core.compile import CompiledScene
 from repro.core.model import Observation, ObservationBundle, Track
-from repro.factorgraph.factors import log_potential
+from repro.factorgraph.factors import log_potentials
 
 __all__ = ["ScoredItem", "Scorer"]
 
@@ -50,29 +70,137 @@ class ScoredItem:
 
 
 class Scorer:
-    """Scores components of a compiled scene."""
+    """Scores components of a compiled scene.
+
+    Construction precomputes the log-potential array and per-observation
+    factor-index structures described in the module docstring; all
+    scoring methods run off those arrays.
+    """
 
     def __init__(self, compiled: CompiledScene):
         self.compiled = compiled
+        columns = getattr(compiled, "columns", None)
+        self._track_slices: dict[str, tuple[int, int]] | None = None
+        if columns is not None:
+            self._init_from_columns(columns)
+        else:
+            self._init_from_graph(compiled)
+
+    def _init_from_columns(self, columns) -> None:
+        """Edge table straight from the columnar compile arrays."""
+        n_factors = columns.n_factors
+        self._log_pot = (
+            log_potentials(columns.potentials)
+            if n_factors
+            else np.empty(0, dtype=float)
+        )
+        lengths = (columns.member_stop - columns.member_start).astype(np.intp)
+        for i, rows in columns.member_overrides.items():
+            lengths[i] = rows.size
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        total = int(offsets[-1])
+        if total:
+            # Expand each factor's [start, stop) range into explicit rows.
+            flat = (
+                np.arange(total)
+                - np.repeat(offsets[:-1], lengths)
+                + np.repeat(columns.member_start, lengths)
+            )
+            for i, rows in columns.member_overrides.items():
+                flat[offsets[i] : offsets[i + 1]] = rows
+            edge_factor = np.repeat(np.arange(n_factors, dtype=np.intp), lengths)
+            order = np.argsort(flat, kind="stable")
+            rows_sorted = flat[order]
+            self._edge_factors = edge_factor[order]
+            self._row_ptr = np.searchsorted(
+                rows_sorted, np.arange(columns.table.n_obs + 1)
+            )
+        else:
+            self._edge_factors = np.empty(0, dtype=np.intp)
+            self._row_ptr = np.zeros(columns.table.n_obs + 1, dtype=np.intp)
+        self._row_of = columns.table.row_of
+        self._obs_factors = None
+        # The slice shortcut assumes a track's factors attach only to
+        # its own observations; custom cross-track features void it.
+        if columns.track_slices_cover_members:
+            self._track_slices = columns.track_factor_slices
+
+    def _init_from_graph(self, compiled: CompiledScene) -> None:
+        """One pass over an eagerly-built graph (scalar or hand-built)."""
+        graph = compiled.graph
+        values = []
+        obs_lists: dict[str, list[int]] = {}
+        for name, factor in compiled.factors.items():
+            if not graph.has_factor(name):
+                continue
+            index = len(values)
+            values.append(factor.value)
+            for var in graph.factor_scope(name):
+                obs_lists.setdefault(var.name, []).append(index)
+        self._log_pot = (
+            log_potentials(values) if values else np.empty(0, dtype=float)
+        )
+        self._obs_factors = {
+            obs_id: np.asarray(indices, dtype=np.intp)
+            for obs_id, indices in obs_lists.items()
+        }
+        self._row_of = None
 
     # ------------------------------------------------------------------
+    def _factor_indices(self, observations: list[Observation]) -> list[np.ndarray]:
+        """Per-observation adjacent-factor index arrays."""
+        if self._obs_factors is not None:
+            return [
+                self._obs_factors[obs.obs_id]
+                for obs in observations
+                if obs.obs_id in self._obs_factors
+            ]
+        out = []
+        for obs in observations:
+            row = self._row_of.get(obs.obs_id)
+            if row is None:
+                continue
+            part = self._edge_factors[self._row_ptr[row] : self._row_ptr[row + 1]]
+            if part.size:
+                out.append(part)
+        return out
+
+    def _score_and_count(
+        self, observations: list[Observation]
+    ) -> tuple[float | None, int]:
+        """Normalized log score and distinct-factor count, in one lookup."""
+        index_arrays = self._factor_indices(observations)
+        if not index_arrays:
+            return None, 0
+        if len(index_arrays) == 1:
+            indices = index_arrays[0]
+        else:
+            indices = np.unique(np.concatenate(index_arrays))
+        logs = self._log_pot[indices]
+        n_factors = int(indices.size)
+        if np.isneginf(logs).any():
+            return -math.inf, n_factors
+        return float(logs.sum() / n_factors), n_factors
+
+    def _score_track_slice(self, track_id: str) -> tuple[float | None, int]:
+        """A track's score from its contiguous factor slice (fast path)."""
+        start, stop = self._track_slices[track_id]
+        n_factors = stop - start
+        if n_factors == 0:
+            return None, 0
+        logs = self._log_pot[start:stop]
+        if np.isneginf(logs).any():
+            return -math.inf, n_factors
+        return float(logs.sum() / n_factors), n_factors
+
     def score_observations(self, observations: list[Observation]) -> float | None:
         """Normalized log score of an arbitrary observation set.
 
         Returns ``None`` when no factor touches the component (nothing to
         say about it), ``-inf`` when any touching potential is zero.
         """
-        factor_names = self.compiled.factors_of_observations(observations)
-        if not factor_names:
-            return None
-        total = 0.0
-        for name in factor_names:
-            value = self.compiled.factors[name].value
-            log_value = log_potential(value)
-            if log_value == -math.inf:
-                return -math.inf
-            total += log_value
-        return total / len(factor_names)
+        score, _ = self._score_and_count(observations)
+        return score
 
     def score_observation(self, obs: Observation) -> float | None:
         return self.score_observations([obs])
@@ -84,28 +212,44 @@ class Scorer:
         return self.score_observations(track.observations)
 
     # ------------------------------------------------------------------
+    def _scored(self, item, observations, track_id: str) -> ScoredItem | None:
+        score, n_factors = self._score_and_count(observations)
+        if score is None or score == -math.inf:
+            return None
+        return ScoredItem(
+            item=item,
+            score=score,
+            scene_id=self.compiled.scene.scene_id,
+            track_id=track_id,
+            n_factors=n_factors,
+        )
+
     def rank_tracks(
         self, track_filter: Callable[[Track], bool] | None = None
     ) -> list[ScoredItem]:
         """All finite-scoring tracks, best score first."""
         out = []
+        scene_id = self.compiled.scene.scene_id
         for track in self.compiled.scene.tracks:
             if track_filter is not None and not track_filter(track):
                 continue
-            score = self.score_track(track)
-            if score is None or score == -math.inf:
-                continue
-            out.append(
-                ScoredItem(
-                    item=track,
-                    score=score,
-                    scene_id=self.compiled.scene.scene_id,
-                    track_id=track.track_id,
-                    n_factors=len(
-                        self.compiled.factors_of_observations(track.observations)
-                    ),
+            if self._track_slices is not None and track.track_id in self._track_slices:
+                score, n_factors = self._score_track_slice(track.track_id)
+                if score is None or score == -math.inf:
+                    continue
+                out.append(
+                    ScoredItem(
+                        item=track,
+                        score=score,
+                        scene_id=scene_id,
+                        track_id=track.track_id,
+                        n_factors=n_factors,
+                    )
                 )
-            )
+                continue
+            scored = self._scored(track, track.observations, track.track_id)
+            if scored is not None:
+                out.append(scored)
         out.sort(key=lambda s: s.score, reverse=True)
         return out
 
@@ -122,22 +266,11 @@ class Scorer:
             for bundle in track.bundles:
                 if bundle_filter is not None and not bundle_filter(bundle, track):
                     continue
-                score = self.score_bundle(bundle)
-                if score is None or score == -math.inf:
-                    continue
-                out.append(
-                    ScoredItem(
-                        item=bundle,
-                        score=score,
-                        scene_id=self.compiled.scene.scene_id,
-                        track_id=track.track_id,
-                        n_factors=len(
-                            self.compiled.factors_of_observations(
-                                list(bundle.observations)
-                            )
-                        ),
-                    )
+                scored = self._scored(
+                    bundle, list(bundle.observations), track.track_id
                 )
+                if scored is not None:
+                    out.append(scored)
         out.sort(key=lambda s: s.score, reverse=True)
         return out
 
@@ -150,17 +283,8 @@ class Scorer:
             for obs in track.observations:
                 if obs_filter is not None and not obs_filter(obs):
                     continue
-                score = self.score_observation(obs)
-                if score is None or score == -math.inf:
-                    continue
-                out.append(
-                    ScoredItem(
-                        item=obs,
-                        score=score,
-                        scene_id=self.compiled.scene.scene_id,
-                        track_id=track.track_id,
-                        n_factors=len(self.compiled.factors_of_observations([obs])),
-                    )
-                )
+                scored = self._scored(obs, [obs], track.track_id)
+                if scored is not None:
+                    out.append(scored)
         out.sort(key=lambda s: s.score, reverse=True)
         return out

@@ -8,6 +8,7 @@ from repro.distributions.fitting import (
     get_fitter,
     register_fitter,
 )
+from repro.distributions.grid import GriddedDensity
 from repro.distributions.histogram import HistogramDensity, freedman_diaconis_bins
 from repro.distributions.kde import GaussianKDE, scott_bandwidth, silverman_bandwidth
 from repro.distributions.parametric import Bernoulli, Categorical, Gaussian1D
@@ -20,6 +21,7 @@ __all__ = [
     "FittableDistribution",
     "Gaussian1D",
     "GaussianKDE",
+    "GriddedDensity",
     "HistogramDensity",
     "fit_distribution",
     "freedman_diaconis_bins",

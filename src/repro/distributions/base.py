@@ -59,6 +59,21 @@ class Distribution(ABC):
         with np.errstate(divide="ignore"):
             return np.log(self.pdf(values))
 
+    def log_pdf_batch(self, values) -> np.ndarray:
+        """Batched :meth:`log_pdf` with a guaranteed ``(n,)`` result.
+
+        Concrete estimators keep scalar-in/scalar-out conveniences in
+        ``pdf``/``log_pdf``; vectorized callers (the columnar compile
+        pipeline) need a shape contract instead: any ``(n,)`` or
+        ``(n, d)`` batch — including ``n == 0`` and ``n == 1`` — returns a
+        float64 array of exactly ``n`` log densities.
+        """
+        arr = as_2d(values, dim=self.dim) if np.size(values) else np.empty((0, self.dim))
+        if arr.shape[0] == 0:
+            return np.empty(0, dtype=float)
+        out = np.asarray(self.log_pdf(arr), dtype=float)
+        return np.atleast_1d(out).reshape(arr.shape[0])
+
     def _finalize(self, out: np.ndarray, scalar_input: bool):
         """Return a float for scalar inputs, else the array."""
         if scalar_input:

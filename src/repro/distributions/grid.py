@@ -1,0 +1,201 @@
+"""Grid-accelerated evaluation of 1-D kernel densities.
+
+An exact :class:`~repro.distributions.kde.GaussianKDE` evaluation costs
+O(n_train) per query — the dominant cost of compiling scenes once the
+rest of the pipeline is vectorized (see :mod:`repro.core.columnar`).
+Production serving evaluates the *same* fitted density millions of
+times, so we precompute its log-density on a uniform grid once and
+answer queries by cubic Hermite interpolation in O(log n_nodes).
+
+Accuracy is handled empirically, not hoped for:
+
+- node values **and** analytic first derivatives are computed from the
+  exact KDE, so each cell interpolates with O(step⁴) error;
+- after building, the grid is validated against the exact density at
+  every cell midpoint (the worst case for Hermite error). Validation is
+  restricted to the *relevant band* — log densities within ``band`` nats
+  of the peak. Anything below that band is orders of magnitude under the
+  relative-likelihood floor used by scoring
+  (:data:`repro.core.learning.LIKELIHOOD_FLOOR`), where all values clamp
+  to the same floor anyway;
+- if the in-band midpoint error exceeds ``tol`` the grid is rebuilt once
+  at half the spacing; if it still fails, acceleration is declined and
+  callers keep the exact path;
+- queries outside the grid's range fall back to the exact density.
+
+This is an explicit, bounded approximation: callers opt in via
+:meth:`repro.core.learning.LearnedFeatureDistribution.enable_fast_eval`,
+and the scalar reference path never uses it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import as_2d
+from repro.distributions.kde import GaussianKDE
+
+__all__ = ["GriddedDensity"]
+
+
+#: Default in-band midpoint-error tolerance (nats of log density).
+DEFAULT_TOL = 1e-5
+
+#: Default band below the density peak that validation must cover, in
+#: nats. exp(-32) relative density is ~1e-14 — far below the 1e-12
+#: relative-likelihood floor, so everything under the band clamps.
+DEFAULT_BAND = 32.0
+
+#: Grid nodes per kernel bandwidth.
+DEFAULT_SPACING = 16
+
+#: Grid padding beyond the training data, in bandwidths.
+DEFAULT_PAD = 12.0
+
+
+class GriddedDensity:
+    """Cubic-Hermite log-density interpolant over a uniform grid."""
+
+    def __init__(
+        self,
+        exact: GaussianKDE,
+        nodes: np.ndarray,
+        log_density: np.ndarray,
+        dlog_density: np.ndarray,
+        step: float,
+        max_in_band_error: float,
+    ):
+        self.exact = exact
+        self.nodes = nodes
+        self.log_density = log_density
+        self.dlog_density = dlog_density
+        self.step = step
+        #: validated midpoint error within the relevant band (nats)
+        self.max_in_band_error = max_in_band_error
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def node_count(dist, spacing: int = DEFAULT_SPACING, pad: float = DEFAULT_PAD) -> int | None:
+        """Number of grid nodes a build would use (``None`` if ineligible)."""
+        if not isinstance(dist, GaussianKDE) or dist.dim != 1:
+            return None
+        data = dist._data[:, 0]
+        h = float(dist._bandwidth[0])
+        span = float(data.max() - data.min()) + 2 * pad * h
+        return int(np.ceil(span / (h / spacing))) + 1
+
+    @staticmethod
+    def try_build(
+        dist,
+        tol: float = DEFAULT_TOL,
+        spacing: int = DEFAULT_SPACING,
+        pad: float = DEFAULT_PAD,
+        band: float = DEFAULT_BAND,
+        max_nodes: int = 200_000,
+    ) -> "GriddedDensity | None":
+        """Build and validate a grid; ``None`` when ineligible or failed.
+
+        Eligible distributions are 1-D Gaussian KDEs — the default (and
+        expensive) estimator. Cheap estimators (histograms, parametric
+        forms) do not benefit.
+        """
+        if GriddedDensity.node_count(dist, spacing, pad) is None:
+            return None
+        for attempt_spacing in (spacing, spacing * 2):
+            n_nodes = GriddedDensity.node_count(dist, attempt_spacing, pad)
+            if n_nodes > max_nodes:
+                return None
+            grid = GriddedDensity._build(dist, attempt_spacing, pad)
+            if grid is None:
+                return None
+            if grid._validate(tol, band):
+                return grid
+        return None
+
+    @staticmethod
+    def _build(dist: GaussianKDE, spacing: int, pad: float) -> "GriddedDensity | None":
+        data = dist._data[:, 0]
+        h = float(dist._bandwidth[0])
+        if not np.isfinite(h) or h <= 0:
+            return None
+        step = h / spacing
+        lo = float(data.min()) - pad * h
+        hi = float(data.max()) + pad * h
+        nodes = lo + step * np.arange(int(np.ceil((hi - lo) / step)) + 1)
+        log_g, dlog_g = _log_density_and_derivative(dist, nodes)
+        return GriddedDensity(
+            exact=dist,
+            nodes=nodes,
+            log_density=log_g,
+            dlog_density=dlog_g,
+            step=step,
+            max_in_band_error=np.inf,
+        )
+
+    def _validate(self, tol: float, band: float) -> bool:
+        """Check midpoint error in the relevant band (and sanity overall)."""
+        midpoints = (self.nodes[:-1] + self.nodes[1:]) / 2.0
+        exact = self.exact.log_pdf_batch(midpoints)
+        approx = self._interpolate(midpoints)
+        error = np.abs(approx - exact)
+        in_band = exact >= (self.log_density.max() - band)
+        in_band_error = float(error[in_band].max()) if in_band.any() else 0.0
+        # Outside the band values clamp to the likelihood floor, but the
+        # error still must not be large enough to fake an in-band value.
+        if float(error.max()) > band / 8.0:
+            return False
+        if in_band_error > tol:
+            return False
+        self.max_in_band_error = in_band_error
+        return True
+
+    # ------------------------------------------------------------------
+    def log_pdf_batch(self, values) -> np.ndarray:
+        """Interpolated log density; exact fallback outside the grid."""
+        arr = as_2d(values, dim=1)[:, 0] if np.size(values) else np.empty(0)
+        out = np.empty(arr.shape[0])
+        inside = (arr >= self.nodes[0]) & (arr <= self.nodes[-1])
+        if inside.any():
+            out[inside] = self._interpolate(arr[inside])
+        if (~inside).any():
+            out[~inside] = np.atleast_1d(
+                np.asarray(self.exact.log_pdf_batch(arr[~inside]), dtype=float)
+            )
+        return out
+
+    def _interpolate(self, x: np.ndarray) -> np.ndarray:
+        nodes, g, d, step = self.nodes, self.log_density, self.dlog_density, self.step
+        idx = np.clip(np.searchsorted(nodes, x, side="right") - 1, 0, len(nodes) - 2)
+        t = (x - nodes[idx]) / step
+        t2 = t * t
+        t3 = t2 * t
+        return (
+            (2 * t3 - 3 * t2 + 1) * g[idx]
+            + (t3 - 2 * t2 + t) * step * d[idx]
+            + (-2 * t3 + 3 * t2) * g[idx + 1]
+            + (t3 - t2) * step * d[idx + 1]
+        )
+
+
+def _log_density_and_derivative(
+    dist: GaussianKDE, x: np.ndarray, block: int = 128
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact KDE log density and its x-derivative, evaluated in blocks."""
+    data = dist._data[:, 0]
+    h = float(dist._bandwidth[0])
+    log_norm = float(dist._log_norm)
+    n = dist.n_samples
+    g = np.empty(x.shape[0])
+    dg = np.empty(x.shape[0])
+    for start in range(0, x.shape[0], block):
+        xs = x[start : start + block]
+        z = (xs[:, None] - data[None, :]) / h
+        exponents = -0.5 * z * z
+        peak = exponents.max(axis=1, keepdims=True)
+        weights = np.exp(exponents - peak)
+        total = weights.sum(axis=1)
+        g[start : start + block] = (
+            log_norm + peak[:, 0] + np.log(total) - np.log(n)
+        )
+        dg[start : start + block] = -(weights * z).sum(axis=1) / (h * total)
+    return g, dg

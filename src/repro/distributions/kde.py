@@ -99,6 +99,12 @@ class GaussianKDE(FittableDistribution):
     def bandwidth(self) -> np.ndarray:
         return self._bandwidth.copy()
 
+    #: Query rows per evaluation block. Each block's (block, n, d)
+    #: intermediate stays cache-resident instead of streaming one huge
+    #: (q, n, d) tensor through main memory; per-row results are
+    #: identical either way (each row's reduction never crosses rows).
+    _block_rows = 128
+
     # ------------------------------------------------------------------
     def log_pdf(self, values):
         scalar_input = np.isscalar(values) or (
@@ -109,19 +115,29 @@ class GaussianKDE(FittableDistribution):
             raise ValueError(
                 f"query dimension {queries.shape[1]} != KDE dimension {self.dim}"
             )
-        # (q, n, d) standardized distances; memory fine at our scales.
+        n_queries = queries.shape[0]
+        if n_queries <= self._block_rows:
+            out = self._log_pdf_block(queries)
+        else:
+            out = np.empty(n_queries)
+            for start in range(0, n_queries, self._block_rows):
+                stop = start + self._block_rows
+                out[start:stop] = self._log_pdf_block(queries[start:stop])
+        if scalar_input or (n_queries == 1 and np.asarray(values).ndim <= 1):
+            return float(out[0])
+        return out
+
+    def _log_pdf_block(self, queries: np.ndarray) -> np.ndarray:
+        # (q, n, d) standardized distances; blocks keep this small.
         z = (queries[:, None, :] - self._data[None, :, :]) / self._bandwidth
         log_kernels = self._log_norm - 0.5 * np.einsum("qnd,qnd->qn", z, z)
         # log mean exp over the n training points.
         max_log = log_kernels.max(axis=1, keepdims=True)
-        out = (
+        return (
             max_log[:, 0]
             + np.log(np.exp(log_kernels - max_log).sum(axis=1))
             - np.log(self.n_samples)
         )
-        if scalar_input or (queries.shape[0] == 1 and np.asarray(values).ndim <= 1):
-            return float(out[0])
-        return out
 
     def pdf(self, values):
         out = np.exp(self.log_pdf(values))

@@ -132,3 +132,10 @@ class Categorical(FittableDistribution):
             return np.log(p) if isinstance(p, np.ndarray) else (
                 math.log(p) if p > 0 else -math.inf
             )
+
+    def log_pdf_batch(self, values) -> np.ndarray:
+        # Categories are arbitrary hashables, so the numeric as_2d coercion
+        # of the base implementation does not apply.
+        probs = np.asarray([self.probs.get(v, 0.0) for v in values], dtype=float)
+        with np.errstate(divide="ignore"):
+            return np.log(probs)

@@ -18,6 +18,7 @@ from repro.eval.experiments import (
     table3,
 )
 from repro.eval.harness import FullReport, run_all
+from repro.eval.perf import ab_compile_rank, render_report
 from repro.eval.metrics import (
     PrecisionSummary,
     mean_or_nan,
@@ -48,6 +49,7 @@ __all__ = [
     "figure_case_studies",
     "format_kv",
     "format_table",
+    "ab_compile_rank",
     "get_dataset",
     "mean_or_nan",
     "missing_observation_experiment",
@@ -55,6 +57,7 @@ __all__ = [
     "precision_at_k",
     "recall_experiment",
     "recall_of_set",
+    "render_report",
     "run_all",
     "runtime_experiment",
     "scene_coverage",

@@ -5,9 +5,15 @@ from repro.factorgraph.factors import (
     FunctionFactor,
     TableFactor,
     log_potential,
+    log_potentials,
 )
 from repro.factorgraph.graph import FactorGraph, FactorNode, VariableNode
-from repro.factorgraph.inference import log_score, max_product, sum_product
+from repro.factorgraph.inference import (
+    evidence_log_score,
+    log_score,
+    max_product,
+    sum_product,
+)
 
 __all__ = [
     "Factor",
@@ -16,7 +22,9 @@ __all__ = [
     "FunctionFactor",
     "TableFactor",
     "VariableNode",
+    "evidence_log_score",
     "log_potential",
+    "log_potentials",
     "log_score",
     "max_product",
     "sum_product",

@@ -18,7 +18,7 @@ from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["Factor", "FunctionFactor", "TableFactor", "log_potential"]
+__all__ = ["Factor", "FunctionFactor", "TableFactor", "log_potential", "log_potentials"]
 
 
 def log_potential(value: float, floor: float = 1e-12) -> float:
@@ -34,6 +34,21 @@ def log_potential(value: float, floor: float = 1e-12) -> float:
     if value == 0.0:
         return -math.inf
     return math.log(max(value, floor))
+
+
+def log_potentials(values, floor: float = 1e-12) -> np.ndarray:
+    """Vectorized :func:`log_potential` over an array of potentials.
+
+    Exact zeros map to ``-inf``; positive values are floored at ``floor``
+    before the log, element for element matching the scalar function.
+    """
+    arr = np.atleast_1d(np.asarray(values, dtype=float))
+    if (arr < 0).any():
+        bad = float(arr[arr < 0][0])
+        raise ValueError(f"potentials must be non-negative, got {bad}")
+    out = np.log(np.maximum(arr, floor))
+    out[arr == 0.0] = -math.inf
+    return out
 
 
 class Factor(ABC):

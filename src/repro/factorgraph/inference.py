@@ -18,10 +18,10 @@ from typing import Hashable, Mapping
 
 import numpy as np
 
-from repro.factorgraph.factors import Factor, TableFactor
+from repro.factorgraph.factors import Factor, TableFactor, log_potentials
 from repro.factorgraph.graph import FactorGraph
 
-__all__ = ["log_score", "sum_product", "max_product"]
+__all__ = ["log_score", "evidence_log_score", "sum_product", "max_product"]
 
 
 def log_score(
@@ -43,6 +43,40 @@ def log_score(
         total += factor.log_evaluate(assignment)
         if total == -math.inf:
             return -math.inf
+    return total
+
+
+def evidence_log_score(graph: FactorGraph) -> float:
+    """Vectorized :func:`log_score` for fully-conditioned graphs.
+
+    Compiled LOA scenes condition every variable on the observed data, so
+    each factor's potential is a constant (see
+    :class:`repro.core.compile.PotentialFactor`, duck-typed here through
+    its ``value`` attribute to avoid a circular import). Those constants
+    are gathered into one array and logged in a single NumPy call;
+    factors that still depend on an assignment fall back to
+    ``log_evaluate({})`` one by one.
+    """
+    constants = []
+    total = 0.0
+    for node in graph.factors():
+        factor = node.payload
+        value = getattr(factor, "value", None)
+        if isinstance(value, float):
+            constants.append(value)
+            continue
+        if not isinstance(factor, Factor):
+            raise TypeError(
+                f"factor node {node.name!r} payload is not a Factor: {factor!r}"
+            )
+        total += factor.log_evaluate({})
+        if total == -math.inf:
+            return -math.inf
+    if constants:
+        logs = log_potentials(constants)
+        if (logs == -math.inf).any():
+            return -math.inf
+        total += float(logs.sum())
     return total
 
 

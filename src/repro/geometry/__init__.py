@@ -1,6 +1,6 @@
 """Geometric primitives: oriented 3D boxes, IoU, and planar transforms."""
 
-from repro.geometry.box import Box3D, centroid, wrap_angle
+from repro.geometry.box import Box3D, centroid, wrap_angle, wrap_angles
 from repro.geometry.iou import (
     bev_iou,
     compute_iou,
@@ -26,4 +26,5 @@ __all__ = [
     "relative_pose",
     "transform_box",
     "wrap_angle",
+    "wrap_angles",
 ]

@@ -19,7 +19,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Box3D", "wrap_angle", "box_from_dict"]
+__all__ = ["Box3D", "wrap_angle", "wrap_angles", "box_from_dict"]
 
 
 def wrap_angle(theta: float) -> float:
@@ -31,6 +31,11 @@ def wrap_angle(theta: float) -> float:
     0.0
     """
     return float((theta + math.pi) % (2.0 * math.pi) - math.pi)
+
+
+def wrap_angles(theta: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`wrap_angle` (same formula, element-wise)."""
+    return (np.asarray(theta, dtype=float) + math.pi) % (2.0 * math.pi) - math.pi
 
 
 @dataclass(frozen=True)

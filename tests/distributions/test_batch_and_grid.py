@@ -1,0 +1,127 @@
+"""Batch evaluation contracts and grid-accelerated densities (ISSUE 1).
+
+``log_pdf_batch`` guarantees an ``(n,)`` float result for any batch —
+the shape contract the columnar compile pipeline builds on — and
+:class:`~repro.distributions.grid.GriddedDensity` must reproduce the
+exact KDE within its validated tolerance wherever scoring can see the
+difference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Bernoulli,
+    Categorical,
+    Gaussian1D,
+    GaussianKDE,
+    GriddedDensity,
+    HistogramDensity,
+)
+
+
+class TestLogPdfBatchContract:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            GaussianKDE(np.linspace(0.0, 10.0, 50)),
+            Gaussian1D(2.0, 1.5),
+            Bernoulli(0.3),
+            HistogramDensity(np.linspace(0.0, 10.0, 50)),
+        ],
+        ids=["kde", "gaussian", "bernoulli", "histogram"],
+    )
+    def test_shapes_and_scalar_agreement(self, dist):
+        queries = np.array([0.5, 2.0, 9.5])
+        out = dist.log_pdf_batch(queries)
+        assert out.shape == (3,)
+        assert out.dtype == np.float64
+        for value, log_density in zip(queries, out):
+            expected = float(np.atleast_1d(dist.log_pdf(value))[0])
+            assert log_density == pytest.approx(expected, abs=1e-12)
+        # n == 1 must still be an array, n == 0 an empty one.
+        assert dist.log_pdf_batch(np.array([2.0])).shape == (1,)
+        assert dist.log_pdf_batch(np.empty(0)).shape == (0,)
+
+    def test_categorical_batch(self):
+        dist = Categorical.fit(["car", "car", "truck"])
+        out = dist.log_pdf_batch(["car", "bike", "truck"])
+        assert out.shape == (3,)
+        assert out[1] == -np.inf
+        assert out[0] == pytest.approx(np.log(dist.pdf("car")))
+
+    def test_kde_blocked_equals_unblocked(self):
+        rng = np.random.default_rng(0)
+        kde = GaussianKDE(rng.normal(size=500))
+        queries = rng.normal(size=kde._block_rows * 3 + 17)
+        blocked = kde.log_pdf_batch(queries)
+        one_by_one = np.array([kde.log_pdf(float(q)) for q in queries])
+        np.testing.assert_array_equal(blocked, one_by_one)
+
+
+class TestGriddedDensity:
+    def test_matches_exact_within_band(self):
+        rng = np.random.default_rng(1)
+        data = np.concatenate(
+            [rng.normal(5.0, 1.0, 400), rng.normal(25.0, 3.0, 200)]
+        )
+        kde = GaussianKDE(data)
+        grid = GriddedDensity.try_build(kde, tol=1e-5)
+        assert grid is not None
+        assert grid.max_in_band_error <= 1e-5
+        queries = rng.uniform(2.0, 35.0, 500)
+        exact = kde.log_pdf_batch(queries)
+        approx = grid.log_pdf_batch(queries)
+        in_band = exact >= grid.log_density.max() - 30.0
+        assert np.abs(approx[in_band] - exact[in_band]).max() <= 1e-5
+
+    def test_out_of_range_falls_back_to_exact(self):
+        kde = GaussianKDE(np.linspace(0.0, 1.0, 50))
+        grid = GriddedDensity.try_build(kde)
+        assert grid is not None
+        far = np.array([-100.0, 200.0])
+        np.testing.assert_array_equal(
+            grid.log_pdf_batch(far), kde.log_pdf_batch(far)
+        )
+
+    def test_ineligible_distributions_decline(self):
+        assert GriddedDensity.try_build(Gaussian1D(0.0, 1.0)) is None
+        assert GriddedDensity.node_count(Bernoulli(0.5)) is None
+        kde_2d = GaussianKDE(np.random.default_rng(0).normal(size=(50, 2)))
+        assert GriddedDensity.try_build(kde_2d) is None
+
+
+class TestLearnedFastEval:
+    def test_lazy_cutover_builds_after_enough_traffic(self):
+        from repro.core.learning import LearnedFeatureDistribution
+
+        rng = np.random.default_rng(2)
+        kde = GaussianKDE(rng.normal(10.0, 2.0, 300))
+        lfd = LearnedFeatureDistribution(
+            distribution=kde,
+            max_density=float(np.max(kde.pdf(kde._data[:, 0]))),
+            n_samples=300,
+        )
+        assert lfd.enable_fast_eval()
+        assert lfd._fast_state == "pending"
+        queries = rng.normal(10.0, 2.0, 64)
+        exact = lfd.likelihood_batch(queries)
+        # Hammer it until cumulative traffic crosses the cutover.
+        for _ in range(2 * lfd._cutover_rows // 64 + 2):
+            lfd.likelihood_batch(queries)
+        assert lfd._fast_state == "ready"
+        fast = lfd.likelihood_batch(queries)
+        np.testing.assert_allclose(fast, exact, rtol=1e-4)
+        # The scalar reference stays exact.
+        scalar = np.array([lfd.likelihood(float(q)) for q in queries])
+        np.testing.assert_allclose(scalar, exact, rtol=1e-12)
+
+    def test_eager_build(self):
+        from repro.core.learning import LearnedFeatureDistribution
+
+        kde = GaussianKDE(np.linspace(0.0, 5.0, 100))
+        lfd = LearnedFeatureDistribution(
+            distribution=kde, max_density=1.0, n_samples=100
+        )
+        assert lfd.enable_fast_eval(eager=True)
+        assert lfd._fast_state == "ready"

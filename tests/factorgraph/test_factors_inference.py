@@ -9,7 +9,9 @@ from repro.factorgraph import (
     FactorGraph,
     FunctionFactor,
     TableFactor,
+    evidence_log_score,
     log_potential,
+    log_potentials,
     log_score,
     sum_product,
 )
@@ -29,6 +31,66 @@ class TestLogPotential:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             log_potential(-0.1)
+
+
+class TestLogPotentials:
+    def test_matches_scalar_elementwise(self):
+        values = np.array([1.0, math.e, 0.0, 1e-300, 0.5])
+        out = log_potentials(values)
+        for value, log_value in zip(values, out):
+            assert log_value == log_potential(float(value))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log_potentials(np.array([0.5, -0.1]))
+
+
+class TestEvidenceLogScore:
+    def test_constant_potentials_vectorized(self):
+        from repro.core.compile import PotentialFactor
+
+        g = FactorGraph()
+        g.add_variable("x")
+        g.add_variable("y")
+        g.add_factor("fx", ["x"], payload=PotentialFactor(0.5, "fx"))
+        g.add_factor("fy", ["y"], payload=PotentialFactor(0.25, "fy"))
+        assert evidence_log_score(g) == pytest.approx(
+            math.log(0.5) + math.log(0.25)
+        )
+
+    def test_zero_constant_gives_neg_inf(self):
+        from repro.core.compile import PotentialFactor
+
+        g = FactorGraph()
+        g.add_variable("x")
+        g.add_factor("f", ["x"], payload=PotentialFactor(0.0, "f"))
+        assert evidence_log_score(g) == -math.inf
+
+    def test_mixed_constant_and_function_factors(self):
+        from repro.core.compile import PotentialFactor
+
+        g = FactorGraph()
+        g.add_variable("x")
+        g.add_factor("const", ["x"], payload=PotentialFactor(0.5, "const"))
+        g.add_factor(
+            "fn", ["x"], payload=FunctionFactor(["x"], lambda x: 0.25)
+        )
+        with pytest.raises(KeyError):
+            # FunctionFactors need an assignment; evidence scoring only
+            # covers fully-conditioned (constant) graphs plus factors
+            # evaluable with an empty assignment.
+            evidence_log_score(g)
+
+    def test_agrees_with_log_score_on_compiled_graph(self):
+        from repro.core.compile import PotentialFactor
+
+        g = FactorGraph()
+        values = [0.37, 0.39, 0.21]
+        for i, value in enumerate(values):
+            g.add_variable(f"v{i}")
+            g.add_factor(f"f{i}", [f"v{i}"], payload=PotentialFactor(value, f"f{i}"))
+        assignment = {f"v{i}": 0 for i in range(len(values))}
+        assert evidence_log_score(g) == pytest.approx(log_score(g, assignment))
 
 
 class TestFunctionFactor:
