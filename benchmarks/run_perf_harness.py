@@ -2,19 +2,30 @@
 """Benchmark harness: run the perf suite and persist BENCH_scaling.json.
 
 Runs the A/B compile+rank comparison (scalar reference vs columnar fast
-path, :mod:`repro.eval.perf`) and — unless ``--skip-pytest`` — the
+path, :mod:`repro.eval.perf`), the serving-layer measurements
+(incremental-vs-full recompile and 1-vs-N-process ranking throughput,
+:mod:`repro.eval.serving_perf`) and — unless ``--skip-pytest`` — the
 existing ``bench_scaling.py`` / ``bench_runtime.py`` pytest benchmarks,
 then writes everything to ``BENCH_scaling.json`` at the repo root so
 future PRs can track the perf trajectory::
 
     PYTHONPATH=src python benchmarks/run_perf_harness.py
     PYTHONPATH=src python benchmarks/run_perf_harness.py --densities 10 100 --skip-pytest
+    PYTHONPATH=src python benchmarks/run_perf_harness.py --smoke --out /tmp/bench.json
+
+``--smoke`` shrinks every measurement to seconds of wall-clock (tiny
+densities, one repeat, no pytest run) — the mode the tier-1 smoke test
+exercises so the harness cannot silently rot.
 
 The JSON layout::
 
     {
       "generated_at": <unix seconds>,
       "ab": {...},            # repro.eval.perf.ab_compile_rank report
+      "serving": {
+        "delta_vs_full": {...},   # repro.eval.serving_perf.delta_vs_full
+        "sharding": {...},        # repro.eval.serving_perf.sharding_report
+      },
       "pytest_benchmarks": [  # mean seconds per benchmark test
         {"name": ..., "mean_s": ..., "stddev_s": ...}, ...
       ]
@@ -85,7 +96,35 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-pytest", action="store_true",
         help="skip the bench_scaling.py / bench_runtime.py pytest run",
     )
+    parser.add_argument(
+        "--skip-serving", action="store_true",
+        help="skip the delta-recompile / process-sharding measurements",
+    )
+    parser.add_argument(
+        "--delta-tracks", type=int, default=25,
+        help="tracks in the delta-recompile scene (1 gets edited)",
+    )
+    parser.add_argument(
+        "--shard-scenes", type=int, default=6,
+        help="scenes ranked per path in the sharding comparison",
+    )
+    parser.add_argument(
+        "--shard-workers", type=int, nargs="+", default=[1, 2],
+        help="process counts to sweep in the sharding comparison",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast sanity mode: tiny sizes, one repeat, no pytest run "
+        "(used by the tier-1 smoke test)",
+    )
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.densities = [5]
+        args.repeats = 1
+        args.skip_pytest = True
+        args.delta_tracks = 8
+        args.shard_scenes = 2
+        args.shard_workers = [1]
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.eval.perf import ab_compile_rank, render_report
@@ -94,6 +133,24 @@ def main(argv: list[str] | None = None) -> int:
     ab = ab_compile_rank(densities=tuple(args.densities), repeats=args.repeats)
     report["ab"] = ab
     print(render_report(ab))
+
+    if not args.skip_serving:
+        from repro.eval.serving_perf import (
+            delta_vs_full,
+            render_serving_report,
+            sharding_report,
+        )
+
+        delta = delta_vs_full(
+            n_tracks=args.delta_tracks, repeats=max(1, args.repeats)
+        )
+        sharding = sharding_report(
+            n_scenes=args.shard_scenes,
+            worker_counts=tuple(args.shard_workers),
+            repeats=max(1, args.repeats),
+        )
+        report["serving"] = {"delta_vs_full": delta, "sharding": sharding}
+        print(render_serving_report(delta, sharding))
 
     if not args.skip_pytest:
         report["pytest_benchmarks"] = run_pytest_benchmarks(

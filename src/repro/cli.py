@@ -9,7 +9,10 @@ Subcommands (also exposed as ``python -m repro.cli``):
 - ``rank``        fit on a dataset's training split and print the top
                   potential missing labels of one validation scene;
 - ``bench``       A/B the scalar reference vs the columnar fast path
-                  (compile+rank) and optionally persist the report.
+                  (compile+rank) and optionally persist the report;
+- ``serve``       run the streaming serving loop: line-delimited JSON
+                  requests on stdin, responses on stdout (open/edit/
+                  rank/close/stats over live scene sessions).
 
 Examples::
 
@@ -17,6 +20,7 @@ Examples::
     python -m repro.cli experiment table3
     python -m repro.cli rank --profile internal --scene 0 --top 10
     python -m repro.cli bench --densities 10 100 --out BENCH_scaling.json
+    python -m repro.cli serve --model model.json < requests.jsonl
 """
 
 from __future__ import annotations
@@ -88,6 +92,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--out", default=None,
         help="also write the JSON report to this path",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="streaming serving loop: JSON requests on stdin, responses "
+        "on stdout",
+    )
+    serve.add_argument(
+        "--model", default=None,
+        help="path to a saved LearnedModel JSON (persisted density grids "
+        "are restored, skipping the warmup build); when omitted, fits on "
+        "a synthetic profile's training split",
+    )
+    serve.add_argument(
+        "--features", choices=["default", "model_error"], default="default",
+        help="feature set the service compiles with",
+    )
+    serve.add_argument(
+        "--profile", choices=sorted(_PROFILES), default="internal",
+        help="synthetic profile to fit on when --model is absent",
+    )
+    serve.add_argument("--train", type=int, default=None)
+    serve.add_argument(
+        "--max-sessions", type=int, default=32,
+        help="live scene sessions kept before LRU eviction",
     )
 
     return parser
@@ -197,6 +226,40 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args, stdin=None, stdout=None) -> int:
+    """Run the streaming service over line-delimited JSON stdio.
+
+    ``stdin``/``stdout`` are injectable for tests; stdout carries only
+    protocol responses (the ready banner goes to stderr).
+    """
+    from repro.core import Fixy, LearnedModel, default_features, model_error_features
+    from repro.serving import StreamingService
+
+    features = (
+        default_features() if args.features == "default" else model_error_features()
+    )
+    fixy = Fixy(features)
+    if args.model:
+        fixy.learned = LearnedModel.load(args.model)
+        if fixy.fast_density:
+            fixy.learned.enable_fast_eval()
+        source = f"model {args.model}"
+    else:
+        dataset = build_dataset(_PROFILES[args.profile], n_train_scenes=args.train)
+        fixy.fit(dataset.train_scenes)
+        source = f"fit on {args.profile} ({len(dataset.train_scenes)} scenes)"
+
+    service = StreamingService(fixy, max_sessions=args.max_sessions)
+    print(
+        f"serving ({source}); ops: open/edit/rank/close/stats; "
+        "one JSON request per line",
+        file=sys.stderr,
+    )
+    handled = service.serve(stdin or sys.stdin, stdout or sys.stdout)
+    print(f"served {handled} requests", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
@@ -205,6 +268,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_rank(args)
 
 

@@ -43,7 +43,21 @@ import numpy as np
 from repro.core.features import Feature, FeatureContext
 from repro.core.model import Observation, ObservationBundle, Scene, Track
 
-__all__ = ["ObservationTable", "FeatureColumn", "FeatureMatrix"]
+__all__ = [
+    "ObservationTable",
+    "FeatureColumn",
+    "FeatureMatrix",
+    "SplicedTable",
+    "SplicedMatrix",
+]
+
+
+def concat_arrays(parts: list[np.ndarray], dtype) -> np.ndarray:
+    """``np.concatenate`` tolerating an empty part list (shared by the
+    columnar compile and the splice paths)."""
+    if not parts:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate(parts).astype(dtype, copy=False)
 
 
 class ObservationTable:
@@ -141,6 +155,95 @@ class ObservationTable:
         self._transitions: list[tuple] | None = None
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def concat(scene: Scene, tables: list["ObservationTable"]) -> "ObservationTable":
+        """Splice per-track tables into one scene-wide table.
+
+        ``tables`` must cover ``scene.tracks`` in order (in practice one
+        single-track table per track — the delta-recompilation substrate:
+        only changed tracks are re-extracted, the rest are spliced back
+        by pure array concatenation). All index arrays are shifted by the
+        obvious row/bundle/transition offsets; no observation is
+        re-inspected.
+        """
+        merged = ObservationTable.__new__(ObservationTable)
+        merged.scene = scene
+        merged.tracks = [t for tab in tables for t in tab.tracks]
+        if [t.track_id for t in merged.tracks] != [t.track_id for t in scene.tracks]:
+            raise ValueError(
+                "tables do not cover scene.tracks in order: "
+                f"{[t.track_id for t in merged.tracks]} != "
+                f"{[t.track_id for t in scene.tracks]}"
+            )
+        merged.observations = [o for tab in tables for o in tab.observations]
+        merged.bundles = [b for tab in tables for b in tab.bundles]
+
+        row_of: dict[str, int] = {}
+        track_obs_slices: list[tuple[int, int]] = []
+        track_bundle_slices: list[tuple[int, int]] = []
+        track_trans_slices: list[tuple[int, int]] = []
+        r = b = t = 0  # observation / bundle / transition offsets
+        for tab in tables:
+            for obs_id, row in tab.row_of.items():
+                row_of[obs_id] = row + r
+            track_obs_slices.extend((s + r, e + r) for s, e in tab.track_obs_slices)
+            track_bundle_slices.extend(
+                (s + b, e + b) for s, e in tab.track_bundle_slices
+            )
+            track_trans_slices.extend(
+                (s + t, e + t) for s, e in tab.track_trans_slices
+            )
+            r += tab.n_obs
+            b += tab.n_bundles
+            t += tab.n_transitions
+        if len(row_of) != len(merged.observations):
+            seen: set[str] = set()
+            for obs in merged.observations:
+                if obs.obs_id in seen:
+                    raise ValueError(f"variable {obs.obs_id!r} already exists")
+                seen.add(obs.obs_id)
+        merged.row_of = row_of
+        merged.track_obs_slices = track_obs_slices
+        merged.track_bundle_slices = track_bundle_slices
+        merged.track_trans_slices = track_trans_slices
+
+        cat = concat_arrays
+        for field_name, dtype in (
+            ("frame", int), ("x", float), ("y", float), ("z", float),
+            ("length", float), ("width", float), ("height", float),
+            ("yaw", float), ("is_model", bool), ("is_human", bool),
+            ("confidence", float), ("bundle_frame", int),
+        ):
+            setattr(
+                merged, field_name,
+                cat([getattr(tab, field_name) for tab in tables], dtype),
+            )
+        merged.obs_class = [c for tab in tables for c in tab.obs_class]
+        classes = sorted(set(merged.obs_class))
+        class_code = {c: i for i, c in enumerate(classes)}
+        merged.class_codes = np.fromiter(
+            (class_code[c] for c in merged.obs_class), int, len(merged.obs_class)
+        )
+
+        obs_offsets = np.cumsum([0] + [tab.n_obs for tab in tables])
+        bundle_offsets = np.cumsum([0] + [tab.n_bundles for tab in tables])
+        merged.bundle_start = cat(
+            [tab.bundle_start + off for tab, off in zip(tables, obs_offsets)], int
+        )
+        merged.bundle_stop = cat(
+            [tab.bundle_stop + off for tab, off in zip(tables, obs_offsets)], int
+        )
+        merged.bundle_rep = cat(
+            [tab.bundle_rep + off for tab, off in zip(tables, obs_offsets)], int
+        )
+        merged.trans_before = cat(
+            [tab.trans_before + off for tab, off in zip(tables, bundle_offsets)], int
+        )
+        merged.trans_after = merged.trans_before + 1
+        merged._transitions = None
+        return merged
+
+    # ------------------------------------------------------------------
     @property
     def n_obs(self) -> int:
         return len(self.observations)
@@ -184,12 +287,21 @@ class ObservationTable:
     # Per-kind geometry: item counts, member ranges, track slices.
     # ------------------------------------------------------------------
     def kind_count(self, kind: str) -> int:
-        return {
-            "observation": self.n_obs,
-            "bundle": self.n_bundles,
-            "transition": self.n_transitions,
-            "track": len(self.tracks),
-        }[kind]
+        return self.kind_counts()[kind]
+
+    def kind_counts(self) -> dict[str, int]:
+        """All per-kind item counts, memoized (tables are immutable —
+        splicing reads these once per segment per delta recompile)."""
+        counts = self.__dict__.get("_kind_counts")
+        if counts is None:
+            counts = {
+                "observation": self.n_obs,
+                "bundle": self.n_bundles,
+                "transition": self.n_transitions,
+                "track": len(self.tracks),
+            }
+            self._kind_counts = counts
+        return counts
 
     def kind_items(self, kind: str) -> list:
         """Item objects of a kind, in global (track-major) order."""
@@ -340,6 +452,89 @@ class FeatureMatrix:
             matrix.columns[feature.name] = column
         return matrix
 
+    @staticmethod
+    def concat(
+        scene: Scene,
+        context: FeatureContext,
+        table: ObservationTable,
+        matrices: list["FeatureMatrix"],
+    ) -> "FeatureMatrix":
+        """Splice per-track matrices (aligned with ``table``) into one.
+
+        The counterpart of :meth:`ObservationTable.concat` for the
+        per-feature columns: values/validity/potentials concatenate,
+        member ranges shift by observation-row offsets, per-track item
+        slices shift by per-kind item offsets. No feature is
+        re-evaluated.
+        """
+        merged = FeatureMatrix(scene=scene, context=context, table=table)
+        if not matrices:
+            return merged
+        names = list(matrices[0].columns)
+        for m in matrices[1:]:
+            if list(m.columns) != names:
+                raise ValueError(
+                    "matrices disagree on feature columns: "
+                    f"{list(m.columns)} != {names}"
+                )
+        obs_offsets = np.cumsum([0] + [m.table.n_obs for m in matrices])
+        for name in names:
+            parts = [m.columns[name] for m in matrices]
+            kind = parts[0].kind
+            feature = parts[0].feature
+            # Offsets come from actual column lengths, not table kind
+            # counts: a fallback column with a custom ``items_of`` may
+            # carry fewer rows than the table has items of its kind.
+            item_offsets = np.cumsum([0] + [len(c) for c in parts])
+            values = _concat_values([c.values for c in parts])
+            values_list = None
+            if parts[0].values_list is not None:
+                values_list = [v for c in parts for v in c.values_list]
+            valid = (
+                np.concatenate([c.valid for c in parts])
+                if parts else np.empty(0, dtype=bool)
+            )
+            groups = None
+            if parts[0].groups is not None:
+                groups = [g for c in parts for g in c.groups]
+            member_start = np.concatenate(
+                [c.member_start + off for c, off in zip(parts, obs_offsets)]
+            ).astype(int, copy=False)
+            member_stop = np.concatenate(
+                [c.member_stop + off for c, off in zip(parts, obs_offsets)]
+            ).astype(int, copy=False)
+            track_slices = [
+                (s + off, e + off)
+                for c, off in zip(parts, item_offsets)
+                for s, e in c.track_slices
+            ]
+            items = None
+            if parts[0].items is not None:
+                items = [item for c in parts for item in c.items]
+            overrides: dict[int, np.ndarray] = {}
+            for c, item_off, obs_off in zip(parts, item_offsets, obs_offsets):
+                for row, rows in c.member_overrides.items():
+                    overrides[row + int(item_off)] = rows + int(obs_off)
+            potentials = None
+            if parts[0].potentials is not None:
+                potentials = np.concatenate([c.potentials for c in parts])
+            merged.columns[name] = FeatureColumn(
+                feature=feature,
+                kind=kind,
+                table=table,
+                values=values,
+                values_list=values_list,
+                valid=valid,
+                groups=groups,
+                member_start=member_start,
+                member_stop=member_stop,
+                track_slices=track_slices,
+                items=items,
+                member_overrides=overrides,
+                potentials=potentials,
+            )
+        return merged
+
 
 def _columnar_column(
     feature: Feature, table: ObservationTable, ctx: FeatureContext
@@ -454,6 +649,122 @@ def _fallback_column(
         items=all_items,
         member_overrides=overrides,
     )
+
+
+class SplicedTable(ObservationTable):
+    """A lazily merged view over per-track tables (delta recompilation).
+
+    Scoring a spliced scene needs almost nothing from the merged table —
+    only ``n_obs`` up front, and ``row_of`` for bundle/observation
+    queries — while the full merge (observation lists, per-row arrays,
+    class codes) is only consulted by the graph views and diagnostics.
+    This subclass therefore materializes :meth:`ObservationTable.concat`
+    on first touch of any merged attribute, keeping the edit → recompile
+    path free of per-observation work for unchanged tracks.
+    """
+
+    def __init__(self, scene: Scene, tables: list[ObservationTable]):
+        # Deliberately skips ObservationTable.__init__: merged state is
+        # produced by concat() on demand.
+        self.scene = scene
+        self.tracks = [t for tab in tables for t in tab.tracks]
+        if [t.track_id for t in self.tracks] != [
+            t.track_id for t in scene.tracks
+        ]:
+            raise ValueError(
+                "tables do not cover scene.tracks in order: "
+                f"{[t.track_id for t in self.tracks]} != "
+                f"{[t.track_id for t in scene.tracks]}"
+            )
+        self._parts = list(tables)
+        self._n_obs = sum(tab.n_obs for tab in tables)
+        self._materializing = False
+
+    @property
+    def n_obs(self) -> int:
+        return self._n_obs
+
+    @property
+    def row_of(self) -> dict[str, int]:
+        self._materialize()
+        return self._row_of
+
+    def _materialize(self) -> None:
+        if "_row_of" in self.__dict__:
+            return
+        self._materializing = True
+        try:
+            merged = ObservationTable.concat(self.scene, self._parts)
+        finally:
+            self._materializing = False
+        for key, value in merged.__dict__.items():
+            if key in ("scene", "tracks", "row_of"):
+                continue
+            self.__dict__.setdefault(key, value)
+        self._row_of = merged.row_of
+
+    def __getattr__(self, name: str):
+        # Only called for attributes not yet in __dict__ — i.e. merged
+        # state that has not materialized.
+        if name.startswith("_") or self.__dict__.get("_materializing"):
+            raise AttributeError(name)
+        self._materialize()
+        return object.__getattribute__(self, name)
+
+
+class SplicedMatrix(FeatureMatrix):
+    """A lazily merged view over per-track matrices.
+
+    The merged per-feature columns are only consulted by factor naming
+    and graph materialization; ranking reads factor-level arrays from
+    :class:`~repro.core.compile.CompiledColumns` directly. Deferring
+    :meth:`FeatureMatrix.concat` keeps those costs off the delta
+    recompilation path entirely.
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        context: FeatureContext,
+        table: ObservationTable,
+        matrices: list[FeatureMatrix],
+    ):
+        # Deliberately skips the dataclass __init__; `columns` becomes a
+        # lazy property instead of a field.
+        self.scene = scene
+        self.context = context
+        self.table = table
+        self._matrices = list(matrices)
+        self._columns: dict[str, FeatureColumn] | None = None
+
+    @property
+    def columns(self) -> dict[str, FeatureColumn]:
+        if self._columns is None:
+            self._columns = FeatureMatrix.concat(
+                self.scene, self.context, self.table, self._matrices
+            ).columns
+        return self._columns
+
+
+def _concat_values(parts: list[np.ndarray | None]) -> np.ndarray | None:
+    """Concatenate per-segment value arrays, tolerating empty segments.
+
+    Empty tracks can yield ``(0,)`` placeholders even for ``(n, d)``
+    features (the fallback path cannot infer ``d`` from zero values), so
+    zero-length parts adopt the shape of the non-empty ones.
+    """
+    if parts and parts[0] is None:
+        return None
+    nonempty = [p for p in parts if p is not None and p.shape[0]]
+    if not nonempty:
+        return parts[0] if parts else None
+    trailing = nonempty[0].shape[1:]
+    aligned = [
+        p if p.shape[0] else np.empty((0,) + trailing, dtype=float)
+        for p in parts
+        if p is not None
+    ]
+    return np.concatenate(aligned)
 
 
 def _to_float_array(values_list: list, valid: np.ndarray) -> np.ndarray:

@@ -41,13 +41,26 @@ from typing import Hashable, Mapping
 import numpy as np
 
 from repro.core.aof import AOF, IdentityAOF
-from repro.core.columnar import FeatureColumn, FeatureMatrix, ObservationTable
+from repro.core.columnar import (
+    FeatureColumn,
+    FeatureMatrix,
+    ObservationTable,
+    SplicedMatrix,
+    SplicedTable,
+    concat_arrays,
+)
 from repro.core.features import Feature, FeatureContext
 from repro.core.learning import LearnedModel
 from repro.core.model import Observation, ObservationBundle, Scene, Track
 from repro.factorgraph import Factor, FactorGraph
 
-__all__ = ["PotentialFactor", "CompiledScene", "CompiledColumns", "compile_scene"]
+__all__ = [
+    "PotentialFactor",
+    "CompiledScene",
+    "CompiledColumns",
+    "compile_scene",
+    "splice_compiled",
+]
 
 
 class PotentialFactor(Factor):
@@ -333,11 +346,7 @@ def _compile_columnar(
             total += int(valid_rows.size)
         track_factor_slices[track.track_id] = (track_start, total)
 
-    def _concat(parts: list[np.ndarray], dtype) -> np.ndarray:
-        if not parts:
-            return np.empty(0, dtype=dtype)
-        return np.concatenate(parts).astype(dtype, copy=False)
-
+    _concat = concat_arrays
     columns = CompiledColumns(
         table=table,
         matrix=matrix,
@@ -398,6 +407,128 @@ def _column_potentials(
         items = [column.item_at(int(r)) for r in valid_rows]
     out[valid_rows] = aof.apply_batch(likelihoods, items)
     return out
+
+
+# ----------------------------------------------------------------------
+# Delta recompilation substrate: splice per-track compiles into a scene.
+# ----------------------------------------------------------------------
+def splice_compiled(
+    scene: Scene,
+    segments: list[CompiledScene],
+    context: FeatureContext | None = None,
+) -> CompiledScene:
+    """Concatenate per-track columnar compiles into one compiled scene.
+
+    ``segments`` are vectorized :func:`compile_scene` results covering
+    ``scene.tracks`` in order (one single-track compile per track, in
+    practice — see :class:`repro.serving.SceneSession`). Because both the
+    observation table and the factor store are track-major with
+    contiguous per-track ranges, splicing is pure array concatenation
+    with offset shifts: no feature is re-extracted and no density is
+    re-evaluated. The result is a first-class :class:`CompiledScene` —
+    scoring, factor names, and lazy graph materialization all behave
+    exactly as if the whole scene had been compiled at once.
+
+    Requires every feature to be track-local (its factors attach only to
+    observations of their own track) — true of the entire built-in
+    library. A custom cross-track ``observations_of`` cannot even
+    compile per-track and raises during segment compilation.
+    """
+    ctx = context or FeatureContext.from_scene(scene)
+    if not segments:
+        if scene.tracks:
+            raise ValueError(
+                f"no segments given for scene with {len(scene.tracks)} tracks"
+            )
+        table = ObservationTable(scene)
+        matrix = FeatureMatrix(scene=scene, context=ctx, table=table)
+        empty = np.empty(0, dtype=int)
+        columns = CompiledColumns(
+            table=table, matrix=matrix, features=[],
+            factor_feature=empty, factor_item=empty,
+            potentials=np.empty(0, dtype=float),
+            member_start=empty, member_stop=empty,
+            member_overrides={}, track_order=[], track_factor_slices={},
+        )
+        return CompiledScene(scene=scene, context=ctx, tracks={}, columns=columns)
+
+    parts = [s.columns for s in segments]
+    if any(p is None for p in parts):
+        raise ValueError("splice_compiled requires vectorized (columnar) segments")
+    features = parts[0].features
+    for p in parts[1:]:
+        if [f.name for f in p.features] != [f.name for f in features]:
+            raise ValueError("segments disagree on active features")
+
+    # Merged table and matrix are lazy views: ranking never touches the
+    # merged per-observation arrays, so the splice stays O(factors) with
+    # no per-observation work for unchanged tracks.
+    table = SplicedTable(scene, [p.table for p in parts])
+    matrix = SplicedMatrix(scene, ctx, table, [p.matrix for p in parts])
+
+    obs_offsets = np.cumsum([0] + [p.table.n_obs for p in parts])
+    factor_offsets = np.cumsum([0] + [p.n_factors for p in parts])
+    # factor_item indexes rows within a feature's column; offsets are
+    # cumulative *column lengths* per segment (equal to per-kind item
+    # counts for columnar columns, but a fallback column with a custom
+    # ``items_of`` may carry fewer rows than the table has items).
+    # ``per_feature[fi, i]`` is feature fi's item offset in segment i.
+    if features:
+        col_lens = np.asarray(
+            [
+                [len(p.matrix.columns[f.name]) for p in parts]
+                for f in features
+            ],
+            dtype=int,
+        )
+        per_feature = np.concatenate(
+            [np.zeros((len(features), 1), dtype=int),
+             np.cumsum(col_lens, axis=1)],
+            axis=1,
+        )
+    else:
+        per_feature = np.empty((0, len(parts) + 1), dtype=int)
+    item_parts = []
+    for i, p in enumerate(parts):
+        if p.factor_feature.size:
+            item_parts.append(p.factor_item + per_feature[p.factor_feature, i])
+        else:
+            item_parts.append(p.factor_item)
+
+    _concat = concat_arrays
+
+    overrides: dict[int, np.ndarray] = {}
+    track_factor_slices: dict[str, tuple[int, int]] = {}
+    for p, f_off, r_off in zip(parts, factor_offsets, obs_offsets):
+        for i, rows in p.member_overrides.items():
+            overrides[i + int(f_off)] = rows + int(r_off)
+        for tid, (start, stop) in p.track_factor_slices.items():
+            track_factor_slices[tid] = (start + int(f_off), stop + int(f_off))
+
+    columns = CompiledColumns(
+        table=table,
+        matrix=matrix,
+        features=features,
+        factor_feature=_concat([p.factor_feature for p in parts], int),
+        factor_item=_concat(item_parts, int),
+        potentials=_concat([p.potentials for p in parts], float),
+        member_start=_concat(
+            [p.member_start + off for p, off in zip(parts, obs_offsets)], int
+        ),
+        member_stop=_concat(
+            [p.member_stop + off for p, off in zip(parts, obs_offsets)], int
+        ),
+        member_overrides=overrides,
+        track_order=[t.track_id for t in scene.tracks],
+        track_factor_slices=track_factor_slices,
+        track_slices_cover_members=all(p.track_slices_cover_members for p in parts),
+    )
+    return CompiledScene(
+        scene=scene,
+        context=ctx,
+        tracks={t.track_id: t for t in scene.tracks},
+        columns=columns,
+    )
 
 
 # ----------------------------------------------------------------------

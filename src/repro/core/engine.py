@@ -133,6 +133,94 @@ class Fixy:
     def is_fitted(self) -> bool:
         return self.learned is not None
 
+    # ------------------------------------------------------------------
+    # Serving transport: snapshot the engine's state for worker processes
+    # ------------------------------------------------------------------
+    def to_payload(self, include_grids: bool = True) -> dict:
+        """Snapshot configuration + fitted model for transport.
+
+        The learned model travels as its :meth:`LearnedModel.to_dict`
+        form (JSON-safe; density grids included by default so receiving
+        workers skip the warmup build). Features and AOFs are the live
+        objects — they cross process boundaries by pickling, which
+        every library feature supports.
+        """
+        return {
+            "features": list(self.features),
+            "aofs": dict(self.aofs),
+            "learn_sources": tuple(self._learner.sources),
+            "min_samples": self._learner.min_samples,
+            "vectorized": self.vectorized,
+            "fast_density": self.fast_density,
+            "learned": (
+                self.learned.to_dict(include_grids=include_grids)
+                if self.learned is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict, compile_cache_size: int | None = None
+    ) -> "Fixy":
+        """Rebuild an engine from :meth:`to_payload` (worker-side)."""
+        fixy = cls(
+            features=payload["features"],
+            aofs=payload["aofs"],
+            learn_sources=tuple(payload["learn_sources"]),
+            min_samples=payload["min_samples"],
+            vectorized=payload["vectorized"],
+            fast_density=payload["fast_density"],
+            **(
+                {}
+                if compile_cache_size is None
+                else {"compile_cache_size": compile_cache_size}
+            ),
+        )
+        if payload["learned"] is not None:
+            fixy.learned = LearnedModel.from_dict(payload["learned"])
+            if fixy.fast_density:
+                # Grids persisted in the payload come back ready; this
+                # only arms whatever the snapshot had not built yet.
+                fixy.learned.enable_fast_eval()
+        return fixy
+
+    # ------------------------------------------------------------------
+    # Serving facade: incremental sessions and process sharding
+    # ------------------------------------------------------------------
+    def session(self, scene: Scene, session_id: str | None = None):
+        """An incremental :class:`~repro.serving.session.SceneSession`
+        over ``scene``, sharing this engine's features/AOFs/model.
+
+        Session edits mutate ``scene`` in place, so every edit also
+        evicts it from this engine's identity-keyed compile cache —
+        ``rank_*`` on the same scene object stays fresh.
+        """
+        from repro.serving.session import SceneSession
+
+        self._require_fitted()
+        if not self.vectorized:
+            raise ValueError(
+                "sessions require the columnar pipeline; this engine was "
+                "built with vectorized=False (the scalar reference path "
+                "cannot be spliced incrementally)"
+            )
+        return SceneSession(
+            scene,
+            self.features,
+            learned=self.learned,
+            aofs=self.aofs,
+            session_id=session_id,
+            on_invalidate=lambda: self._evict_scene(scene),
+        )
+
+    def shard(self, n_workers: int = 2, **kwargs):
+        """A :class:`~repro.serving.sharded.ShardedRanker` over this
+        engine (process-pool ``rank_*`` with per-worker caches)."""
+        from repro.serving.sharded import ShardedRanker
+
+        return ShardedRanker(self, n_workers=n_workers, **kwargs)
+
     def _require_fitted(self) -> None:
         needs_learning = any(f.learnable for f in self.features)
         if needs_learning and not self.is_fitted:
@@ -197,6 +285,11 @@ class Fixy:
         """Drop all cached compiled scenes."""
         with self._cache_lock:
             self._compile_cache.clear()
+
+    def _evict_scene(self, scene: Scene) -> None:
+        """Drop one scene's cache entry (it was mutated in place)."""
+        with self._cache_lock:
+            self._compile_cache.pop(id(scene), None)
 
     def scorer(self, scene: Scene) -> Scorer:
         """A scorer for one scene (compile and scorer both LRU-cached)."""

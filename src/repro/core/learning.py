@@ -116,6 +116,26 @@ class LearnedFeatureDistribution:
             self._fast_grid = grid
             self._fast_state = "ready"
 
+    # ------------------------------------------------------------------
+    # Grid persistence: the validated grid is offline state worth
+    # shipping with the model (serving workers skip the warmup build).
+    # ------------------------------------------------------------------
+    def fast_grid_to_dict(self) -> dict | None:
+        """Snapshot of the built acceleration grid (``None`` unless ready)."""
+        if self._fast_state != "ready":
+            return None
+        payload = self._fast_grid.to_dict()
+        payload["tol"] = self._fast_tol
+        return payload
+
+    def restore_fast_grid(self, payload: dict) -> None:
+        """Adopt a persisted grid: acceleration is immediately ready."""
+        from repro.distributions.grid import GriddedDensity
+
+        self._fast_grid = GriddedDensity.from_dict(payload, self.distribution)
+        self._fast_tol = float(payload.get("tol", 0.0))
+        self._fast_state = "ready"
+
     def likelihood(self, value) -> float:
         """Relative likelihood in ``[LIKELIHOOD_FLOOR, 1]``."""
         density = float(np.atleast_1d(self.distribution.pdf(value))[0])
@@ -163,20 +183,33 @@ class LearnedModel:
     # ------------------------------------------------------------------
     # Persistence (offline fits can be expensive; save them as JSON)
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self, include_grids: bool = True) -> dict:
+        """JSON-safe snapshot of every fitted distribution.
+
+        With ``include_grids`` (default), distributions whose
+        grid-accelerated evaluation has been built
+        (:meth:`enable_fast_eval`) serialize the validated grid
+        alongside the estimator, so a process that loads the model
+        serves from the grid immediately instead of re-running the
+        warmup build.
+        """
         from repro.distributions import serialize
 
-        return {
-            feature: {
-                group: {
+        out: dict = {}
+        for feature, groups in self.distributions.items():
+            out[feature] = {}
+            for group, lfd in groups.items():
+                payload = {
                     "distribution": serialize.to_dict(lfd.distribution),
                     "max_density": lfd.max_density,
                     "n_samples": lfd.n_samples,
                 }
-                for group, lfd in groups.items()
-            }
-            for feature, groups in self.distributions.items()
-        }
+                if include_grids:
+                    grid = lfd.fast_grid_to_dict()
+                    if grid is not None:
+                        payload["fast_grid"] = grid
+                out[feature][group] = payload
+        return out
 
     @staticmethod
     def from_dict(data: dict) -> "LearnedModel":
@@ -184,21 +217,37 @@ class LearnedModel:
 
         model = LearnedModel()
         for feature, groups in data.items():
-            model.distributions[feature] = {
-                group: LearnedFeatureDistribution(
+            fitted: dict[str, LearnedFeatureDistribution] = {}
+            for group, payload in groups.items():
+                lfd = LearnedFeatureDistribution(
                     distribution=serialize.from_dict(payload["distribution"]),
                     max_density=float(payload["max_density"]),
                     n_samples=int(payload["n_samples"]),
                 )
-                for group, payload in groups.items()
-            }
+                if "fast_grid" in payload:
+                    lfd.restore_fast_grid(payload["fast_grid"])
+                fitted[group] = lfd
+            model.distributions[feature] = fitted
         return model
 
-    def save(self, path) -> None:
+    def save(self, path, include_grids: bool = True) -> None:
+        """Persist the model as JSON.
+
+        ``include_grids`` (default) also persists any density grids
+        built so far, so a process that loads the file serves
+        accelerated batch densities with no warmup. Grids are by far
+        the largest part of the payload and only exist once traffic (or
+        an eager ``enable_fast_eval``) has built them — pass
+        ``include_grids=False`` for a minimal, traffic-independent
+        snapshot of just the fitted estimators.
+        """
         import json
         from pathlib import Path
 
-        Path(path).write_text(json.dumps(self.to_dict()), encoding="utf-8")
+        Path(path).write_text(
+            json.dumps(self.to_dict(include_grids=include_grids)),
+            encoding="utf-8",
+        )
 
     @staticmethod
     def load(path) -> "LearnedModel":

@@ -52,6 +52,7 @@ from repro.geometry.box import wrap_angle, wrap_angles
 __all__ = [
     "AspectRatioFeature",
     "HeadingAlignmentFeature",
+    "VolumeAspectFeature",
     "VolumeFeature",
     "DistanceFeature",
     "ModelOnlyFeature",
@@ -322,6 +323,33 @@ class AspectRatioFeature(ObservationFeature):
 
     def columnar_values(self, table, context: FeatureContext):
         return table.length / table.width
+
+
+class VolumeAspectFeature(ObservationFeature):
+    """Joint class-conditional (volume, aspect-ratio) feature (extension).
+
+    The first vector-valued (d=2) library feature: it exercises the KDE
+    product-kernel path — and the whole columnar batch pipeline — at
+    ``d > 1``. Jointly modeling volume and footprint aspect catches
+    boxes that are marginally plausible on each axis but jointly wrong
+    (e.g. a car-sized volume stretched to a truck-like footprint):
+    the 2-D density is low where the marginals are not.
+    """
+
+    name = "volume_aspect"
+    learnable = True
+    fitter = "kde"
+    class_conditional = True
+    supports_columnar = True
+
+    def compute(self, obs: Observation, context: FeatureContext):
+        return (obs.box.volume, obs.box.length / obs.box.width)
+
+    def columnar_values(self, table, context: FeatureContext):
+        return np.column_stack(
+            [table.length * table.width * table.height,
+             table.length / table.width]
+        )
 
 
 class HeadingAlignmentFeature(TransitionFeature):

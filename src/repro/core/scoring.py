@@ -118,7 +118,11 @@ class Scorer:
         else:
             self._edge_factors = np.empty(0, dtype=np.intp)
             self._row_ptr = np.zeros(columns.table.n_obs + 1, dtype=np.intp)
-        self._row_of = columns.table.row_of
+        # Bound lazily in _factor_indices: on spliced compiles the
+        # obs-id → row map only materializes if a bundle/observation
+        # query actually needs it (track ranking runs off the slices).
+        self._table = columns.table
+        self._row_of = None
         self._obs_factors = None
         # The slice shortcut assumes a track's factors attach only to
         # its own observations; custom cross-track features void it.
@@ -144,6 +148,7 @@ class Scorer:
             obs_id: np.asarray(indices, dtype=np.intp)
             for obs_id, indices in obs_lists.items()
         }
+        self._table = None
         self._row_of = None
 
     # ------------------------------------------------------------------
@@ -155,6 +160,8 @@ class Scorer:
                 for obs in observations
                 if obs.obs_id in self._obs_factors
             ]
+        if self._row_of is None:
+            self._row_of = self._table.row_of
         out = []
         for obs in observations:
             row = self._row_of.get(obs.obs_id)
@@ -223,6 +230,29 @@ class Scorer:
             track_id=track_id,
             n_factors=n_factors,
         )
+
+    def rank(self, kind: str, filt=None) -> list[ScoredItem]:
+        """Rank by component kind name — the serving-layer dispatcher.
+
+        ``kind`` is ``"tracks"``, ``"bundles"``, or ``"observations"``
+        (singular forms accepted). Lets callers that receive the kind as
+        data (the JSON service, process-pool workers) avoid getattr
+        string plumbing.
+        """
+        method = {
+            "track": self.rank_tracks,
+            "tracks": self.rank_tracks,
+            "bundle": self.rank_bundles,
+            "bundles": self.rank_bundles,
+            "observation": self.rank_observations,
+            "observations": self.rank_observations,
+        }.get(kind)
+        if method is None:
+            raise ValueError(
+                f"unknown rank kind {kind!r}; expected tracks, bundles, "
+                "or observations"
+            )
+        return method(filt)
 
     def rank_tracks(
         self, track_filter: Callable[[Track], bool] | None = None

@@ -150,6 +150,42 @@ class GriddedDensity:
         return True
 
     # ------------------------------------------------------------------
+    # Persistence: a validated grid is expensive offline state worth
+    # shipping with the model, so serving workers skip the warmup build.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (nodes stored as ``lo + step * arange(n)``)."""
+        return {
+            "lo": float(self.nodes[0]),
+            "step": float(self.step),
+            "n": int(self.nodes.size),
+            "log_density": self.log_density.tolist(),
+            "dlog_density": self.dlog_density.tolist(),
+            "max_in_band_error": float(self.max_in_band_error),
+        }
+
+    @staticmethod
+    def from_dict(data: dict, exact: GaussianKDE) -> "GriddedDensity":
+        """Restore a grid serialized by :meth:`to_dict`.
+
+        ``exact`` is the fitted KDE the grid approximates (needed for
+        out-of-range fallback queries); it is serialized separately,
+        alongside the grid, by the learned-model codec. Node positions
+        are regenerated with the same ``lo + step * arange`` expression
+        the builder uses, so interpolation is bit-identical to the
+        original grid's.
+        """
+        nodes = float(data["lo"]) + float(data["step"]) * np.arange(int(data["n"]))
+        return GriddedDensity(
+            exact=exact,
+            nodes=nodes,
+            log_density=np.asarray(data["log_density"], dtype=float),
+            dlog_density=np.asarray(data["dlog_density"], dtype=float),
+            step=float(data["step"]),
+            max_in_band_error=float(data["max_in_band_error"]),
+        )
+
+    # ------------------------------------------------------------------
     def log_pdf_batch(self, values) -> np.ndarray:
         """Interpolated log density; exact fallback outside the grid."""
         arr = as_2d(values, dim=1)[:, 0] if np.size(values) else np.empty(0)

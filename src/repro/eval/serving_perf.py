@@ -1,0 +1,234 @@
+"""Serving-layer performance harness: delta recompiles and sharding.
+
+Two measurements, both persisted into ``BENCH_scaling.json`` by
+``benchmarks/run_perf_harness.py`` so the perf trajectory stays
+tracked:
+
+- :func:`delta_vs_full` — edit one track of an ``n``-track scene and
+  compare a :class:`~repro.serving.session.SceneSession` delta
+  recompile (one-track segment compile + array splice) against the
+  from-scratch :func:`~repro.core.compile.compile_scene`. The ISSUE-2
+  acceptance floor (≥5× at ≥25 tracks) is asserted by
+  ``benchmarks/bench_delta_recompile.py`` on top of this report.
+- :func:`sharding_report` — rank a batch of scenes through the
+  in-process thread path and through
+  :class:`~repro.serving.sharded.ShardedRanker` process pools of
+  increasing width, recording throughput and checking the rankings are
+  **byte-identical** across all paths.
+
+Timings use best-of-``repeats`` like :mod:`repro.eval.perf`; model
+fitting and grid warmup are excluded (one-time offline preparation).
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import Sequence
+
+from repro.core import MissingTrackFinder
+from repro.core.compile import compile_scene
+
+__all__ = [
+    "delta_vs_full",
+    "sharding_report",
+    "render_serving_report",
+]
+
+
+def _warm_finder():
+    from repro.datasets import SYNTHETIC_INTERNAL
+    from repro.eval import get_dataset
+
+    dataset = get_dataset(SYNTHETIC_INTERNAL)
+    finder = MissingTrackFinder().fit(dataset.train_scenes)
+    finder.fixy.warmup_fast_eval()
+    return finder.fixy
+
+
+def _build_scene(n_objects: int, seed: int):
+    from repro.eval.perf import _build_scene as build
+
+    return build(n_objects, seed)
+
+
+def _ranking_signature(ranked) -> list[tuple]:
+    """Bit-exact fingerprint of a ranking (scores as raw float64 bytes)."""
+    return [
+        (s.scene_id, s.track_id, s.n_factors, struct.pack("<d", s.score))
+        for s in ranked
+    ]
+
+
+# ----------------------------------------------------------------------
+def delta_vs_full(
+    n_tracks: int = 25,
+    repeats: int = 5,
+    fixy=None,
+) -> dict:
+    """Time editing 1 of ``n_tracks`` tracks: session delta vs full compile.
+
+    Each repeat replaces one observation of the first track (a fresh
+    jittered box, so every repeat really recompiles) and then forces
+    the spliced compiled view; the full-compile timing recompiles the
+    identical post-edit scene from scratch. Returns a JSON-ready dict
+    with best-of-``repeats`` millisecond timings and the speedup.
+    """
+    from repro.core.model import Observation
+    from repro.serving import ReplaceObservation
+
+    fixy = fixy or _warm_finder()
+    scene = _build_scene(n_tracks, seed=n_tracks)
+    session = fixy.session(scene)
+    session.compiled  # initial splice out of the timed region
+
+    target = scene.tracks[0]
+    best_delta = float("inf")
+    best_full = float("inf")
+    for i in range(repeats):
+        old = target.observations[0]
+        replacement = Observation(
+            frame=old.frame,
+            box=type(old.box)(
+                x=old.box.x + 0.01 * (i + 1),
+                y=old.box.y,
+                z=old.box.z,
+                length=old.box.length,
+                width=old.box.width,
+                height=old.box.height,
+                yaw=old.box.yaw,
+            ),
+            object_class=old.object_class,
+            source=old.source,
+            confidence=old.confidence,
+        )
+        edit = ReplaceObservation(target.track_id, old.obs_id, replacement)
+
+        t0 = time.perf_counter()
+        session.apply(edit)
+        session.compiled
+        t1 = time.perf_counter()
+        best_delta = min(best_delta, t1 - t0)
+
+        t0 = time.perf_counter()
+        compile_scene(
+            scene,
+            fixy.features,
+            learned=fixy.learned,
+            aofs=fixy.aofs,
+            vectorized=True,
+        )
+        t1 = time.perf_counter()
+        best_full = min(best_full, t1 - t0)
+
+    session.verify()  # spliced state must still equal the reference
+    return {
+        "n_tracks": len(scene.tracks),
+        "n_observations": len(scene.observations),
+        "n_factors": session.compiled.columns.n_factors,
+        "repeats": repeats,
+        "full_ms": round(1e3 * best_full, 3),
+        "delta_ms": round(1e3 * best_delta, 3),
+        "speedup": round(best_full / best_delta, 2) if best_delta > 0 else None,
+    }
+
+
+# ----------------------------------------------------------------------
+def sharding_report(
+    n_scenes: int = 6,
+    n_objects: int = 20,
+    worker_counts: Sequence[int] = (1, 2),
+    repeats: int = 3,
+    fixy=None,
+) -> dict:
+    """Thread-path vs 1..N-process ranking throughput (+ identity check).
+
+    Every path ranks the same scene batch; per-path timing is
+    best-of-``repeats`` on a warm pool (workers already initialized and
+    caches populated — steady-state serving, not pool spin-up, which is
+    reported separately as ``cold_ms``).
+    """
+    from repro.serving import ShardedRanker
+
+    fixy = fixy or _warm_finder()
+    scenes = [
+        _build_scene(n_objects, seed=1000 + i) for i in range(n_scenes)
+    ]
+
+    def best_of(fn) -> tuple[float, list]:
+        best, out = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            ranked = fn()
+            elapsed = time.perf_counter() - t0
+            if elapsed < best:
+                best = elapsed
+            out = ranked
+        return best, out
+
+    thread_s, thread_ranked = best_of(lambda: fixy.rank_tracks(scenes))
+    reference = _ranking_signature(thread_ranked)
+
+    cases = []
+    identical = True
+    for n_workers in worker_counts:
+        with ShardedRanker(fixy, n_workers=n_workers) as ranker:
+            t0 = time.perf_counter()
+            cold_ranked = ranker.rank_tracks(scenes)
+            cold_s = time.perf_counter() - t0
+            warm_s, warm_ranked = best_of(lambda: ranker.rank_tracks(scenes))
+            stats = ranker.cache_stats()
+        match = (
+            _ranking_signature(cold_ranked) == reference
+            and _ranking_signature(warm_ranked) == reference
+        )
+        identical &= match
+        cases.append(
+            {
+                "n_workers": n_workers,
+                "cold_ms": round(1e3 * cold_s, 3),
+                "warm_ms": round(1e3 * warm_s, 3),
+                "scenes_per_s": round(n_scenes / warm_s, 2) if warm_s > 0 else None,
+                "cache_hits": stats["hits"],
+                "cache_misses": stats["misses"],
+                "byte_identical": match,
+            }
+        )
+    return {
+        "n_scenes": n_scenes,
+        "n_objects": n_objects,
+        "repeats": repeats,
+        "thread_ms": round(1e3 * thread_s, 3),
+        "thread_scenes_per_s": round(n_scenes / thread_s, 2) if thread_s > 0 else None,
+        "n_ranked": len(thread_ranked),
+        "byte_identical": identical,
+        "process_cases": cases,
+    }
+
+
+# ----------------------------------------------------------------------
+def render_serving_report(delta: dict | None, sharding: dict | None) -> str:
+    """Human-readable rendering of the two serving reports."""
+    lines = ["Serving layer: delta recompilation and process sharding"]
+    if delta is not None:
+        lines.append(
+            f"  delta recompile (1 of {delta['n_tracks']} tracks edited): "
+            f"full {delta['full_ms']:.1f} ms vs delta {delta['delta_ms']:.1f} ms "
+            f"=> {delta['speedup']:.1f}x"
+        )
+    if sharding is not None:
+        lines.append(
+            f"  ranking {sharding['n_scenes']} scenes "
+            f"({sharding['n_objects']} objects each): thread "
+            f"{sharding['thread_ms']:.1f} ms "
+            f"({sharding['thread_scenes_per_s']:.1f} scenes/s), "
+            f"byte-identical={sharding['byte_identical']}"
+        )
+        for case in sharding["process_cases"]:
+            lines.append(
+                f"    {case['n_workers']} process(es): cold "
+                f"{case['cold_ms']:.1f} ms, warm {case['warm_ms']:.1f} ms "
+                f"({case['scenes_per_s']:.1f} scenes/s), cache "
+                f"{case['cache_hits']}h/{case['cache_misses']}m"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Streaming serving layer: incremental sessions, delta recompilation,
+process-sharded ranking.
+
+The batch engine (:class:`repro.core.engine.Fixy`) compiles a whole
+scene per query — the right shape for reproducing the paper's
+experiments, the wrong shape for a long-lived service where scenes
+mutate as sensor frames arrive and ranking traffic fans across cores.
+This package is the serving-side architecture on top of the columnar
+compile pipeline:
+
+- :mod:`repro.serving.edits` — a small algebra of scene edits
+  (insert/remove/replace for tracks, bundles, and observations), each
+  reporting exactly which tracks it touched;
+- :class:`~repro.serving.session.SceneSession` — owns a mutable scene
+  plus its compiled representation and performs **delta
+  recompilation**: only edited tracks are re-extracted and re-scored,
+  then spliced back into the scene-wide
+  :class:`~repro.core.compile.CompiledColumns` arrays
+  (:func:`repro.core.compile.splice_compiled`); the from-scratch
+  compile stays the executable reference (``SceneSession.verify``);
+- :class:`~repro.serving.sharded.ShardedRanker` — fans ``rank_*`` over
+  a ``ProcessPoolExecutor``; scenes travel as ``Scene.to_dict``
+  payloads and each worker keeps its own model + compiled-scene LRU
+  cache (the per-process replacement for the engine's in-process
+  cache);
+- :class:`~repro.serving.store.SessionStore` — many concurrent
+  sessions with LRU eviction;
+- :class:`~repro.serving.service.StreamingService` — a JSON
+  request/response facade over the store (``python -m repro.cli
+  serve``).
+"""
+
+from repro.serving.edits import (
+    InsertBundle,
+    InsertObservation,
+    InsertTrack,
+    RemoveBundle,
+    RemoveObservation,
+    RemoveTrack,
+    ReplaceObservation,
+    SceneEdit,
+    edit_from_dict,
+)
+from repro.serving.session import SceneSession, SessionStats
+from repro.serving.sharded import ShardedRanker
+from repro.serving.store import SessionStore
+from repro.serving.service import StreamingService
+
+__all__ = [
+    "InsertBundle",
+    "InsertObservation",
+    "InsertTrack",
+    "RemoveBundle",
+    "RemoveObservation",
+    "RemoveTrack",
+    "ReplaceObservation",
+    "SceneEdit",
+    "SceneSession",
+    "SessionStats",
+    "SessionStore",
+    "ShardedRanker",
+    "StreamingService",
+    "edit_from_dict",
+]

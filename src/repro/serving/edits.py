@@ -1,0 +1,286 @@
+"""Scene edits: the delta language of the streaming serving layer.
+
+Every edit is a small, immutable description of one mutation to a
+:class:`~repro.core.model.Scene` — a track appearing or disappearing, a
+new sensor frame extending a track, an observation being corrected. An
+edit knows how to apply itself (:meth:`SceneEdit.apply`) and reports the
+ids of every track whose compiled representation it invalidated; that
+set is exactly what :class:`~repro.serving.session.SceneSession` feeds
+into delta recompilation.
+
+Edits also round-trip through plain dicts (:meth:`SceneEdit.to_dict` /
+:func:`edit_from_dict`) so they can ride the JSON protocol of
+:class:`~repro.serving.service.StreamingService`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.model import Observation, ObservationBundle, Scene, Track
+
+__all__ = [
+    "SceneEdit",
+    "InsertTrack",
+    "RemoveTrack",
+    "InsertBundle",
+    "RemoveBundle",
+    "InsertObservation",
+    "RemoveObservation",
+    "ReplaceObservation",
+    "edit_from_dict",
+]
+
+
+class SceneEdit(ABC):
+    """One mutation of a scene.
+
+    ``apply`` mutates the scene in place and returns the set of track
+    ids whose compiled state the edit invalidated (removed tracks
+    included — the session drops their segments).
+    """
+
+    #: dict tag used by :meth:`to_dict` / :func:`edit_from_dict`.
+    op: str
+
+    @abstractmethod
+    def apply(self, scene: Scene) -> set[str]:
+        """Apply the edit; returns the changed track ids."""
+
+    @abstractmethod
+    def to_dict(self) -> dict:
+        """JSON-safe representation (``{"op": ..., ...}``)."""
+
+
+def _track_of(scene: Scene, track_id: str) -> Track:
+    for track in scene.tracks:
+        if track.track_id == track_id:
+            return track
+    raise KeyError(f"no track {track_id!r} in scene {scene.scene_id!r}")
+
+
+def _find_observation(
+    track: Track, obs_id: str
+) -> tuple[ObservationBundle, int]:
+    for bundle in track.bundles:
+        for i, obs in enumerate(bundle.observations):
+            if obs.obs_id == obs_id:
+                return bundle, i
+    raise KeyError(f"no observation {obs_id!r} in track {track.track_id!r}")
+
+
+@dataclass(frozen=True)
+class InsertTrack(SceneEdit):
+    """Append a new track to the scene (a new object entering)."""
+
+    track: Track
+    op = "insert_track"
+
+    def apply(self, scene: Scene) -> set[str]:
+        if any(t.track_id == self.track.track_id for t in scene.tracks):
+            raise ValueError(
+                f"track {self.track.track_id!r} already exists in "
+                f"scene {scene.scene_id!r}"
+            )
+        scene.tracks.append(self.track)
+        return {self.track.track_id}
+
+    def to_dict(self) -> dict:
+        return {"op": self.op, "track": self.track.to_dict()}
+
+
+@dataclass(frozen=True)
+class RemoveTrack(SceneEdit):
+    """Remove a whole track (object left, or track rejected)."""
+
+    track_id: str
+    op = "remove_track"
+
+    def apply(self, scene: Scene) -> set[str]:
+        track = _track_of(scene, self.track_id)
+        scene.tracks.remove(track)
+        return {self.track_id}
+
+    def to_dict(self) -> dict:
+        return {"op": self.op, "track_id": self.track_id}
+
+
+@dataclass(frozen=True)
+class InsertBundle(SceneEdit):
+    """Attach a new observation bundle to a track (a new frame)."""
+
+    track_id: str
+    bundle: ObservationBundle
+    op = "insert_bundle"
+
+    def apply(self, scene: Scene) -> set[str]:
+        _track_of(scene, self.track_id).add(self.bundle)
+        return {self.track_id}
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "track_id": self.track_id,
+            "bundle": self.bundle.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class RemoveBundle(SceneEdit):
+    """Drop a track's bundle at one frame."""
+
+    track_id: str
+    frame: int
+    op = "remove_bundle"
+
+    def apply(self, scene: Scene) -> set[str]:
+        track = _track_of(scene, self.track_id)
+        bundle = track.bundle_at(self.frame)
+        if bundle is None:
+            raise KeyError(
+                f"track {self.track_id!r} has no bundle at frame {self.frame}"
+            )
+        track.bundles.remove(bundle)
+        return {self.track_id}
+
+    def to_dict(self) -> dict:
+        return {"op": self.op, "track_id": self.track_id, "frame": self.frame}
+
+
+@dataclass(frozen=True)
+class InsertObservation(SceneEdit):
+    """Add one observation to a track — the streaming-frame workhorse.
+
+    Joins the track's bundle at ``observation.frame`` when one exists,
+    else creates a fresh single-observation bundle at that frame.
+    """
+
+    track_id: str
+    observation: Observation
+    op = "insert_observation"
+
+    def apply(self, scene: Scene) -> set[str]:
+        track = _track_of(scene, self.track_id)
+        bundle = track.bundle_at(self.observation.frame)
+        if bundle is None:
+            track.add(
+                ObservationBundle(
+                    frame=self.observation.frame,
+                    observations=[self.observation],
+                )
+            )
+        else:
+            bundle.add(self.observation)
+        return {self.track_id}
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "track_id": self.track_id,
+            "observation": self.observation.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class RemoveObservation(SceneEdit):
+    """Remove one observation; a bundle left empty disappears with it."""
+
+    track_id: str
+    obs_id: str
+    op = "remove_observation"
+
+    def apply(self, scene: Scene) -> set[str]:
+        track = _track_of(scene, self.track_id)
+        bundle, index = _find_observation(track, self.obs_id)
+        del bundle.observations[index]
+        if not bundle.observations:
+            track.bundles.remove(bundle)
+        return {self.track_id}
+
+    def to_dict(self) -> dict:
+        return {"op": self.op, "track_id": self.track_id, "obs_id": self.obs_id}
+
+
+@dataclass(frozen=True)
+class ReplaceObservation(SceneEdit):
+    """Swap one observation for a corrected one at the same frame.
+
+    ``Observation`` is frozen, so mutation is modeled as replacement;
+    the new observation must keep the old one's frame (moving across
+    frames is a remove + insert).
+    """
+
+    track_id: str
+    obs_id: str
+    observation: Observation
+    op = "replace_observation"
+
+    def apply(self, scene: Scene) -> set[str]:
+        track = _track_of(scene, self.track_id)
+        bundle, index = _find_observation(track, self.obs_id)
+        if self.observation.frame != bundle.frame:
+            raise ValueError(
+                f"replacement frame {self.observation.frame} != bundle "
+                f"frame {bundle.frame}; use RemoveObservation + "
+                "InsertObservation to move across frames"
+            )
+        bundle.observations[index] = self.observation
+        return {self.track_id}
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "track_id": self.track_id,
+            "obs_id": self.obs_id,
+            "observation": self.observation.to_dict(),
+        }
+
+
+_EDIT_TYPES: dict[str, type[SceneEdit]] = {
+    cls.op: cls
+    for cls in (
+        InsertTrack,
+        RemoveTrack,
+        InsertBundle,
+        RemoveBundle,
+        InsertObservation,
+        RemoveObservation,
+        ReplaceObservation,
+    )
+}
+
+
+def edit_from_dict(data: dict) -> SceneEdit:
+    """Reconstruct an edit serialized by :meth:`SceneEdit.to_dict`."""
+    op = data.get("op")
+    cls = _EDIT_TYPES.get(op)
+    if cls is None:
+        raise ValueError(
+            f"unknown edit op {op!r}; expected one of {sorted(_EDIT_TYPES)}"
+        )
+    if cls is InsertTrack:
+        return InsertTrack(track=Track.from_dict(data["track"]))
+    if cls is RemoveTrack:
+        return RemoveTrack(track_id=data["track_id"])
+    if cls is InsertBundle:
+        return InsertBundle(
+            track_id=data["track_id"],
+            bundle=ObservationBundle.from_dict(data["bundle"]),
+        )
+    if cls is RemoveBundle:
+        return RemoveBundle(track_id=data["track_id"], frame=int(data["frame"]))
+    if cls is InsertObservation:
+        return InsertObservation(
+            track_id=data["track_id"],
+            observation=Observation.from_dict(data["observation"]),
+        )
+    if cls is RemoveObservation:
+        return RemoveObservation(
+            track_id=data["track_id"], obs_id=data["obs_id"]
+        )
+    return ReplaceObservation(
+        track_id=data["track_id"],
+        obs_id=data["obs_id"],
+        observation=Observation.from_dict(data["observation"]),
+    )

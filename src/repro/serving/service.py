@@ -1,0 +1,143 @@
+"""StreamingService: a JSON request/response facade over a SessionStore.
+
+One request, one response, both plain dicts — the transport-agnostic
+core of ``python -m repro.cli serve`` (which speaks it over
+line-delimited JSON on stdin/stdout, the classic subprocess/socket
+protocol shape). Operations:
+
+======== ==============================================================
+op       request fields → response fields
+======== ==============================================================
+open     ``scene`` (Scene.to_dict), optional ``session_id`` →
+         ``session_id``, ``n_tracks``, ``version``
+edit     ``session_id``, ``edit`` (SceneEdit.to_dict) → ``changed``,
+         ``version``
+rank     ``session_id``, optional ``kind`` (tracks default),
+         ``top_k`` → ``results`` (JSON-safe scored items)
+close    ``session_id`` → ``closed``
+stats    → store counters
+======== ==============================================================
+
+Every response carries ``"ok"``; failures come back as
+``{"ok": false, "error": ...}`` instead of raising, so one malformed
+request cannot take down the serving loop.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.model import Observation, ObservationBundle, Scene, Track
+from repro.core.scoring import ScoredItem
+from repro.serving.edits import edit_from_dict
+from repro.serving.store import SessionStore
+
+__all__ = ["StreamingService", "scored_item_to_dict"]
+
+
+def scored_item_to_dict(scored: ScoredItem, kind: str) -> dict:
+    """JSON-safe description of one ranked component."""
+    out = {
+        "kind": kind.rstrip("s"),
+        "score": scored.score,
+        "scene_id": scored.scene_id,
+        "track_id": scored.track_id,
+        "n_factors": scored.n_factors,
+    }
+    item = scored.item
+    if isinstance(item, Observation):
+        out["obs_id"] = item.obs_id
+        out["frame"] = item.frame
+    elif isinstance(item, ObservationBundle):
+        out["frame"] = item.frame
+        out["n_observations"] = len(item)
+    elif isinstance(item, Track):
+        out["n_observations"] = item.n_observations
+    return out
+
+
+class StreamingService:
+    """Dispatches JSON-dict requests onto a :class:`SessionStore`."""
+
+    def __init__(self, fixy, max_sessions: int = 32):
+        self.store = SessionStore(fixy, max_sessions=max_sessions)
+
+    # ------------------------------------------------------------------
+    def handle(self, request: dict) -> dict:
+        """Process one request dict; always returns a response dict."""
+        try:
+            op = request.get("op")
+            handler = {
+                "open": self._op_open,
+                "edit": self._op_edit,
+                "rank": self._op_rank,
+                "close": self._op_close,
+                "stats": self._op_stats,
+            }.get(op)
+            if handler is None:
+                raise ValueError(
+                    f"unknown op {op!r}; expected open, edit, rank, close, "
+                    "or stats"
+                )
+            response = handler(request)
+            response["ok"] = True
+            return response
+        except Exception as exc:  # protocol boundary: report, don't die
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def serve(self, lines, out) -> int:
+        """Line-delimited JSON loop: one request per input line.
+
+        Returns the number of requests handled. Blank lines are
+        skipped; unparseable lines produce an error response like any
+        other bad request.
+        """
+        handled = 0
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                response = {"ok": False, "error": f"bad JSON: {exc}"}
+            else:
+                response = self.handle(request)
+            out.write(json.dumps(response) + "\n")
+            out.flush()
+            handled += 1
+        return handled
+
+    # ------------------------------------------------------------------
+    def _op_open(self, request: dict) -> dict:
+        scene = Scene.from_dict(request["scene"])
+        session = self.store.open(scene, session_id=request.get("session_id"))
+        return {
+            "session_id": session.session_id,
+            "n_tracks": len(scene.tracks),
+            "version": session.version,
+        }
+
+    def _op_edit(self, request: dict) -> dict:
+        edit = edit_from_dict(request["edit"])
+        session = self.store.get(request["session_id"])
+        changed = session.apply(edit)
+        return {"changed": sorted(changed), "version": session.version}
+
+    def _op_rank(self, request: dict) -> dict:
+        kind = request.get("kind", "tracks")
+        top_k = request.get("top_k")
+        ranked = self.store.rank(
+            request["session_id"], kind=kind,
+            top_k=int(top_k) if top_k is not None else None,
+        )
+        return {
+            "kind": kind,
+            "results": [scored_item_to_dict(s, kind) for s in ranked],
+        }
+
+    def _op_close(self, request: dict) -> dict:
+        return {"closed": self.store.close(request["session_id"])}
+
+    def _op_stats(self, request: dict) -> dict:
+        return self.store.stats()

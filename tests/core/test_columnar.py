@@ -32,6 +32,7 @@ from repro.core import (
     Track,
     TrackLengthFeature,
     VelocityFeature,
+    VolumeAspectFeature,
     VolumeFeature,
     VolumeRatioFeature,
     YawRateFeature,
@@ -50,6 +51,7 @@ TOL = 1e-9
 EXTENDED_FEATURES = [
     VolumeFeature(),
     AspectRatioFeature(),
+    VolumeAspectFeature(),  # d=2: exercises the product-kernel batch path
     VelocityFeature(),
     CountFeature(),
     TrackLengthFeature(),

@@ -93,3 +93,100 @@ class TestHeadingAlignment:
         )
         ranked = fixy.rank_tracks(scene_of([aligned, sideways]))
         assert [s.track_id for s in ranked] == ["aligned", "sideways"]
+
+
+class TestVolumeAspect:
+    """The d=2 joint (volume, aspect) feature — KDE product kernel at d>1."""
+
+    def feature(self):
+        from repro.core import VolumeAspectFeature
+
+        return VolumeAspectFeature()
+
+    def test_value_is_2d(self):
+        value = self.feature().compute(obs(l=4.0, w=2.0), CTX)
+        assert value == pytest.approx((4.0 * 2.0 * 1.7, 2.0))
+
+    def test_columnar_matches_scalar(self):
+        import numpy as np
+        from repro.core import ObservationTable
+        from tests.core.conftest import moving_track, scene_of
+
+        scene = scene_of(
+            [moving_track("a", n_frames=4, jitter=0.05, seed=3),
+             moving_track("b", n_frames=3, cls="truck", l=8.5, w=2.6, h=3.2,
+                          start_x=40.0)],
+        )
+        feature = self.feature()
+        table = ObservationTable(scene)
+        columnar = feature.columnar_values(table, CTX)
+        assert columnar.shape == (7, 2)
+        scalar = np.asarray(
+            [feature.compute(o, CTX) for o in scene.observations]
+        )
+        np.testing.assert_allclose(columnar, scalar, rtol=0, atol=0)
+
+    def test_fits_2d_kde_per_class(self, training_scenes):
+        from repro.core import FeatureDistributionLearner
+
+        learned = FeatureDistributionLearner([self.feature()]).fit(training_scenes)
+        groups = learned.distributions["volume_aspect"]
+        assert {"car", "truck"} <= set(groups)
+        assert groups["car"].distribution.dim == 2
+
+    def test_batch_equals_scalar_likelihood(self, training_scenes):
+        import numpy as np
+        from repro.core import FeatureContext, FeatureDistributionLearner
+
+        feature = self.feature()
+        learned = FeatureDistributionLearner([feature]).fit(training_scenes)
+        scene = training_scenes[0]
+        ctx = FeatureContext.from_scene(scene)
+        observations = scene.observations[:40]
+        values = np.asarray([feature.compute(o, ctx) for o in observations])
+        groups = [feature.group_key(o, ctx) for o in observations]
+        batch = learned.likelihood_batch(feature, values, groups)
+        for row, o in enumerate(observations):
+            assert batch[row] == pytest.approx(
+                learned.likelihood(feature, o, ctx), abs=1e-12
+            )
+
+    def test_compiles_through_both_pipelines(self, training_scenes):
+        from repro.core import (
+            FeatureDistributionLearner, Scorer, compile_scene,
+        )
+        from tests.core.conftest import moving_track, scene_of
+
+        feature = self.feature()
+        learned = FeatureDistributionLearner([feature]).fit(training_scenes)
+        scene = scene_of([moving_track("t", n_frames=5, jitter=0.04, seed=9)])
+        vec = compile_scene(scene, [feature], learned=learned)
+        ref = compile_scene(scene, [feature], learned=learned, vectorized=False)
+        track = scene.tracks[0]
+        assert Scorer(vec).score_track(track) == pytest.approx(
+            Scorer(ref).score_track(track), abs=1e-9
+        )
+
+    def test_atypical_joint_shape_ranks_last(self, training_scenes):
+        """A car-volume box with a truck-like footprint ranks below
+        ordinary cars even though each marginal is individually common."""
+        from repro.core import CountFeature, Fixy
+        from repro.geometry import Box3D
+        from tests.core.conftest import make_track, scene_of
+
+        fixy = Fixy([self.feature(), CountFeature()]).fit(training_scenes)
+        normal = make_track(
+            "normal", {f: [obs(frame=f, x=2.0 * f)] for f in range(4)}
+        )
+        # Same volume as a car (~14.5 m^3) but stretched: 9.7m x 1.0m.
+        stretched = make_track(
+            "stretched",
+            {f: [Observation(
+                frame=f,
+                box=Box3D(x=30.0 + 2.0 * f, y=0.0, z=0.85,
+                          length=9.7, width=1.0, height=1.5, yaw=0.0),
+                object_class="car", source="human",
+            )] for f in range(4)},
+        )
+        ranked = fixy.rank_tracks(scene_of([normal, stretched]))
+        assert [s.track_id for s in ranked] == ["normal", "stretched"]

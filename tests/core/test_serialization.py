@@ -160,3 +160,95 @@ class TestSceneSerialization:
         fixy2.learned = LearnedModel.load(tmp_path / "model.json")
         reloaded = [(s.track_id, s.score) for s in fixy2.rank_tracks(Scene.load(path))]
         assert [(t, pytest.approx(x)) for t, x in original] == reloaded
+
+
+class TestGridPersistence:
+    """Density grids ride along with the model (ROADMAP: skip warmup)."""
+
+    def fitted_with_grids(self, training_scenes):
+        model = FeatureDistributionLearner(default_features()).fit(training_scenes)
+        built = model.enable_fast_eval(eager=True)
+        assert built > 0  # the KDE-backed features must be grid-eligible
+        return model
+
+    def grid_states(self, model):
+        return {
+            (feature, group): lfd._fast_state
+            for feature, groups in model.distributions.items()
+            for group, lfd in groups.items()
+        }
+
+    def test_roundtrip_restores_ready_grids(self, training_scenes, tmp_path):
+        model = self.fitted_with_grids(training_scenes)
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = LearnedModel.load(path)
+        # Built grids come back built. (Declined builds round-trip to the
+        # un-armed state — both serve the exact path, so nothing is lost.)
+        original = self.grid_states(model)
+        restored = self.grid_states(loaded)
+        ready = {key for key, state in original.items() if state == "ready"}
+        assert ready
+        assert {key for key, state in restored.items() if state == "ready"} == ready
+
+    def test_loaded_grids_skip_warmup_build(self, training_scenes, tmp_path, monkeypatch):
+        """Restored-ready grids serve without ever rebuilding — the point."""
+        from repro.distributions.grid import GriddedDensity
+
+        model = self.fitted_with_grids(training_scenes)
+        model.save(tmp_path / "model.json")
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("grid rebuild attempted after load")
+
+        monkeypatch.setattr(GriddedDensity, "try_build", staticmethod(forbidden))
+        loaded = LearnedModel.load(tmp_path / "model.json")
+        served = 0
+        for groups in loaded.distributions.values():
+            for lfd in groups.values():
+                if lfd._fast_state == "ready":
+                    assert lfd.enable_fast_eval(eager=True)  # no-op, no build
+                    lfd.likelihood_batch(np.linspace(0.0, 10.0, 64))
+                    served += 1
+        assert served > 0
+
+    def test_restored_grid_batch_densities_bit_identical(
+        self, training_scenes, tmp_path
+    ):
+        model = self.fitted_with_grids(training_scenes)
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = LearnedModel.load(path)
+        for feature, groups in model.distributions.items():
+            for group, lfd in groups.items():
+                if lfd._fast_state != "ready":
+                    continue
+                grid = lfd._fast_grid
+                queries = np.linspace(grid.nodes[0], grid.nodes[-1], 257)
+                clone = loaded.distributions[feature][group]
+                assert clone._fast_state == "ready"
+                np.testing.assert_array_equal(
+                    clone.likelihood_batch(queries),
+                    lfd.likelihood_batch(queries),
+                )
+
+    def test_include_grids_false_drops_them(self, training_scenes):
+        model = self.fitted_with_grids(training_scenes)
+        lean = LearnedModel.from_dict(model.to_dict(include_grids=False))
+        assert "ready" not in self.grid_states(lean).values()
+
+    def test_grids_are_json_safe_and_compact_nodes(self, training_scenes):
+        import json
+
+        model = self.fitted_with_grids(training_scenes)
+        payload = model.to_dict()
+        json.dumps(payload)
+        grids = [
+            entry["fast_grid"]
+            for groups in payload.values()
+            for entry in groups.values()
+            if "fast_grid" in entry
+        ]
+        assert grids
+        # Node positions are stored as (lo, step, n), not a full array.
+        assert {"lo", "step", "n"} <= set(grids[0])

@@ -1,0 +1,67 @@
+"""Smoke test for benchmarks/run_perf_harness.py (--smoke mode).
+
+The harness is a standalone script, so nothing else in the test suite
+imports it — without this test it could silently rot while the modules
+it drives evolve. ``--smoke`` shrinks every measurement to a few
+seconds, skips the pytest-benchmark child run, and still writes the
+full BENCH_scaling.json layout.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+HARNESS = REPO_ROOT / "benchmarks" / "run_perf_harness.py"
+
+
+@pytest.fixture(scope="module")
+def harness_module():
+    spec = importlib.util.spec_from_file_location("run_perf_harness", HARNESS)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_writes_full_report(harness_module, tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = harness_module.main(["--smoke", "--out", str(out)])
+    assert code == 0
+
+    report = json.loads(out.read_text())
+    assert report["generated_at"] > 0
+
+    ab = report["ab"]
+    assert ab["cases"] and ab["cases"][0]["speedup"] is not None
+
+    serving = report["serving"]
+    delta = serving["delta_vs_full"]
+    assert delta["n_tracks"] >= 1
+    assert delta["delta_ms"] > 0 and delta["full_ms"] > 0
+    assert delta["speedup"] is not None
+
+    sharding = serving["sharding"]
+    assert sharding["byte_identical"] is True
+    assert sharding["process_cases"][0]["n_workers"] == 1
+    assert sharding["process_cases"][0]["scenes_per_s"] > 0
+
+    assert "pytest_benchmarks" not in report  # --smoke skips the child run
+
+    printed = capsys.readouterr().out
+    assert "A/B compile+rank" in printed
+    assert "delta recompile" in printed
+
+
+def test_smoke_respects_skip_serving(harness_module, tmp_path):
+    out = tmp_path / "bench2.json"
+    code = harness_module.main(
+        ["--smoke", "--skip-serving", "--out", str(out)]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert "serving" not in report
+    assert "ab" in report

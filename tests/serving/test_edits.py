@@ -1,0 +1,131 @@
+"""Edit semantics: application, invalidation sets, dict round-trips."""
+
+import pytest
+
+from repro.core.model import Observation, ObservationBundle
+from repro.serving import (
+    InsertBundle,
+    InsertObservation,
+    InsertTrack,
+    RemoveBundle,
+    RemoveObservation,
+    RemoveTrack,
+    ReplaceObservation,
+    edit_from_dict,
+)
+
+from tests.core.conftest import make_obs, moving_track, scene_of
+
+
+@pytest.fixture
+def scene():
+    return scene_of(
+        [moving_track("a", n_frames=4), moving_track("b", n_frames=3, start_x=30.0)],
+        scene_id="edits",
+    )
+
+
+class TestApply:
+    def test_insert_track(self, scene):
+        track = moving_track("c", n_frames=2, start_x=60.0)
+        assert InsertTrack(track).apply(scene) == {"c"}
+        assert scene.track_by_id("c") is track
+
+    def test_insert_duplicate_track_rejected(self, scene):
+        with pytest.raises(ValueError, match="already exists"):
+            InsertTrack(moving_track("a", n_frames=2)).apply(scene)
+
+    def test_remove_track(self, scene):
+        assert RemoveTrack("a").apply(scene) == {"a"}
+        assert [t.track_id for t in scene.tracks] == ["b"]
+        with pytest.raises(KeyError):
+            RemoveTrack("a").apply(scene)
+
+    def test_insert_bundle(self, scene):
+        bundle = ObservationBundle(frame=9, observations=[make_obs(9, 5.0)])
+        assert InsertBundle("a", bundle).apply(scene) == {"a"}
+        assert scene.track_by_id("a").bundle_at(9) is bundle
+
+    def test_insert_bundle_duplicate_frame_rejected(self, scene):
+        bundle = ObservationBundle(frame=0, observations=[make_obs(0, 5.0)])
+        with pytest.raises(ValueError):
+            InsertBundle("a", bundle).apply(scene)
+
+    def test_remove_bundle(self, scene):
+        assert RemoveBundle("a", 1).apply(scene) == {"a"}
+        assert scene.track_by_id("a").bundle_at(1) is None
+        with pytest.raises(KeyError, match="no bundle at frame"):
+            RemoveBundle("a", 1).apply(scene)
+
+    def test_insert_observation_new_frame_creates_bundle(self, scene):
+        obs = make_obs(7, 2.0)
+        assert InsertObservation("a", obs).apply(scene) == {"a"}
+        assert scene.track_by_id("a").bundle_at(7).observations == [obs]
+
+    def test_insert_observation_joins_existing_bundle(self, scene):
+        obs = make_obs(0, 0.2, source="model", conf=0.9)
+        InsertObservation("a", obs).apply(scene)
+        assert obs in scene.track_by_id("a").bundle_at(0).observations
+
+    def test_remove_observation_drops_empty_bundle(self, scene):
+        track = scene.track_by_id("a")
+        obs = track.bundle_at(2).observations[0]
+        assert RemoveObservation("a", obs.obs_id).apply(scene) == {"a"}
+        assert track.bundle_at(2) is None
+
+    def test_remove_unknown_observation(self, scene):
+        with pytest.raises(KeyError, match="no observation"):
+            RemoveObservation("a", "nope").apply(scene)
+
+    def test_replace_observation(self, scene):
+        track = scene.track_by_id("a")
+        old = track.bundle_at(1).observations[0]
+        new = make_obs(1, 99.0)
+        assert ReplaceObservation("a", old.obs_id, new).apply(scene) == {"a"}
+        assert track.bundle_at(1).observations == [new]
+
+    def test_replace_across_frames_rejected(self, scene):
+        old = scene.track_by_id("a").bundle_at(1).observations[0]
+        with pytest.raises(ValueError, match="use RemoveObservation"):
+            ReplaceObservation("a", old.obs_id, make_obs(2, 1.0)).apply(scene)
+
+    def test_unknown_track(self, scene):
+        with pytest.raises(KeyError, match="no track"):
+            InsertObservation("zz", make_obs(0, 0.0)).apply(scene)
+
+
+class TestDictRoundTrip:
+    @pytest.mark.parametrize(
+        "edit",
+        [
+            InsertTrack(moving_track("c", n_frames=2)),
+            RemoveTrack("a"),
+            InsertBundle(
+                "a", ObservationBundle(frame=8, observations=[make_obs(8, 1.0)])
+            ),
+            RemoveBundle("a", 1),
+            InsertObservation("a", make_obs(9, 2.0)),
+            RemoveObservation("a", "obs-x"),
+            ReplaceObservation("a", "obs-x", make_obs(1, 3.0)),
+        ],
+        ids=lambda e: e.op,
+    )
+    def test_roundtrip_applies_identically(self, edit):
+        import json
+
+        payload = edit.to_dict()
+        json.dumps(payload)  # must be JSON-safe
+        clone = edit_from_dict(payload)
+        assert type(clone) is type(edit)
+        assert clone.op == edit.op
+
+    def test_roundtrip_preserves_application(self, scene):
+        obs = make_obs(7, 2.0)
+        edit = edit_from_dict(InsertObservation("a", obs).to_dict())
+        edit.apply(scene)
+        restored = scene.track_by_id("a").bundle_at(7).observations[0]
+        assert restored == obs
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown edit op"):
+            edit_from_dict({"op": "teleport"})

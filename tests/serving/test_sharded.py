@@ -1,0 +1,132 @@
+"""ShardedRanker: process-pool rankings ≡ thread-pool rankings, byte for byte."""
+
+import struct
+
+import pytest
+
+from repro.core import Fixy, LearnedModel, default_features
+from repro.serving import ShardedRanker
+
+from tests.serving.conftest import model_scene
+
+
+def signature(ranked):
+    """Bit-exact ranking fingerprint (scores as raw float64 bytes)."""
+    return [
+        (s.scene_id, s.track_id, s.n_factors, struct.pack("<d", s.score))
+        for s in ranked
+    ]
+
+
+def long_tracks_only(track):
+    """A picklable rank filter (lambdas cannot cross process boundaries)."""
+    return track.n_observations >= 6
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    return [model_scene(f"shard-{i}", n_tracks=3) for i in range(4)]
+
+
+@pytest.fixture(scope="module")
+def ranker(fitted_fixy):
+    with ShardedRanker(fitted_fixy, n_workers=2, cache_size=8) as r:
+        yield r
+
+
+class TestByteIdentical:
+    def test_rank_tracks_identical(self, fitted_fixy, scenes, ranker):
+        threaded = fitted_fixy.rank_tracks(scenes)
+        sharded = ranker.rank_tracks(scenes)
+        assert signature(sharded) == signature(threaded)
+        assert len(sharded) == 3 * len(scenes)
+
+    def test_rank_bundles_and_observations_identical(
+        self, fitted_fixy, scenes, ranker
+    ):
+        for method in ("rank_bundles", "rank_observations"):
+            threaded = getattr(fitted_fixy, method)(scenes)
+            sharded = getattr(ranker, method)(scenes)
+            assert signature(sharded) == signature(threaded), method
+
+    def test_single_scene_and_top_k(self, fitted_fixy, scenes, ranker):
+        threaded = fitted_fixy.rank_tracks(scenes[0], top_k=2)
+        sharded = ranker.rank_tracks(scenes[0], top_k=2)
+        assert signature(sharded) == signature(threaded)
+        assert len(sharded) == 2
+
+    def test_picklable_filter(self, fitted_fixy, scenes, ranker):
+        threaded = fitted_fixy.rank_tracks(scenes, track_filter=long_tracks_only)
+        sharded = ranker.rank_tracks(scenes, track_filter=long_tracks_only)
+        assert signature(sharded) == signature(threaded)
+
+    def test_items_round_trip_by_value(self, fitted_fixy, scenes, ranker):
+        """Worker-side items deserialize equal to the originals."""
+        threaded = fitted_fixy.rank_tracks(scenes)
+        sharded = ranker.rank_tracks(scenes)
+        for a, b in zip(sharded, threaded):
+            assert a.item.track_id == b.item.track_id
+            assert [o.obs_id for o in a.item.observations] == [
+                o.obs_id for o in b.item.observations
+            ]
+
+
+class TestWorkerCache:
+    def test_repeat_traffic_hits_worker_caches(self, fitted_fixy, scenes):
+        with ShardedRanker(fitted_fixy, n_workers=2, cache_size=8) as ranker:
+            ranker.rank_tracks(scenes)
+            first = ranker.cache_stats()
+            # Same fingerprints again: compiled scenes should be reused
+            # (scheduling may land a scene on the other worker, so hits
+            # are not guaranteed per-scene — but a second identical
+            # sweep with misses == first sweep's would mean no caching).
+            ranker.rank_tracks(scenes)
+            ranker.rank_tracks(scenes)
+            final = ranker.cache_stats()
+        assert first["misses"] >= len(scenes) / 2
+        assert final["hits"] > 0
+        assert final["misses"] <= 2 * len(scenes)
+
+    def test_cache_keyed_by_content_not_identity(self, fitted_fixy, scenes):
+        from repro.core.model import Scene
+        from repro.serving.sharded import scene_fingerprint
+
+        clone = Scene.from_dict(scenes[0].to_dict())
+        assert scene_fingerprint(clone) == scene_fingerprint(scenes[0])
+        edited = Scene.from_dict(scenes[0].to_dict())
+        edited.tracks.pop()
+        assert scene_fingerprint(edited) != scene_fingerprint(scenes[0])
+
+
+class TestPayloadTransport:
+    def test_payload_round_trip_ranks_identically(self, fitted_fixy, scenes):
+        clone = Fixy.from_payload(fitted_fixy.to_payload())
+        assert signature(clone.rank_tracks(scenes)) == signature(
+            fitted_fixy.rank_tracks(scenes)
+        )
+
+    def test_payload_learned_is_json_safe(self, fitted_fixy):
+        import json
+
+        payload = fitted_fixy.to_payload()
+        json.dumps(payload["learned"])  # model + grids must be JSON-safe
+
+    def test_payload_carries_ready_grids(self, fitted_fixy):
+        payload = fitted_fixy.to_payload()
+        restored = LearnedModel.from_dict(payload["learned"])
+        states = [
+            lfd._fast_state
+            for groups in restored.distributions.values()
+            for lfd in groups.values()
+        ]
+        assert "ready" in states  # warmed grids arrive pre-built
+
+    def test_unfitted_engine_rejected(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            ShardedRanker(Fixy(default_features()), n_workers=1)
+
+    def test_engine_shard_convenience(self, fitted_fixy, scenes):
+        with fitted_fixy.shard(n_workers=1) as ranker:
+            assert signature(ranker.rank_tracks(scenes[:2])) == signature(
+                fitted_fixy.rank_tracks(scenes[:2])
+            )
