@@ -87,7 +87,7 @@ scene = builder.build_scene(
 scene.metadata["ego_poses"] = list(labeled_scene.world.ego_poses)
 
 print("Most implausible tracks under the custom feature set:")
-for position, scored in enumerate(fixy.rank_tracks(scene, top_k=8), start=1):
+for position, scored in enumerate(fixy.rank(scene, "tracks", top_k=8), start=1):
     track = scored.item
     print(
         f"  {position}. {track.track_id}  score {scored.score:+.3f}  "

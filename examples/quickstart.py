@@ -53,10 +53,22 @@ fixy.fit(historical_scenes)
 #    first — a consistent track the vendor never labeled is probably a
 #    real object they missed.
 # ---------------------------------------------------------------------------
-ranked = fixy.rank_tracks(
-    new_scene,
-    track_filter=lambda track: track.has_model and not track.has_human,
+#    The declarative form of the same query — an AuditSpec run through
+#    the unified audit API (see examples/audit_backends.py for the spec
+#    executing identically on every backend):
+from repro.api import Audit, AuditSpec, FilterSpec
+
+spec = AuditSpec(
+    kind="tracks",
+    filters=FilterSpec(has_model=True, has_human=False),
     top_k=5,
+)
+result = Audit(spec, fixy=fixy).run(scenes=new_scene)
+ranked = result.items
+print(
+    f"audit ran on backend {result.provenance.backend!r} "
+    f"(spec {result.provenance.spec_hash[:12]}, "
+    f"model {result.provenance.model_fingerprint[:12]})"
 )
 
 print(f"Top potential missing labels in scene {new_scene.scene_id!r}:")

@@ -42,9 +42,10 @@ print(f"Recording {recording.recording_id}: {len(recording.events)} true events,
       f"{len(labels.human_missed)} missed by the annotator, "
       f"{len(labels.ghost_events)} model ghosts")
 
-ranked = fixy.rank_tracks(
+ranked = fixy.rank(
     scene,
-    track_filter=lambda track: track.has_model and not track.has_human,
+    "tracks",
+    filt=lambda track: track.has_model and not track.has_human,
     top_k=8,
 )
 missed_starts = {e.start_s for e in labels.human_missed}

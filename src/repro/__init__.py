@@ -3,6 +3,10 @@ Data With Learned Observation Assertions" (Kang et al., SIGMOD 2022).
 
 The public API mirrors the paper's system, Fixy:
 
+- :mod:`repro.api` — the unified audit API: declarative
+  :class:`~repro.api.AuditSpec`, typed :class:`~repro.api.AuditResult`,
+  pluggable execution backends, and the versioned client/service
+  protocol (start here; see ``docs/API.md``);
 - :mod:`repro.core` — the LOA DSL, feature distributions, AOFs, factor
   graph compilation, scoring, and the :class:`~repro.core.Fixy` engine;
 - :mod:`repro.geometry`, :mod:`repro.association`,

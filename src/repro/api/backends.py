@@ -1,0 +1,218 @@
+"""Pluggable execution backends: one AuditSpec, many strategies.
+
+A backend is *how* a validated spec runs, nothing more: every backend
+receives the same fitted engine, the same scenes, and the same compiled
+filter, and must return the same ranking — byte-identical, which the
+``tests/api`` property suite asserts across all four. That equivalence
+is what makes the backend a free choice (and what will make a future
+``remote`` backend — ROADMAP's cross-machine sharding — just one more
+name in this registry):
+
+========== ==========================================================
+name       strategy
+========== ==========================================================
+inline     serial per-scene compile + rank in the calling thread
+threaded   the engine's ``concurrent.futures`` thread pool
+           (``n_jobs`` option; NumPy releases the GIL in the batch
+           kernels)
+sharded    :class:`~repro.serving.sharded.ShardedRanker` process pool
+           (``n_workers``/``cache_size``/``start_method`` options;
+           filters must be picklable — FilterSpec compiles to one)
+session    one incremental :class:`~repro.serving.session.SceneSession`
+           per scene (the streaming layer's spliced columnar state)
+========== ==========================================================
+
+Backends register by name via :func:`register_backend`; unknown names
+raise :class:`UnknownBackendError` listing the valid ones, mirroring
+:class:`~repro.core.scoring.UnknownRankKindError`.
+"""
+
+from __future__ import annotations
+
+from repro.core.scoring import ScoredItem, merge_rankings
+
+__all__ = [
+    "ExecutionBackend",
+    "InlineBackend",
+    "SessionBackend",
+    "ShardedBackend",
+    "ThreadedBackend",
+    "UnknownBackendError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "require_backend",
+]
+
+#: name -> backend class. Mutated only through register_backend.
+_BACKENDS: dict[str, type] = {}
+
+
+class UnknownBackendError(ValueError):
+    """A backend name not present in the registry."""
+
+    def __init__(self, name, valid=None):
+        self.name = name
+        self.valid = tuple(valid if valid is not None else available_backends())
+        super().__init__(
+            f"unknown backend {name!r}; expected {', '.join(self.valid)}"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.name, self.valid))
+
+
+def register_backend(name: str):
+    """Class decorator: register an :class:`ExecutionBackend` under ``name``."""
+
+    def decorate(cls):
+        cls.name = name
+        _BACKENDS[name] = cls
+        return cls
+
+    return decorate
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def require_backend(name: str) -> type:
+    """The backend class for ``name``; raises :class:`UnknownBackendError`."""
+    try:
+        return _BACKENDS[name]
+    except (KeyError, TypeError):
+        raise UnknownBackendError(name) from None
+
+
+def get_backend(name: str, **options) -> "ExecutionBackend":
+    """Construct a backend instance by name.
+
+    Options the backend does not accept raise
+    :class:`~repro.api.spec.SpecValidationError` (the options came
+    from a spec or a run call — either way the declaration is wrong),
+    not a bare TypeError.
+    """
+    try:
+        return require_backend(name)(**options)
+    except TypeError as exc:
+        from repro.api.spec import SpecValidationError
+
+        raise SpecValidationError(
+            f"backend {name!r} rejected options {sorted(options)}: {exc}"
+        ) from None
+
+
+class ExecutionBackend:
+    """One execution strategy for a validated spec.
+
+    Subclasses implement :meth:`run`; options arrive as constructor
+    kwargs (from ``AuditSpec.backend_options`` plus per-run overrides).
+    Backends may hold resources (process pools); callers must
+    :meth:`close` them — :class:`repro.api.Audit` does, via
+    try/finally, and backends are context managers for direct use.
+    """
+
+    name = "?"
+
+    def run(self, fixy, spec, scenes, filt) -> list[ScoredItem]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@register_backend("inline")
+class InlineBackend(ExecutionBackend):
+    """Serial reference execution in the calling thread."""
+
+    def run(self, fixy, spec, scenes, filt) -> list[ScoredItem]:
+        blocks = [fixy.scorer(scene).rank(spec.kind, filt) for scene in scenes]
+        return merge_rankings(blocks, spec.top_k)
+
+
+@register_backend("threaded")
+class ThreadedBackend(ExecutionBackend):
+    """The engine's multi-scene thread pool (``n_jobs`` option).
+
+    ``n_jobs=0`` (default) lets the engine pick a small automatic
+    pool; any positive value pins the worker count.
+    """
+
+    def __init__(self, n_jobs: int | None = 0):
+        self.n_jobs = n_jobs
+
+    def run(self, fixy, spec, scenes, filt) -> list[ScoredItem]:
+        return fixy.rank(
+            scenes, spec.kind, filt, top_k=spec.top_k, n_jobs=self.n_jobs
+        )
+
+
+@register_backend("sharded")
+class ShardedBackend(ExecutionBackend):
+    """Process-pool execution via :class:`~repro.serving.sharded.ShardedRanker`.
+
+    The pool is created lazily on first :meth:`run` (so constructing
+    the backend is cheap) and bound to that engine; :meth:`close`
+    shuts it down. Filters must be picklable — the declarative
+    :class:`~repro.api.spec.FilterSpec` compiles to one.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        cache_size: int = 8,
+        start_method: str | None = None,
+    ):
+        self.n_workers = n_workers
+        self.cache_size = cache_size
+        self.start_method = start_method
+        self._ranker = None
+        self._fixy = None
+
+    def run(self, fixy, spec, scenes, filt) -> list[ScoredItem]:
+        from repro.serving.sharded import ShardedRanker
+
+        if self._ranker is not None and self._fixy is not fixy:
+            # A ranker snapshots one engine's model at construction;
+            # a different engine needs a fresh pool.
+            self.close()
+        if self._ranker is None:
+            self._ranker = ShardedRanker(
+                fixy,
+                n_workers=self.n_workers,
+                cache_size=self.cache_size,
+                start_method=self.start_method,
+            )
+            self._fixy = fixy
+        return self._ranker.rank(scenes, spec.kind, filt, top_k=spec.top_k)
+
+    def close(self) -> None:
+        if self._ranker is not None:
+            self._ranker.close()
+            self._ranker = None
+            self._fixy = None
+
+
+@register_backend("session")
+class SessionBackend(ExecutionBackend):
+    """One streaming :class:`~repro.serving.session.SceneSession` per scene.
+
+    Exercises the exact serving-layer state (per-track segment compiles
+    spliced into scene-wide columnar arrays) a long-lived service
+    ranks from — the backend to pick when results must match what the
+    streaming service will say. Requires a vectorized engine.
+    """
+
+    def run(self, fixy, spec, scenes, filt) -> list[ScoredItem]:
+        blocks = [
+            fixy.session(scene).rank(spec.kind, filt) for scene in scenes
+        ]
+        return merge_rankings(blocks, spec.top_k)

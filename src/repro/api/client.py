@@ -1,0 +1,170 @@
+"""AuditClient: the in-repo Python client for the serving protocol.
+
+Speaks protocol v1 (:mod:`repro.api.protocol`) over any transport that
+maps a request dict to a response dict:
+
+- :meth:`AuditClient.local` — in-process, directly onto a
+  :class:`~repro.serving.service.StreamingService` (no serialization
+  beyond the protocol's own dicts; ideal for tests and embedding);
+- :meth:`AuditClient.over_streams` — line-delimited JSON over a
+  reader/writer pair, the framing ``python -m repro.cli serve`` speaks
+  on stdio (and the same framing a socket front end would use — the
+  ROADMAP's remote-worker item rides on exactly this client).
+
+Failures come back as :class:`~repro.api.protocol.ProtocolError` with
+the server's structured code — a typo'd rank kind raises the same
+``unknown_rank_kind`` whether it happened in-process or across a pipe.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import protocol
+from repro.api.result import AuditResult
+from repro.api.spec import AuditSpec
+
+__all__ = ["AuditClient"]
+
+
+class _StreamTransport:
+    """One JSON line out, one JSON line back."""
+
+    def __init__(self, writer, reader):
+        self._writer = writer
+        self._reader = reader
+
+    def __call__(self, request: dict) -> dict:
+        self._writer.write(json.dumps(request) + "\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise protocol.ProtocolError(
+                protocol.INTERNAL_ERROR, "server closed the stream"
+            )
+        return json.loads(line)
+
+
+class AuditClient:
+    """Typed client over a ``dict -> dict`` protocol transport."""
+
+    def __init__(self, transport):
+        self._send = transport
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def local(cls, fixy=None, service=None, **service_options) -> "AuditClient":
+        """A client wired straight into an in-process service.
+
+        Pass an existing ``service``, or a fitted ``fixy`` to build
+        one (``service_options`` forward to
+        :class:`~repro.serving.service.StreamingService`).
+        """
+        if service is None:
+            if fixy is None:
+                raise ValueError("AuditClient.local needs a fixy or a service")
+            from repro.serving.service import StreamingService
+
+            service = StreamingService(fixy, **service_options)
+        return cls(service.handle)
+
+    @classmethod
+    def over_streams(cls, writer, reader) -> "AuditClient":
+        """A client speaking line-delimited JSON over ``writer``/``reader``."""
+        return cls(_StreamTransport(writer, reader))
+
+    # ------------------------------------------------------------------
+    # Protocol plumbing
+    # ------------------------------------------------------------------
+    def _call(self, op: str, **fields) -> dict:
+        fields = {k: v for k, v in fields.items() if v is not None}
+        response = self._send(protocol.make_request(op, **fields))
+        if not isinstance(response, dict):
+            raise protocol.ProtocolError(
+                protocol.INTERNAL_ERROR,
+                f"malformed response: {type(response).__name__}",
+            )
+        if response.get("ok"):
+            version = response.get("v")
+            if version != protocol.PROTOCOL_VERSION:
+                raise protocol.ProtocolError(
+                    protocol.UNSUPPORTED_VERSION,
+                    f"server answered in protocol version {version!r}; this "
+                    f"client speaks {protocol.PROTOCOL_VERSION}",
+                )
+            return response
+        error = response.get("error")
+        if isinstance(error, dict):
+            raise protocol.ProtocolError(
+                error.get("code", protocol.INTERNAL_ERROR),
+                error.get("message", "unknown error"),
+                details=error.get("details"),
+            )
+        # A v0 (string) error from a legacy server.
+        raise protocol.ProtocolError(protocol.INTERNAL_ERROR, str(error))
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def open_session(self, scene, session_id: str | None = None) -> str:
+        """Open a streaming session for ``scene``; returns its id."""
+        payload = scene.to_dict() if hasattr(scene, "to_dict") else scene
+        return self._call("open", scene=payload, session_id=session_id)[
+            "session_id"
+        ]
+
+    def edit(self, session_id: str, edit) -> dict:
+        """Apply a :class:`~repro.serving.edits.SceneEdit` (or its dict).
+
+        Returns ``{"changed": [track ids], "version": n}``.
+        """
+        payload = edit.to_dict() if hasattr(edit, "to_dict") else edit
+        response = self._call("edit", session_id=session_id, edit=payload)
+        return {"changed": response["changed"], "version": response["version"]}
+
+    def rank(
+        self,
+        session_id: str,
+        kind: str = "tracks",
+        top_k: int | None = None,
+    ) -> list[dict]:
+        """Rank a live session's components; returns scored-item dicts."""
+        return self._call("rank", session_id=session_id, kind=kind, top_k=top_k)[
+            "results"
+        ]
+
+    def audit(
+        self,
+        spec: AuditSpec | dict,
+        scenes=None,
+        session_id: str | None = None,
+    ) -> AuditResult:
+        """Execute an :class:`AuditSpec` server-side.
+
+        Either over live server state (``session_id``) or over scenes
+        shipped with the request (``scenes``: live Scene objects or
+        their dicts). Returns the typed :class:`AuditResult`.
+        """
+        payload = spec.to_dict() if isinstance(spec, AuditSpec) else spec
+        scene_payloads = None
+        if scenes is not None:
+            if hasattr(scenes, "scene_id"):
+                scenes = [scenes]
+            scene_payloads = [
+                s.to_dict() if hasattr(s, "to_dict") else s for s in scenes
+            ]
+        response = self._call(
+            "audit", spec=payload, scenes=scene_payloads, session_id=session_id
+        )
+        return AuditResult.from_dict(response["result"])
+
+    def close_session(self, session_id: str) -> bool:
+        """Close a session; returns whether it was live."""
+        return self._call("close", session_id=session_id)["closed"]
+
+    def stats(self) -> dict:
+        """Server-side session-store counters."""
+        response = self._call("stats")
+        return {k: v for k, v in response.items() if k not in ("ok", "v")}

@@ -1,0 +1,204 @@
+"""The versioned client/service wire protocol.
+
+One schema, shared verbatim by :class:`~repro.serving.service.StreamingService`
+(the server side, ``python -m repro.cli serve``) and
+:class:`~repro.api.client.AuditClient` (the in-repo client): plain JSON
+dicts, one request → one response.
+
+Envelope (protocol version 1):
+
+.. code-block:: json
+
+    {"v": 1, "op": "rank", "session_id": "s", "kind": "tracks"}
+    {"v": 1, "ok": true,  "kind": "tracks", "results": [...]}
+    {"v": 1, "ok": false, "error": {"code": "unknown_rank_kind",
+                                    "message": "unknown rank kind 'galaxy'; ...",
+                                    "details": {"valid_kinds": [...]}}}
+
+Rules:
+
+- every request and response carries ``"v"``, the protocol version;
+- ``"ok"`` is always present on responses; failures carry a structured
+  ``error`` object with a machine-readable ``code`` from
+  :data:`ERROR_CODES` (never a bare string);
+- unknown versions are rejected with ``unsupported_version`` — the
+  server never guesses what a future client meant;
+- version-less requests are the pre-versioning (v0) dialect. By
+  default the server still accepts them through a deprecation shim —
+  responding in kind, with string errors and no ``"v"`` — and emits a
+  :class:`DeprecationWarning`; strict servers
+  (``StreamingService(accept_legacy=False)``, ``cli serve --strict``)
+  reject them with ``unsupported_version``.
+
+Typed failures cross the boundary as codes:
+:class:`~repro.core.scoring.UnknownRankKindError` →
+``unknown_rank_kind``, :class:`~repro.api.backends.UnknownBackendError`
+→ ``unknown_backend``, :class:`~repro.api.spec.SpecValidationError` →
+``invalid_spec``, a missing session → ``unknown_session``; the mapping
+lives in :func:`classify_exception` so client and server agree forever.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.core.scoring import UnknownRankKindError
+
+__all__ = [
+    "ERROR_CODES",
+    "LEGACY_VERSION",
+    "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "ProtocolError",
+    "classify_exception",
+    "error_response",
+    "make_request",
+    "negotiate_version",
+    "ok_response",
+]
+
+#: Current protocol version spoken by this build.
+PROTOCOL_VERSION = 1
+
+#: The version-less, pre-versioning dialect (string errors, no "v").
+LEGACY_VERSION = 0
+
+#: Versions this server answers in their own dialect.
+SUPPORTED_VERSIONS = (PROTOCOL_VERSION,)
+
+# Machine-readable error codes (the protocol's stable error vocabulary).
+UNSUPPORTED_VERSION = "unsupported_version"
+UNKNOWN_OP = "unknown_op"
+BAD_JSON = "bad_json"
+BAD_REQUEST = "bad_request"
+UNKNOWN_SESSION = "unknown_session"
+UNKNOWN_RANK_KIND = "unknown_rank_kind"
+UNKNOWN_BACKEND = "unknown_backend"
+INVALID_SPEC = "invalid_spec"
+INTERNAL_ERROR = "internal_error"
+
+ERROR_CODES = (
+    UNSUPPORTED_VERSION,
+    UNKNOWN_OP,
+    BAD_JSON,
+    BAD_REQUEST,
+    UNKNOWN_SESSION,
+    UNKNOWN_RANK_KIND,
+    UNKNOWN_BACKEND,
+    INVALID_SPEC,
+    INTERNAL_ERROR,
+)
+
+
+class ProtocolError(Exception):
+    """A structured protocol failure (code + message + details).
+
+    Raised server-side to short-circuit into an error response, and
+    client-side when a response carries ``ok: false``.
+    """
+
+    def __init__(self, code: str, message: str, details: dict | None = None):
+        self.code = code
+        self.message = message
+        self.details = dict(details or {})
+        super().__init__(f"[{code}] {message}")
+
+    def __reduce__(self):
+        return (type(self), (self.code, self.message, self.details))
+
+
+# ---------------------------------------------------------------------------
+# Envelope constructors
+# ---------------------------------------------------------------------------
+def make_request(op: str, *, version: int = PROTOCOL_VERSION, **fields) -> dict:
+    """A v-stamped request dict."""
+    return {"v": version, "op": op, **fields}
+
+
+def ok_response(fields: dict, *, version: int = PROTOCOL_VERSION) -> dict:
+    """A successful response envelope."""
+    return {"v": version, "ok": True, **fields}
+
+
+def error_response(
+    code: str,
+    message: str,
+    *,
+    version: int = PROTOCOL_VERSION,
+    details: dict | None = None,
+) -> dict:
+    """A failed response envelope with a structured error object."""
+    error: dict = {"code": code, "message": message}
+    if details:
+        error["details"] = dict(details)
+    return {"v": version, "ok": False, "error": error}
+
+
+# ---------------------------------------------------------------------------
+# Version negotiation
+# ---------------------------------------------------------------------------
+def negotiate_version(request: dict, accept_legacy: bool = True) -> int:
+    """The dialect to answer ``request`` in.
+
+    Returns a member of :data:`SUPPORTED_VERSIONS`, or
+    :data:`LEGACY_VERSION` for version-less requests when
+    ``accept_legacy`` (with a :class:`DeprecationWarning`). Anything
+    else raises :class:`ProtocolError` with ``unsupported_version``.
+    """
+    if "v" not in request:
+        if accept_legacy:
+            warnings.warn(
+                "version-less (v0) protocol request; add \"v\": "
+                f"{PROTOCOL_VERSION} — the legacy dialect will be removed",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return LEGACY_VERSION
+        raise ProtocolError(
+            UNSUPPORTED_VERSION,
+            'request has no protocol version field "v" and this server '
+            "does not accept legacy requests",
+            details={"supported": list(SUPPORTED_VERSIONS)},
+        )
+    version = request["v"]
+    if version in SUPPORTED_VERSIONS:
+        return version
+    raise ProtocolError(
+        UNSUPPORTED_VERSION,
+        f"unsupported protocol version {version!r}",
+        details={"supported": list(SUPPORTED_VERSIONS)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exception → error code mapping
+# ---------------------------------------------------------------------------
+def classify_exception(exc: Exception) -> ProtocolError:
+    """Fold any server-side exception into a structured ProtocolError."""
+    if isinstance(exc, ProtocolError):
+        return exc
+    if isinstance(exc, UnknownRankKindError):
+        return ProtocolError(
+            UNKNOWN_RANK_KIND, str(exc), details={"valid_kinds": list(exc.valid)}
+        )
+    # Late imports: protocol must stay importable from the serving layer
+    # without dragging the whole api package in.
+    from repro.api.backends import UnknownBackendError
+    from repro.api.spec import SpecValidationError
+
+    if isinstance(exc, UnknownBackendError):
+        return ProtocolError(
+            UNKNOWN_BACKEND, str(exc), details={"valid_backends": list(exc.valid)}
+        )
+    if isinstance(exc, SpecValidationError):
+        return ProtocolError(INVALID_SPEC, str(exc))
+    if isinstance(exc, KeyError):
+        message = exc.args[0] if exc.args else str(exc)
+        if isinstance(message, str) and "no live session" in message:
+            return ProtocolError(UNKNOWN_SESSION, message)
+        return ProtocolError(
+            BAD_REQUEST, f"missing request field: {message}"
+        )
+    if isinstance(exc, (TypeError, ValueError)):
+        return ProtocolError(BAD_REQUEST, f"{type(exc).__name__}: {exc}")
+    return ProtocolError(INTERNAL_ERROR, f"{type(exc).__name__}: {exc}")

@@ -6,34 +6,44 @@ Subcommands (also exposed as ``python -m repro.cli``):
                   (and per-scene error ledgers) to a directory;
 - ``experiment``  run one named experiment and print the paper-style
                   table (``all`` runs the full §8 report);
-- ``rank``        fit on a dataset's training split and print the top
-                  potential missing labels of one validation scene;
+- ``audit``       execute a declarative :class:`repro.api.AuditSpec`
+                  (from a JSON file or flags) on any backend and print
+                  the typed :class:`repro.api.AuditResult` as JSON;
+- ``rank``        (deprecated: use ``audit``) fit on a dataset's
+                  training split and print the top potential missing
+                  labels of one validation scene;
 - ``bench``       A/B the scalar reference vs the columnar fast path
                   (compile+rank) and optionally persist the report;
 - ``serve``       run the streaming serving loop: line-delimited JSON
-                  requests on stdin, responses on stdout (open/edit/
-                  rank/close/stats over live scene sessions).
+                  protocol requests on stdin, responses on stdout
+                  (open/edit/rank/audit/close/stats over live scene
+                  sessions; see :mod:`repro.api.protocol`).
 
 Examples::
 
     python -m repro.cli generate --profile lyft --out /tmp/lyft --val 4
     python -m repro.cli experiment table3
-    python -m repro.cli rank --profile internal --scene 0 --top 10
+    python -m repro.cli audit --profile internal --scene 0 --top 10 \
+        --model-only --backend sharded --workers 4
+    python -m repro.cli audit --spec audit.json --out result.json
     python -m repro.cli bench --densities 10 100 --out BENCH_scaling.json
     python -m repro.cli serve --model model.json < requests.jsonl
+
+The ``audit`` and ``serve`` commands are thin clients of
+:mod:`repro.api`; everything they do is equally available in-process.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from pathlib import Path
 
-from repro.datasets import SYNTHETIC_INTERNAL, SYNTHETIC_LYFT, build_dataset
+from repro.datasets import PROFILES as _PROFILES
+from repro.datasets import build_dataset
 
 __all__ = ["main", "build_parser"]
-
-_PROFILES = {"lyft": SYNTHETIC_LYFT, "internal": SYNTHETIC_INTERNAL}
 
 _EXPERIMENTS = (
     "table3",
@@ -65,7 +75,69 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--train", type=int, default=None)
     exp.add_argument("--val", type=int, default=None)
 
-    rank = sub.add_parser("rank", help="rank potential missing labels")
+    audit = sub.add_parser(
+        "audit",
+        help="execute a declarative AuditSpec and print the result JSON",
+    )
+    audit.add_argument(
+        "--spec", default=None,
+        help="path to an AuditSpec JSON file; when given, the spec is "
+        "authoritative and the declarative flags below are rejected",
+    )
+    audit.add_argument("--profile", choices=sorted(_PROFILES), default=None)
+    audit.add_argument("--train", type=int, default=None)
+    audit.add_argument("--val", type=int, default=None)
+    audit.add_argument(
+        "--split", choices=["train", "val"], default="val",
+        help="dataset split to audit (default val)",
+    )
+    audit.add_argument(
+        "--scene", type=int, action="append", default=None,
+        help="scene index within the split (repeatable; default: all)",
+    )
+    audit.add_argument(
+        "--paths", nargs="+", default=None,
+        help="scene JSON files (Scene.save / `generate` output) to audit "
+        "instead of a profile split",
+    )
+    audit.add_argument(
+        "--model", default=None,
+        help="saved LearnedModel JSON to score with (otherwise the profile's "
+        "training split is fitted on)",
+    )
+    audit.add_argument(
+        "--features", choices=["default", "model_error"], default="default"
+    )
+    audit.add_argument(
+        "--kind", choices=["tracks", "bundles", "observations"],
+        default="tracks",
+    )
+    audit.add_argument("--top", type=int, default=None, help="keep top K items")
+    audit.add_argument(
+        "--backend", default="inline",
+        help="execution backend: inline, threaded, sharded, or session",
+    )
+    audit.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (sharded backend)",
+    )
+    audit.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker threads (threaded backend)",
+    )
+    audit.add_argument(
+        "--model-only", action="store_true",
+        help="filter to components with model observations and no human "
+        "labels (the missing-label audit)",
+    )
+    audit.add_argument(
+        "--out", default=None,
+        help="also write the AuditResult JSON to this path",
+    )
+
+    rank = sub.add_parser(
+        "rank", help="(deprecated: use `audit`) rank potential missing labels"
+    )
     rank.add_argument("--profile", choices=sorted(_PROFILES), default="internal")
     rank.add_argument("--scene", type=int, default=0, help="validation scene index")
     rank.add_argument("--top", type=int, default=10)
@@ -117,6 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-sessions", type=int, default=32,
         help="live scene sessions kept before LRU eviction",
+    )
+    serve.add_argument(
+        "--strict", action="store_true",
+        help="reject version-less (v0) protocol requests with a structured "
+        "unsupported_version error instead of the deprecation shim",
     )
 
     return parser
@@ -174,9 +251,107 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_audit(args) -> int:
+    """Build (or load) an AuditSpec, execute it, print the result JSON."""
+    import json
+
+    from repro.api import (
+        Audit,
+        AuditError,
+        AuditSpec,
+        FilterSpec,
+        SceneSource,
+        UnknownBackendError,
+    )
+    from repro.api.spec import SpecValidationError
+    from repro.core.scoring import UnknownRankKindError
+
+    declarative_flags = (
+        args.profile is not None or args.paths is not None
+        or args.model is not None or args.scene is not None
+        or args.kind != "tracks" or args.top is not None
+        or args.backend != "inline" or args.features != "default"
+        or args.split != "val" or args.workers is not None
+        or args.jobs is not None or args.model_only
+    )
+    try:
+        if args.spec is not None:
+            if declarative_flags:
+                raise SpecValidationError(
+                    "--spec carries the full declaration; combining it with "
+                    "other audit flags (--profile/--paths/--scene/--model/"
+                    "--kind/--top/--backend/...) is ambiguous — edit the "
+                    "spec file instead"
+                )
+            spec = AuditSpec.from_json(Path(args.spec).read_text(encoding="utf-8"))
+        else:
+            if args.profile is None and args.paths is None:
+                raise SpecValidationError(
+                    "audit needs a scene source: --profile, --paths, or --spec"
+                )
+            backend_options = {}
+            if args.workers is not None:
+                if args.backend != "sharded":
+                    raise SpecValidationError(
+                        "--workers applies to the sharded backend "
+                        f"(got --backend {args.backend})"
+                    )
+                backend_options["n_workers"] = args.workers
+            if args.jobs is not None:
+                if args.backend != "threaded":
+                    raise SpecValidationError(
+                        "--jobs applies to the threaded backend "
+                        f"(got --backend {args.backend})"
+                    )
+                backend_options["n_jobs"] = args.jobs
+            spec = AuditSpec(
+                kind=args.kind,
+                top_k=args.top,
+                filters=(
+                    FilterSpec(has_model=True, has_human=False)
+                    if args.model_only
+                    else None
+                ),
+                features=args.features,
+                model_path=args.model,
+                scenes=SceneSource(
+                    profile=args.profile,
+                    split=args.split,
+                    n_train=args.train,
+                    n_val=args.val,
+                    indices=tuple(args.scene) if args.scene else None,
+                    paths=tuple(args.paths) if args.paths else None,
+                ),
+                backend=args.backend,
+                backend_options=backend_options,
+            )
+        result = Audit(spec).run()
+    except (
+        SpecValidationError,
+        UnknownRankKindError,
+        UnknownBackendError,
+        AuditError,
+    ) as exc:
+        print(f"invalid audit spec: {exc}", file=sys.stderr)
+        return 2
+    text = result.to_json(indent=2)
+    print(text)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_rank(args) -> int:
+    from repro.api import Audit, AuditSpec, FilterSpec
     from repro.core import MissingTrackFinder
 
+    warnings.warn(
+        "`repro.cli rank` is deprecated; use `repro.cli audit` "
+        "(e.g. audit --profile internal --scene 0 --model-only)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     dataset = build_dataset(
         _PROFILES[args.profile], n_train_scenes=args.train, n_val_scenes=args.val
     )
@@ -188,10 +363,17 @@ def _cmd_rank(args) -> int:
         )
         return 2
     labeled = dataset.val_scenes[args.scene]
+    # Thin client of the audit API: the finder supplies the fitted
+    # engine (with its missing-track AOFs), the spec declares the query.
     finder = MissingTrackFinder(
         vectorized=not args.scalar, n_jobs=args.jobs
     ).fit(dataset.train_scenes)
-    ranked = finder.rank(labeled.scene, top_k=args.top)
+    spec = AuditSpec(
+        kind="tracks",
+        top_k=args.top,
+        filters=FilterSpec(has_model=True, has_human=False),
+    )
+    ranked = Audit(spec, fixy=finder.fixy).run(scenes=labeled.scene).items
     auditor = labeled.auditor()
 
     print(f"Top {args.top} potential missing labels in {labeled.scene_id}:")
@@ -249,10 +431,17 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
         fixy.fit(dataset.train_scenes)
         source = f"fit on {args.profile} ({len(dataset.train_scenes)} scenes)"
 
-    service = StreamingService(fixy, max_sessions=args.max_sessions)
+    service = StreamingService(
+        fixy,
+        max_sessions=args.max_sessions,
+        accept_legacy=not args.strict,
+    )
+    from repro.api.protocol import PROTOCOL_VERSION
+
     print(
-        f"serving ({source}); ops: open/edit/rank/close/stats; "
-        "one JSON request per line",
+        f"serving ({source}); protocol v{PROTOCOL_VERSION}"
+        f"{' (strict)' if args.strict else ''}; "
+        "ops: open/edit/rank/audit/close/stats; one JSON request per line",
         file=sys.stderr,
     )
     handled = service.serve(stdin or sys.stdin, stdout or sys.stdout)
@@ -266,6 +455,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "serve":

@@ -98,9 +98,10 @@ class MissingTrackFinder:
         self, scenes: Scene | list[Scene], top_k: int | None = None
     ) -> list[ScoredItem]:
         """Model-only tracks ranked most-plausible first."""
-        return self.fixy.rank_tracks(
+        return self.fixy.rank(
             scenes,
-            track_filter=lambda track: not track.has_human and track.has_model,
+            "tracks",
+            filt=lambda track: not track.has_human and track.has_model,
             top_k=top_k,
         )
 
@@ -138,7 +139,7 @@ class MissingObservationFinder:
         def keep(bundle: ObservationBundle, track: Track) -> bool:
             return not bundle.has_human and bundle.has_model and track.has_human
 
-        return self.fixy.rank_bundles(scenes, bundle_filter=keep, top_k=top_k)
+        return self.fixy.rank(scenes, "bundles", filt=keep, top_k=top_k)
 
 
 class ModelErrorFinder:
@@ -184,4 +185,4 @@ class ModelErrorFinder:
                 return False
             return True
 
-        return self.fixy.rank_tracks(scenes, track_filter=keep, top_k=top_k)
+        return self.fixy.rank(scenes, "tracks", filt=keep, top_k=top_k)

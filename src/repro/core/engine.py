@@ -8,8 +8,12 @@ ranking potential errors), per the workflow of §3:
 
     fixy = Fixy(features=default_features())
     fixy.fit(historical_scenes)                  # offline
-    ranked = fixy.rank_tracks(new_scenes,        # online
-                              track_filter=lambda t: not t.has_human)
+    ranked = fixy.rank(new_scenes, "tracks",     # online
+                       filt=lambda t: not t.has_human)
+
+(The declarative equivalent — an :class:`repro.api.AuditSpec` run
+through :class:`repro.api.Audit` — adds provenance and pluggable
+execution backends on top of this engine.)
 
 The online phase runs on the columnar pipeline by default
 (:mod:`repro.core.columnar` / :mod:`repro.core.compile`): scenes compile
@@ -33,6 +37,7 @@ amortizes their construction. Three engine-level layers sit on top:
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import Counter, OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Mapping
@@ -42,7 +47,12 @@ from repro.core.compile import CompiledScene, compile_scene
 from repro.core.features import Feature
 from repro.core.learning import FeatureDistributionLearner, LearnedModel
 from repro.core.model import Observation, ObservationBundle, Scene, Track
-from repro.core.scoring import ScoredItem, Scorer
+from repro.core.scoring import (
+    ScoredItem,
+    Scorer,
+    merge_rankings,
+    normalize_rank_kind,
+)
 
 __all__ = ["Fixy"]
 
@@ -301,9 +311,11 @@ class Fixy:
             entry[2] = Scorer(entry[1])
         return entry[2]
 
-    def _scorers(self, scenes: list[Scene]) -> list[Scorer]:
+    def _scorers(
+        self, scenes: list[Scene], n_jobs: int | None = None
+    ) -> list[Scorer]:
         """Build scorers for many scenes (optionally in parallel)."""
-        jobs = self.n_jobs
+        jobs = self.n_jobs if n_jobs is None else n_jobs
         if jobs in (None, 0):
             jobs = min(4, len(scenes))
         if len(scenes) <= 1 or jobs <= 1:
@@ -311,14 +323,55 @@ class Fixy:
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             return list(pool.map(self.scorer, scenes))
 
-    def _rank(
-        self, scenes: Scene | list[Scene], method: str, filt, top_k: int | None
+    def rank(
+        self,
+        scenes: Scene | list[Scene],
+        kind: str = "tracks",
+        filt=None,
+        top_k: int | None = None,
+        n_jobs: int | None = None,
     ) -> list[ScoredItem]:
-        ranked: list[ScoredItem] = []
-        for scorer in self._scorers(_as_list(scenes)):
-            ranked.extend(getattr(scorer, method)(filt))
-        ranked.sort(key=lambda s: s.score, reverse=True)
-        return ranked[:top_k] if top_k is not None else ranked
+        """Rank components of ``kind`` across scenes, best score first.
+
+        The one ranking entry point: ``kind`` is ``"tracks"``,
+        ``"bundles"``, or ``"observations"`` (singular accepted;
+        anything else raises
+        :class:`~repro.core.scoring.UnknownRankKindError` before any
+        scene compiles). ``filt`` is the kind's filter callable —
+        ``(track)``, ``(bundle, track)``, or ``(observation)``
+        respectively. ``n_jobs`` overrides the engine's thread count
+        for this call (``None`` keeps the engine default).
+
+        The declarative form of this call is :class:`repro.api.AuditSpec`
+        executed through :class:`repro.api.Audit`, which adds result
+        provenance and pluggable execution backends.
+        """
+        kind = normalize_rank_kind(kind)
+        blocks = [
+            scorer.rank(kind, filt)
+            for scorer in self._scorers(_as_list(scenes), n_jobs)
+        ]
+        return merge_rankings(blocks, top_k)
+
+    def audit(self, spec, scenes=None, backend: str | None = None, **backend_options):
+        """Execute a declarative :class:`repro.api.AuditSpec` on this
+        fitted engine, returning a typed :class:`repro.api.AuditResult`.
+
+        Convenience for ``Audit(spec, fixy=self).run(...)``; see
+        :mod:`repro.api` for the full surface.
+        """
+        from repro.api import Audit
+
+        with Audit(spec, fixy=self) as audit:
+            return audit.run(scenes=scenes, backend=backend, **backend_options)
+
+    def _deprecated_rank(self, method: str, kind: str):
+        warnings.warn(
+            f"Fixy.{method} is deprecated; use Fixy.rank(scenes, "
+            f"kind={kind!r}) or the declarative repro.api Audit API",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     def rank_tracks(
         self,
@@ -326,8 +379,9 @@ class Fixy:
         track_filter: Callable[[Track], bool] | None = None,
         top_k: int | None = None,
     ) -> list[ScoredItem]:
-        """Rank tracks across one or more scenes, best score first."""
-        return self._rank(scenes, "rank_tracks", track_filter, top_k)
+        """Deprecated: use :meth:`rank` with ``kind="tracks"``."""
+        self._deprecated_rank("rank_tracks", "tracks")
+        return self.rank(scenes, "tracks", track_filter, top_k)
 
     def rank_bundles(
         self,
@@ -335,8 +389,9 @@ class Fixy:
         bundle_filter: Callable[[ObservationBundle, Track], bool] | None = None,
         top_k: int | None = None,
     ) -> list[ScoredItem]:
-        """Rank bundles across one or more scenes, best score first."""
-        return self._rank(scenes, "rank_bundles", bundle_filter, top_k)
+        """Deprecated: use :meth:`rank` with ``kind="bundles"``."""
+        self._deprecated_rank("rank_bundles", "bundles")
+        return self.rank(scenes, "bundles", bundle_filter, top_k)
 
     def rank_observations(
         self,
@@ -344,8 +399,9 @@ class Fixy:
         obs_filter: Callable[[Observation], bool] | None = None,
         top_k: int | None = None,
     ) -> list[ScoredItem]:
-        """Rank individual observations, best score first."""
-        return self._rank(scenes, "rank_observations", obs_filter, top_k)
+        """Deprecated: use :meth:`rank` with ``kind="observations"``."""
+        self._deprecated_rank("rank_observations", "observations")
+        return self.rank(scenes, "observations", obs_filter, top_k)
 
 
 def _as_list(scenes: Scene | list[Scene]) -> list[Scene]:

@@ -230,6 +230,20 @@ class LearnedModel:
             model.distributions[feature] = fitted
         return model
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the fitted estimators.
+
+        Density grids are excluded — they are traffic-dependent
+        acceleration state, not model identity, so a model fingerprints
+        the same before and after its lazy grid builds. Audit results
+        (:class:`repro.api.AuditResult`) record this hash as provenance.
+        """
+        import hashlib
+        import json
+
+        text = json.dumps(self.to_dict(include_grids=False), sort_keys=True)
+        return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
     def save(self, path, include_grids: bool = True) -> None:
         """Persist the model as JSON.
 

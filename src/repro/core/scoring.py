@@ -37,7 +37,7 @@ once.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -46,7 +46,74 @@ from repro.core.compile import CompiledScene
 from repro.core.model import Observation, ObservationBundle, Track
 from repro.factorgraph.factors import log_potentials
 
-__all__ = ["ScoredItem", "Scorer"]
+__all__ = [
+    "RANK_KINDS",
+    "ScoredItem",
+    "Scorer",
+    "UnknownRankKindError",
+    "merge_rankings",
+    "normalize_rank_kind",
+]
+
+#: The component kinds every ranking surface understands, canonical form.
+RANK_KINDS = ("tracks", "bundles", "observations")
+
+_KIND_ALIASES = {
+    "track": "tracks",
+    "tracks": "tracks",
+    "bundle": "bundles",
+    "bundles": "bundles",
+    "observation": "observations",
+    "observations": "observations",
+}
+
+
+class UnknownRankKindError(ValueError):
+    """A rank ``kind`` that no ranking surface understands.
+
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    handlers keep working. Carries the offending ``kind`` and the
+    ``valid`` kinds so protocol layers can surface a structured error.
+    """
+
+    def __init__(self, kind, valid: tuple[str, ...] = RANK_KINDS):
+        self.kind = kind
+        self.valid = tuple(valid)
+        super().__init__(
+            f"unknown rank kind {kind!r}; expected {', '.join(self.valid)}"
+        )
+
+    def __reduce__(self):  # survive the process-pool boundary intact
+        return (type(self), (self.kind, self.valid))
+
+
+def normalize_rank_kind(kind: str) -> str:
+    """Canonical plural form of a rank kind (singulars accepted).
+
+    Raises :class:`UnknownRankKindError` on anything else.
+    """
+    try:
+        return _KIND_ALIASES[kind]
+    except (KeyError, TypeError):
+        raise UnknownRankKindError(kind) from None
+
+
+def merge_rankings(
+    blocks, top_k: int | None = None
+) -> "list[ScoredItem]":
+    """Merge per-scene ranking blocks into one globally sorted list.
+
+    Every multi-scene surface (inline, thread pool, process pool,
+    per-scene sessions) funnels through this one merge: blocks are
+    concatenated in submission order, then stable-sorted best score
+    first — so identical per-scene blocks always produce the identical
+    merged ranking, whatever execution strategy produced them.
+    """
+    ranked: list[ScoredItem] = []
+    for block in blocks:
+        ranked.extend(block)
+    ranked.sort(key=lambda s: s.score, reverse=True)
+    return ranked[:top_k] if top_k is not None else ranked
 
 
 @dataclass(frozen=True)
@@ -54,12 +121,16 @@ class ScoredItem:
     """One ranked component.
 
     Attributes:
-        item: The scored Observation / ObservationBundle / Track.
+        item: The scored Observation / ObservationBundle / Track, or
+            ``None`` for items round-tripped through :meth:`from_dict`
+            (the wire form carries a summary, not the live object).
         score: Normalized log likelihood (higher = more plausible under
             the AOF-transformed feature distributions).
         scene_id: Scene the component came from.
         track_id: Enclosing track (the track itself for track items).
         n_factors: Number of feature-distribution factors that scored it.
+        summary: The JSON-safe payload this item was reconstructed from
+            (``None`` for live items). Excluded from equality.
     """
 
     item: object
@@ -67,6 +138,62 @@ class ScoredItem:
     scene_id: str
     track_id: str
     n_factors: int
+    summary: dict | None = field(default=None, compare=False, repr=False)
+
+    @property
+    def kind(self) -> str | None:
+        """Singular component kind (``"track"``/``"bundle"``/``"observation"``)."""
+        if isinstance(self.item, Track):
+            return "track"
+        if isinstance(self.item, ObservationBundle):
+            return "bundle"
+        if isinstance(self.item, Observation):
+            return "observation"
+        if self.summary is not None:
+            return self.summary.get("kind")
+        return None
+
+    def to_dict(self, kind: str | None = None) -> dict:
+        """JSON-safe description of this ranked component.
+
+        The one serialization every surface uses — the streaming
+        service, the CLI, and :class:`repro.api.AuditResult`. ``kind``
+        optionally overrides the label (plural forms accepted); by
+        default it is derived from the item type.
+        """
+        if self.item is None and self.summary is not None:
+            return dict(self.summary)
+        out = {
+            "kind": kind.rstrip("s") if kind else self.kind,
+            "score": self.score,
+            "scene_id": self.scene_id,
+            "track_id": self.track_id,
+            "n_factors": self.n_factors,
+        }
+        item = self.item
+        if isinstance(item, Observation):
+            out["obs_id"] = item.obs_id
+            out["frame"] = item.frame
+        elif isinstance(item, ObservationBundle):
+            out["frame"] = item.frame
+            out["n_observations"] = len(item)
+        elif isinstance(item, Track):
+            out["n_observations"] = item.n_observations
+        return out
+
+    @staticmethod
+    def from_dict(data: dict) -> "ScoredItem":
+        """Rebuild from :meth:`to_dict`. The live ``item`` is gone after
+        serialization; the reconstructed ScoredItem carries the payload
+        in :attr:`summary` instead (``item`` is ``None``)."""
+        return ScoredItem(
+            item=None,
+            score=float(data["score"]),
+            scene_id=data["scene_id"],
+            track_id=data["track_id"],
+            n_factors=int(data["n_factors"]),
+            summary=dict(data),
+        )
 
 
 class Scorer:
@@ -237,21 +364,14 @@ class Scorer:
         ``kind`` is ``"tracks"``, ``"bundles"``, or ``"observations"``
         (singular forms accepted). Lets callers that receive the kind as
         data (the JSON service, process-pool workers) avoid getattr
-        string plumbing.
+        string plumbing. Raises :class:`UnknownRankKindError` on
+        anything else.
         """
         method = {
-            "track": self.rank_tracks,
             "tracks": self.rank_tracks,
-            "bundle": self.rank_bundles,
             "bundles": self.rank_bundles,
-            "observation": self.rank_observations,
             "observations": self.rank_observations,
-        }.get(kind)
-        if method is None:
-            raise ValueError(
-                f"unknown rank kind {kind!r}; expected tracks, bundles, "
-                "or observations"
-            )
+        }[normalize_rank_kind(kind)]
         return method(filt)
 
     def rank_tracks(

@@ -42,6 +42,7 @@ __all__ = [
     "DatasetProfile",
     "LabeledScene",
     "BuiltDataset",
+    "PROFILES",
     "SYNTHETIC_LYFT",
     "SYNTHETIC_INTERNAL",
     "build_dataset",
@@ -81,6 +82,10 @@ SYNTHETIC_INTERNAL = DatasetProfile(
     seed=2000,
 )
 """The internal-like dataset: 13 audited scenes (§8.1)."""
+
+#: Profiles addressable by name — the registry the CLI and the
+#: declarative :class:`repro.api.SceneSource` resolve against.
+PROFILES = {"lyft": SYNTHETIC_LYFT, "internal": SYNTHETIC_INTERNAL}
 
 
 @dataclass

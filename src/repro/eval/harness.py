@@ -3,10 +3,18 @@
 ``python -m repro.eval.harness`` reproduces all of §8 in one shot and
 prints paper-comparable output; the per-experiment benchmarks under
 ``benchmarks/`` wrap the same functions individually.
+
+Beyond the paper's tables, the report carries an ``audit_api`` section
+(:func:`audit_backend_equivalence`): one declarative
+:class:`repro.api.AuditSpec` executed on every registered backend, with
+per-backend wall-clock and a ranking-identity check against the inline
+reference — the living proof that backend choice is a deployment
+decision, not a results decision.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.eval.experiments import (
@@ -19,7 +27,91 @@ from repro.eval.experiments import (
     table3,
 )
 
-__all__ = ["FullReport", "run_all"]
+__all__ = [
+    "AuditBackendReport",
+    "FullReport",
+    "audit_backend_equivalence",
+    "run_all",
+]
+
+
+@dataclass
+class AuditBackendReport:
+    """One AuditSpec's timings + ranking identity across backends."""
+
+    spec_hash: str
+    model_fingerprint: str | None
+    n_scenes: int
+    n_items: int
+    #: backend name -> (rank seconds, identical-to-inline)
+    backends: list[tuple[str, float, bool]] = field(default_factory=list)
+
+    @property
+    def all_identical(self) -> bool:
+        return all(identical for _, _, identical in self.backends)
+
+    def to_text(self) -> str:
+        lines = [
+            "audit API: one spec, every backend "
+            f"(spec {self.spec_hash[:12]}, model "
+            f"{(self.model_fingerprint or 'unfitted')[:12]}, "
+            f"{self.n_scenes} scenes, {self.n_items} items)",
+        ]
+        for name, seconds, identical in self.backends:
+            mark = "==" if identical else "!="
+            lines.append(
+                f"  {name:<10s} {1e3 * seconds:8.1f} ms  ranking {mark} inline"
+            )
+        verdict = "byte-identical" if self.all_identical else "DIVERGED"
+        lines.append(f"  verdict: rankings {verdict} across backends")
+        return "\n".join(lines)
+
+
+def audit_backend_equivalence(
+    backends: tuple[str, ...] = ("inline", "threaded", "sharded", "session"),
+    top_k: int = 25,
+) -> AuditBackendReport:
+    """Run one declarative audit on every backend and compare rankings."""
+    from repro.api import Audit, AuditSpec, FilterSpec
+    from repro.datasets import SYNTHETIC_INTERNAL
+    from repro.eval.experiments import get_dataset
+
+    dataset = get_dataset(SYNTHETIC_INTERNAL)
+    spec = AuditSpec(
+        kind="tracks",
+        top_k=top_k,
+        filters=FilterSpec(has_model=True, has_human=False),
+    )
+    audit = Audit(spec, train_scenes=dataset.train_scenes)
+    scenes = [ls.scene for ls in dataset.val_scenes]
+
+    report = AuditBackendReport(
+        spec_hash=spec.spec_hash(),
+        model_fingerprint=(
+            audit.fixy.learned.fingerprint()
+            if audit.fixy.learned is not None
+            else None
+        ),
+        n_scenes=len(scenes),
+        n_items=0,
+    )
+    reference = None
+    try:
+        for name in backends:
+            t0 = time.perf_counter()
+            result = audit.run(scenes=scenes, backend=name)
+            seconds = time.perf_counter() - t0
+            signature = [
+                (s.scene_id, s.track_id, s.score, s.n_factors)
+                for s in result.items
+            ]
+            if reference is None:
+                reference = signature
+                report.n_items = len(result.items)
+            report.backends.append((name, seconds, signature == reference))
+    finally:
+        audit.close()
+    return report
 
 
 @dataclass
@@ -57,6 +149,7 @@ def run_all(
     report.sections.append(("missing_observation", missing_observation_experiment()))
     report.sections.append(("model_errors", model_errors_experiment()))
     report.sections.append(("runtime", runtime_experiment()))
+    report.sections.append(("audit_api", audit_backend_equivalence()))
     report.sections.append(("figures", figure_case_studies()))
     return report
 

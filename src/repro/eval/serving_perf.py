@@ -166,7 +166,7 @@ def sharding_report(
             out = ranked
         return best, out
 
-    thread_s, thread_ranked = best_of(lambda: fixy.rank_tracks(scenes))
+    thread_s, thread_ranked = best_of(lambda: fixy.rank(scenes, "tracks"))
     reference = _ranking_signature(thread_ranked)
 
     cases = []

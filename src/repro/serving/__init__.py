@@ -25,9 +25,17 @@ compile pipeline:
   cache);
 - :class:`~repro.serving.store.SessionStore` — many concurrent
   sessions with LRU eviction;
-- :class:`~repro.serving.service.StreamingService` — a JSON
-  request/response facade over the store (``python -m repro.cli
-  serve``).
+- :class:`~repro.serving.service.StreamingService` — the server side
+  of the versioned request/response protocol
+  (:mod:`repro.api.protocol`) over the store (``python -m repro.cli
+  serve``; the in-repo client is
+  :class:`repro.api.AuditClient`, and version-less v0 requests are
+  still answered through a deprecation shim).
+
+Everything here is an execution strategy behind the unified audit API:
+:class:`repro.api.AuditSpec` runs on the session and sharded layers via
+the ``session`` and ``sharded`` backends with rankings byte-identical
+to the inline engine.
 """
 
 from repro.serving.edits import (

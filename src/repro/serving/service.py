@@ -1,9 +1,10 @@
-"""StreamingService: a JSON request/response facade over a SessionStore.
+"""StreamingService: the versioned request/response facade over sessions.
 
-One request, one response, both plain dicts — the transport-agnostic
-core of ``python -m repro.cli serve`` (which speaks it over
-line-delimited JSON on stdin/stdout, the classic subprocess/socket
-protocol shape). Operations:
+One request, one response, both plain dicts in the schema of
+:mod:`repro.api.protocol` — the transport-agnostic core of
+``python -m repro.cli serve`` (which speaks it over line-delimited JSON
+on stdin/stdout) and the server half of
+:class:`~repro.api.client.AuditClient`. Operations:
 
 ======== ==============================================================
 op       request fields → response fields
@@ -13,21 +14,31 @@ open     ``scene`` (Scene.to_dict), optional ``session_id`` →
 edit     ``session_id``, ``edit`` (SceneEdit.to_dict) → ``changed``,
          ``version``
 rank     ``session_id``, optional ``kind`` (tracks default),
-         ``top_k`` → ``results`` (JSON-safe scored items)
+         ``top_k`` → ``results`` (ScoredItem.to_dict items)
+audit    ``spec`` (AuditSpec.to_dict) + ``session_id`` *or*
+         ``scenes`` (list of Scene.to_dict) → ``result``
+         (AuditResult.to_dict)
 close    ``session_id`` → ``closed``
 stats    → store counters
 ======== ==============================================================
 
-Every response carries ``"ok"``; failures come back as
-``{"ok": false, "error": ...}`` instead of raising, so one malformed
-request cannot take down the serving loop.
+Every v1 request and response carries ``"v"``; failures come back as
+``{"ok": false, "error": {"code", "message", ...}}`` instead of
+raising, so one malformed request cannot take down the serving loop.
+Version-less (v0) requests are answered through a deprecation shim in
+the v0 dialect — string errors, no ``"v"`` — unless the service was
+built with ``accept_legacy=False``, in which case they get a
+structured ``unsupported_version`` error.
 """
 
 from __future__ import annotations
 
 import json
+import time
+import warnings
 
-from repro.core.model import Observation, ObservationBundle, Scene, Track
+from repro.api import protocol
+from repro.core.model import Scene
 from repro.core.scoring import ScoredItem
 from repro.serving.edits import edit_from_dict
 from repro.serving.store import SessionStore
@@ -36,61 +47,76 @@ __all__ = ["StreamingService", "scored_item_to_dict"]
 
 
 def scored_item_to_dict(scored: ScoredItem, kind: str) -> dict:
-    """JSON-safe description of one ranked component."""
-    out = {
-        "kind": kind.rstrip("s"),
-        "score": scored.score,
-        "scene_id": scored.scene_id,
-        "track_id": scored.track_id,
-        "n_factors": scored.n_factors,
-    }
-    item = scored.item
-    if isinstance(item, Observation):
-        out["obs_id"] = item.obs_id
-        out["frame"] = item.frame
-    elif isinstance(item, ObservationBundle):
-        out["frame"] = item.frame
-        out["n_observations"] = len(item)
-    elif isinstance(item, Track):
-        out["n_observations"] = item.n_observations
-    return out
+    """Deprecated: use :meth:`repro.core.scoring.ScoredItem.to_dict`."""
+    warnings.warn(
+        "scored_item_to_dict is deprecated; use ScoredItem.to_dict(kind)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return scored.to_dict(kind)
 
 
 class StreamingService:
-    """Dispatches JSON-dict requests onto a :class:`SessionStore`."""
+    """Dispatches protocol requests onto a :class:`SessionStore`.
 
-    def __init__(self, fixy, max_sessions: int = 32):
+    Args:
+        fixy: A fitted engine; sessions and server-side audits use its
+            features, AOFs, and learned model.
+        max_sessions: Live scene sessions kept before LRU eviction.
+        accept_legacy: Answer version-less (v0) requests in the v0
+            dialect with a :class:`DeprecationWarning` (default). When
+            false, such requests get ``unsupported_version``.
+    """
+
+    def __init__(self, fixy, max_sessions: int = 32, accept_legacy: bool = True):
         self.store = SessionStore(fixy, max_sessions=max_sessions)
+        self.accept_legacy = accept_legacy
 
     # ------------------------------------------------------------------
     def handle(self, request: dict) -> dict:
         """Process one request dict; always returns a response dict."""
+        try:
+            version = protocol.negotiate_version(request, self.accept_legacy)
+        except protocol.ProtocolError as exc:
+            return protocol.error_response(
+                exc.code, exc.message, details=exc.details
+            )
         try:
             op = request.get("op")
             handler = {
                 "open": self._op_open,
                 "edit": self._op_edit,
                 "rank": self._op_rank,
+                "audit": self._op_audit,
                 "close": self._op_close,
                 "stats": self._op_stats,
             }.get(op)
             if handler is None:
-                raise ValueError(
-                    f"unknown op {op!r}; expected open, edit, rank, close, "
-                    "or stats"
+                raise protocol.ProtocolError(
+                    protocol.UNKNOWN_OP,
+                    f"unknown op {op!r}; expected open, edit, rank, audit, "
+                    "close, or stats",
                 )
-            response = handler(request)
-            response["ok"] = True
-            return response
+            payload = handler(request)
         except Exception as exc:  # protocol boundary: report, don't die
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            error = protocol.classify_exception(exc)
+            if version == protocol.LEGACY_VERSION:
+                # v0 dialect: the error is a bare string.
+                return {"ok": False, "error": error.message}
+            return protocol.error_response(
+                error.code, error.message, details=error.details
+            )
+        if version == protocol.LEGACY_VERSION:
+            return {"ok": True, **payload}
+        return protocol.ok_response(payload)
 
     def serve(self, lines, out) -> int:
         """Line-delimited JSON loop: one request per input line.
 
         Returns the number of requests handled. Blank lines are
         skipped; unparseable lines produce an error response like any
-        other bad request.
+        other bad request (in the v0 dialect when legacy requests are
+        accepted — an undecodable line has no version to negotiate).
         """
         handled = 0
         for line in lines:
@@ -100,7 +126,12 @@ class StreamingService:
             try:
                 request = json.loads(line)
             except json.JSONDecodeError as exc:
-                response = {"ok": False, "error": f"bad JSON: {exc}"}
+                if self.accept_legacy:
+                    response = {"ok": False, "error": f"bad JSON: {exc}"}
+                else:
+                    response = protocol.error_response(
+                        protocol.BAD_JSON, f"bad JSON: {exc}"
+                    )
             else:
                 response = self.handle(request)
             out.write(json.dumps(response) + "\n")
@@ -133,8 +164,45 @@ class StreamingService:
         )
         return {
             "kind": kind,
-            "results": [scored_item_to_dict(s, kind) for s in ranked],
+            "results": [s.to_dict(kind) for s in ranked],
         }
+
+    def _op_audit(self, request: dict) -> dict:
+        """Execute an AuditSpec server-side (live session or shipped scenes)."""
+        from repro.api import API_VERSION, Audit, AuditSpec
+        from repro.api.result import AuditProvenance, AuditResult
+
+        spec = AuditSpec.from_dict(request["spec"])
+        session_id = request.get("session_id")
+        if session_id is not None:
+            # Rank the live session's already-spliced state directly —
+            # the session *is* the session backend, minus a recompile.
+            session = self.store.get(session_id)
+            t0 = time.perf_counter()
+            items = session.rank(
+                spec.kind, spec.compile_filter(), top_k=spec.top_k
+            )
+            rank_s = time.perf_counter() - t0
+            learned = self.store.fixy.learned
+            result = AuditResult(
+                items=items,
+                spec=spec,
+                provenance=AuditProvenance(
+                    backend="session",
+                    spec_hash=spec.spec_hash(),
+                    model_fingerprint=(
+                        learned.fingerprint() if learned is not None else None
+                    ),
+                    n_scenes=1,
+                    api_version=API_VERSION,
+                    timings={"rank_s": rank_s, "total_s": rank_s},
+                ),
+            )
+        else:
+            scenes = [Scene.from_dict(d) for d in request["scenes"]]
+            with Audit(spec, fixy=self.store.fixy) as audit:
+                result = audit.run(scenes=scenes)
+        return {"result": result.to_dict()}
 
     def _op_close(self, request: dict) -> dict:
         return {"closed": self.store.close(request["session_id"])}

@@ -45,7 +45,7 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.model import Scene
-from repro.core.scoring import ScoredItem
+from repro.core.scoring import ScoredItem, merge_rankings, normalize_rank_kind
 
 __all__ = ["ShardedRanker"]
 
@@ -169,6 +169,18 @@ class ShardedRanker:
         self.worker_misses: dict[int, int] = {}
 
     # ------------------------------------------------------------------
+    def rank(
+        self, scenes, kind: str = "tracks", filt=None, top_k: int | None = None
+    ) -> list[ScoredItem]:
+        """Rank components of ``kind`` across scenes via the process pool.
+
+        The kind-as-data entry point (mirrors
+        :meth:`repro.core.engine.Fixy.rank`); a typo'd kind raises
+        :class:`~repro.core.scoring.UnknownRankKindError` before any
+        scene is shipped to a worker.
+        """
+        return self._rank(scenes, normalize_rank_kind(kind), filt, top_k)
+
     def rank_tracks(self, scenes, track_filter=None, top_k: int | None = None):
         """Rank tracks across scenes via the process pool."""
         return self._rank(scenes, "tracks", track_filter, top_k)
@@ -189,18 +201,17 @@ class ShardedRanker:
             (payload, _payload_fingerprint(payload), kind, filt)
             for payload in payloads
         ]
-        ranked: list[ScoredItem] = []
-        # map() preserves submission order, so the merge (and the stable
-        # sort below) sees per-scene blocks in exactly the order the
-        # thread-pool path produces — identical scores ⇒ identical list.
+        blocks: list[list[ScoredItem]] = []
+        # map() preserves submission order, so merge_rankings sees
+        # per-scene blocks in exactly the order the thread-pool path
+        # produces — identical scores ⇒ identical list.
         for pid, hit, scene_ranked in self._pool.map(_worker_rank, tasks):
             if hit:
                 self.worker_hits[pid] = self.worker_hits.get(pid, 0) + 1
             else:
                 self.worker_misses[pid] = self.worker_misses.get(pid, 0) + 1
-            ranked.extend(scene_ranked)
-        ranked.sort(key=lambda s: s.score, reverse=True)
-        return ranked[:top_k] if top_k is not None else ranked
+            blocks.append(scene_ranked)
+        return merge_rankings(blocks, top_k)
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> dict:

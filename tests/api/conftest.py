@@ -1,0 +1,16 @@
+"""Fixtures for the unified audit API tests: a fitted, warmed engine."""
+
+import pytest
+
+from repro.core import Fixy, default_features
+
+from tests.serving.conftest import build_training_scenes
+
+
+@pytest.fixture(scope="session")
+def api_fixy():
+    """A fitted engine with warmed density grids (deterministic across
+    backends — the same precondition Audit establishes at bind time)."""
+    fixy = Fixy(default_features()).fit(build_training_scenes())
+    fixy.warmup_fast_eval()
+    return fixy

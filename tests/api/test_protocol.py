@@ -1,0 +1,206 @@
+"""Versioned wire protocol: negotiation, structured errors, the client,
+and the legacy (v0) deprecation shim."""
+
+import json
+import threading
+
+import pytest
+
+from repro.api import AuditClient, AuditSpec, FilterSpec
+from repro.api import protocol
+from repro.serving import InsertObservation, StreamingService
+
+from tests.core.conftest import make_obs
+from tests.serving.conftest import model_scene
+
+
+@pytest.fixture
+def service(api_fixy):
+    return StreamingService(api_fixy, max_sessions=4)
+
+
+@pytest.fixture
+def strict_service(api_fixy):
+    return StreamingService(api_fixy, max_sessions=4, accept_legacy=False)
+
+
+class TestVersionNegotiation:
+    def test_v1_round_trip_carries_version(self, service):
+        response = service.handle(
+            protocol.make_request("open", scene=model_scene("v1").to_dict())
+        )
+        assert response["ok"] is True
+        assert response["v"] == protocol.PROTOCOL_VERSION
+
+    def test_unknown_version_rejected_round_trip(self, service):
+        for bad in (99, "two", None):
+            response = service.handle(
+                {"v": bad, "op": "stats"}
+            )
+            assert response["ok"] is False
+            assert response["v"] == protocol.PROTOCOL_VERSION
+            assert response["error"]["code"] == "unsupported_version"
+            assert response["error"]["details"]["supported"] == [
+                protocol.PROTOCOL_VERSION
+            ]
+
+    def test_legacy_request_works_with_deprecation_warning(self, service):
+        scene = model_scene("legacy", n_tracks=2)
+        with pytest.warns(DeprecationWarning, match="version-less"):
+            opened = service.handle({"op": "open", "scene": scene.to_dict()})
+        # v0 dialect: no version field, plain fields, ok flag.
+        assert opened["ok"] is True
+        assert "v" not in opened
+        assert opened["session_id"] == "legacy"
+        with pytest.warns(DeprecationWarning):
+            ranked = service.handle(
+                {"op": "rank", "session_id": "legacy", "top_k": 1}
+            )
+        assert ranked["ok"] and len(ranked["results"]) == 1
+
+    def test_legacy_errors_stay_strings(self, service):
+        with pytest.warns(DeprecationWarning):
+            response = service.handle({"op": "warp"})
+        assert response["ok"] is False
+        assert isinstance(response["error"], str)
+        assert "unknown op" in response["error"]
+
+    def test_strict_service_rejects_versionless(self, strict_service):
+        response = strict_service.handle({"op": "stats"})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "unsupported_version"
+
+
+class TestStructuredErrors:
+    def test_unknown_rank_kind_code(self, service):
+        service.handle(
+            protocol.make_request("open", scene=model_scene("k").to_dict())
+        )
+        response = service.handle(
+            protocol.make_request("rank", session_id="k", kind="galaxies")
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == "unknown_rank_kind"
+        assert response["error"]["details"]["valid_kinds"] == [
+            "tracks", "bundles", "observations",
+        ]
+
+    def test_unknown_session_code(self, service):
+        response = service.handle(
+            protocol.make_request("rank", session_id="ghost")
+        )
+        assert response["error"]["code"] == "unknown_session"
+
+    def test_missing_field_is_bad_request(self, service):
+        response = service.handle(protocol.make_request("open"))
+        assert response["error"]["code"] == "bad_request"
+        assert "scene" in response["error"]["message"]
+
+    def test_unknown_op_code(self, service):
+        response = service.handle(protocol.make_request("warp"))
+        assert response["error"]["code"] == "unknown_op"
+
+    def test_invalid_spec_code(self, service):
+        response = service.handle(
+            protocol.make_request(
+                "audit",
+                spec={"kind": "tracks", "nope": 1},
+                scenes=[model_scene("s").to_dict()],
+            )
+        )
+        assert response["error"]["code"] == "invalid_spec"
+
+    def test_every_response_is_json_safe(self, service):
+        for request in (
+            protocol.make_request("stats"),
+            protocol.make_request("rank", session_id="ghost"),
+            {"v": 99, "op": "stats"},
+        ):
+            json.dumps(service.handle(request))
+
+
+class TestClient:
+    def test_full_session_lifecycle(self, service):
+        client = AuditClient.local(service=service)
+        scene = model_scene("cl", n_tracks=3)
+        session_id = client.open_session(scene)
+        assert session_id == "cl"
+        edited = client.edit(
+            session_id,
+            InsertObservation("cl-t0", make_obs(9, 1.0, source="model", conf=0.9)),
+        )
+        assert edited["changed"] == ["cl-t0"] and edited["version"] == 1
+        results = client.rank(session_id, kind="tracks", top_k=2)
+        assert len(results) == 2 and results[0]["kind"] == "track"
+        assert client.stats()["live_sessions"] == 1
+        assert client.close_session(session_id) is True
+        assert client.close_session(session_id) is False
+
+    def test_typed_errors_raise_protocol_error(self, service):
+        client = AuditClient.local(service=service)
+        client.open_session(model_scene("err"))
+        with pytest.raises(protocol.ProtocolError) as exc:
+            client.rank("err", kind="galaxies")
+        assert exc.value.code == "unknown_rank_kind"
+        with pytest.raises(protocol.ProtocolError) as exc:
+            client.rank("ghost")
+        assert exc.value.code == "unknown_session"
+
+    def test_audit_over_shipped_scenes_matches_inline(self, service, api_fixy):
+        from repro.api import Audit
+
+        client = AuditClient.local(service=service)
+        spec = AuditSpec(
+            kind="tracks",
+            top_k=3,
+            filters=FilterSpec(has_model=True, has_human=False),
+        )
+        scenes = [model_scene(f"au-{i}", n_tracks=3) for i in range(2)]
+        remote = client.audit(spec, scenes=scenes)
+        local = Audit(spec, fixy=api_fixy).run(scenes=scenes)
+        assert [i.to_dict() for i in remote.items] == [
+            i.to_dict(spec.kind) for i in local.items
+        ]
+        assert remote.provenance.spec_hash == spec.spec_hash()
+
+    def test_audit_over_live_session(self, service):
+        client = AuditClient.local(service=service)
+        client.open_session(model_scene("live", n_tracks=4))
+        result = client.audit(
+            AuditSpec(kind="tracks", top_k=2), session_id="live"
+        )
+        assert len(result.items) == 2
+        assert result.provenance.backend == "session"
+
+    def test_over_streams_transport(self, api_fixy):
+        """The client speaks the line-JSON framing `cli serve` uses,
+        against a real serve() loop over OS pipes."""
+        import os
+
+        service = StreamingService(api_fixy, max_sessions=2)
+        c2s_read, c2s_write = os.pipe()
+        s2c_read, s2c_write = os.pipe()
+        server_in = os.fdopen(c2s_read, "r")
+        server_out = os.fdopen(s2c_write, "w")
+        client_writer = os.fdopen(c2s_write, "w")
+        client_reader = os.fdopen(s2c_read, "r")
+        server = threading.Thread(
+            target=service.serve, args=(server_in, server_out), daemon=True
+        )
+        server.start()
+        try:
+            client = AuditClient.over_streams(
+                writer=client_writer, reader=client_reader
+            )
+            assert client.open_session(model_scene("stream", n_tracks=2)) == (
+                "stream"
+            )
+            assert len(client.rank("stream", top_k=1)) == 1
+            assert client.stats()["live_sessions"] == 1
+        finally:
+            client_writer.close()  # EOF ends the serve loop
+            server.join(timeout=10)
+            server_in.close()
+            server_out.close()
+            client_reader.close()
+        assert not server.is_alive()

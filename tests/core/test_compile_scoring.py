@@ -238,3 +238,105 @@ class TestRanking:
         assert all(
             bundles[i].score >= bundles[i + 1].score for i in range(len(bundles) - 1)
         )
+
+
+class TestRankKindDispatch:
+    def test_scorer_rank_accepts_singular_and_plural(self, learned):
+        compiled = compile_simple(learned, [moving_track("t", n_frames=5)])
+        scorer = Scorer(compiled)
+        assert scorer.rank("track") == scorer.rank("tracks")
+        assert scorer.rank("observations") == scorer.rank("observation")
+
+    def test_typo_raises_typed_error_listing_kinds(self, learned):
+        from repro.core import RANK_KINDS, UnknownRankKindError
+
+        compiled = compile_simple(learned, [moving_track("t", n_frames=5)])
+        with pytest.raises(UnknownRankKindError) as exc:
+            Scorer(compiled).rank("galxies")
+        assert exc.value.kind == "galxies"
+        assert exc.value.valid == RANK_KINDS
+        assert "tracks, bundles, observations" in str(exc.value)
+        # Still a ValueError for pre-existing handlers.
+        assert isinstance(exc.value, ValueError)
+
+    def test_error_survives_pickling(self):
+        import pickle
+
+        from repro.core import UnknownRankKindError
+
+        err = pickle.loads(pickle.dumps(UnknownRankKindError("galaxy")))
+        assert err.kind == "galaxy" and "unknown rank kind" in str(err)
+
+    def test_normalize_rejects_non_strings(self):
+        from repro.core import UnknownRankKindError, normalize_rank_kind
+
+        with pytest.raises(UnknownRankKindError):
+            normalize_rank_kind(None)
+        with pytest.raises(UnknownRankKindError):
+            normalize_rank_kind(3)
+
+
+class TestMergeRankings:
+    def test_merges_sorts_and_truncates(self):
+        from repro.core import ScoredItem, merge_rankings
+
+        def item(track_id, score):
+            return ScoredItem(
+                item=None, score=score, scene_id="s",
+                track_id=track_id, n_factors=1,
+            )
+
+        merged = merge_rankings(
+            [[item("a", -1.0), item("b", -3.0)], [item("c", -2.0)]]
+        )
+        assert [s.track_id for s in merged] == ["a", "c", "b"]
+        assert [
+            s.track_id for s in merge_rankings([[item("a", -1.0)], [item("c", -2.0)]], top_k=1)
+        ] == ["a"]
+
+    def test_stable_for_equal_scores(self):
+        from repro.core import ScoredItem, merge_rankings
+
+        blocks = [
+            [ScoredItem(None, -1.0, "s1", "x", 1)],
+            [ScoredItem(None, -1.0, "s2", "y", 1)],
+        ]
+        assert [s.track_id for s in merge_rankings(blocks)] == ["x", "y"]
+
+
+class TestScoredItemDict:
+    def test_track_item_round_trip(self, learned):
+        from repro.core import ScoredItem
+
+        compiled = compile_simple(learned, [moving_track("t", n_frames=5)])
+        scored = Scorer(compiled).rank_tracks()[0]
+        payload = scored.to_dict()
+        assert payload["kind"] == "track"
+        assert payload["n_observations"] == 5
+        assert payload["score"] == scored.score  # bit-exact
+        clone = ScoredItem.from_dict(payload)
+        assert clone.item is None
+        assert clone.summary == payload
+        assert clone.to_dict() == payload  # second hop is lossless
+        assert clone.kind == "track"
+        assert (clone.score, clone.track_id, clone.n_factors) == (
+            scored.score, scored.track_id, scored.n_factors,
+        )
+
+    def test_kind_override_and_derivation(self, learned):
+        compiled = compile_simple(learned, [moving_track("t", n_frames=5)])
+        scorer = Scorer(compiled)
+        obs = scorer.rank_observations()[0]
+        assert obs.kind == "observation"
+        assert obs.to_dict()["obs_id"]
+        assert obs.to_dict("observations")["kind"] == "observation"
+        bundle = scorer.rank_bundles()[0]
+        assert bundle.to_dict()["kind"] == "bundle"
+        assert "frame" in bundle.to_dict()
+
+    def test_summary_excluded_from_equality(self, learned):
+        from repro.core import ScoredItem
+
+        a = ScoredItem(None, -1.0, "s", "t", 2)
+        b = ScoredItem(None, -1.0, "s", "t", 2, summary={"kind": "track"})
+        assert a == b

@@ -181,3 +181,47 @@ class TestModelErrorFinder:
         scene = scene_of([human])
         finder = ModelErrorFinder().fit(training_scenes)
         assert finder.rank(scene) == []
+
+
+class TestFixyRankDispatch:
+    """Fixy.rank is the supported imperative surface; rank_* are shims."""
+
+    def test_rank_matches_legacy_methods(self, fitted_fixy):
+        scene = scene_of([moving_track(f"t{i}", n_frames=5, start_x=30.0 * i)
+                          for i in range(3)], scene_id="dispatch")
+        with pytest.warns(DeprecationWarning):
+            legacy = fitted_fixy.rank_tracks(scene, top_k=2)
+        assert fitted_fixy.rank(scene, "tracks", top_k=2) == legacy
+
+    def test_rank_typo_is_typed_before_compiling(self, fitted_fixy):
+        from repro.core import UnknownRankKindError
+
+        with pytest.raises(UnknownRankKindError, match="unknown rank kind"):
+            fitted_fixy.rank(scene_of([moving_track("t", n_frames=5)]), "galaxy")
+
+    def test_rank_kind_singular_accepted(self, fitted_fixy):
+        scene = scene_of([moving_track("t", n_frames=5)])
+        assert fitted_fixy.rank(scene, "track") == fitted_fixy.rank(scene, "tracks")
+
+    def test_rank_n_jobs_override_identical(self, fitted_fixy):
+        scenes = [
+            scene_of([moving_track(f"t{i}", n_frames=5)], scene_id=f"nj{i}")
+            for i in range(4)
+        ]
+        serial = fitted_fixy.rank(scenes, "tracks", n_jobs=1)
+        threaded = fitted_fixy.rank(scenes, "tracks", n_jobs=3)
+        assert serial == threaded
+
+    @pytest.mark.parametrize(
+        "method,kind",
+        [
+            ("rank_tracks", "tracks"),
+            ("rank_bundles", "bundles"),
+            ("rank_observations", "observations"),
+        ],
+    )
+    def test_legacy_rank_methods_warn_and_delegate(self, fitted_fixy, method, kind):
+        scene = scene_of([moving_track("t", n_frames=5)], scene_id="warns")
+        with pytest.warns(DeprecationWarning, match=f"Fixy.{method}"):
+            legacy = getattr(fitted_fixy, method)(scene)
+        assert legacy == fitted_fixy.rank(scene, kind)

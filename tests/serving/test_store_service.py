@@ -169,3 +169,45 @@ class TestCliServe:
         assert args.command == "serve"
         assert args.max_sessions == 32
         assert args.model is None
+
+
+class TestLegacyShims:
+    def test_scored_item_to_dict_shim_warns_and_matches(self, fitted_fixy):
+        from repro.serving.service import scored_item_to_dict
+
+        scene = model_scene("shim", n_tracks=2)
+        scored = fitted_fixy.rank(scene, "tracks")[0]
+        with pytest.warns(DeprecationWarning, match="scored_item_to_dict"):
+            legacy = scored_item_to_dict(scored, "tracks")
+        assert legacy == scored.to_dict("tracks")
+
+    def test_v0_requests_warn_but_work(self, fitted_fixy):
+        """The acceptance check: pre-versioning requests keep working,
+        now through a deprecation shim."""
+        service = StreamingService(fitted_fixy, max_sessions=2)
+        scene = model_scene("v0", n_tracks=2)
+        with pytest.warns(DeprecationWarning, match="version-less"):
+            opened = service.handle({"op": "open", "scene": scene.to_dict()})
+            ranked = service.handle(
+                {"op": "rank", "session_id": "v0", "top_k": 1}
+            )
+        assert opened["ok"] and ranked["ok"]
+        assert len(ranked["results"]) == 1
+        assert "v" not in opened and "v" not in ranked
+
+    def test_serve_strict_flag(self, fitted_fixy, tmp_path):
+        from repro.cli import build_parser, _cmd_serve
+
+        model_path = tmp_path / "model.json"
+        fitted_fixy.learned.save(model_path)
+        args = build_parser().parse_args(
+            ["serve", "--model", str(model_path), "--strict"]
+        )
+        out = io.StringIO()
+        code = _cmd_serve(
+            args, stdin=io.StringIO(json.dumps({"op": "stats"})), stdout=out
+        )
+        assert code == 0
+        response = json.loads(out.getvalue())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "unsupported_version"

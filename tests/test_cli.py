@@ -69,12 +69,99 @@ class TestExperiment:
         assert "Fixy" in out and "Ad-hoc MA" in out
 
 
+class TestAudit:
+    """End-to-end smoke for the new declarative surface (tier-1: this is
+    the test that keeps `repro.cli audit` from silently rotting)."""
+
+    def test_audit_end_to_end_nonempty_result(self, capsys):
+        code = main(
+            ["audit", "--profile", "internal", "--train", "2", "--val", "1",
+             "--scene", "0", "--top", "5", "--model-only"]
+        )
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["items"], "audit returned an empty AuditResult"
+        assert result["items"][0]["kind"] == "track"
+        assert result["spec"]["kind"] == "tracks"
+        assert result["provenance"]["backend"] == "inline"
+        assert result["provenance"]["model_fingerprint"]
+        # The printed JSON is the full typed result: it round-trips.
+        from repro.api import AuditResult
+
+        assert len(AuditResult.from_dict(result).items) == len(result["items"])
+
+    def test_audit_writes_out_file(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main(
+            ["audit", "--profile", "internal", "--train", "2", "--val", "1",
+             "--scene", "0", "--top", "3", "--out", str(out)]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["items"]
+
+    def test_audit_from_spec_file(self, tmp_path, capsys):
+        from repro.api import AuditSpec, FilterSpec, SceneSource
+
+        spec = AuditSpec(
+            kind="tracks",
+            top_k=4,
+            filters=FilterSpec(has_model=True, has_human=False),
+            scenes=SceneSource(
+                profile="internal", n_train=2, n_val=1, indices=(0,)
+            ),
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json(indent=2))
+        code = main(["audit", "--spec", str(path)])
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["spec"]["top_k"] == 4
+        assert result["provenance"]["spec_hash"] == spec.spec_hash()
+
+    def test_audit_spec_file_conflicts_with_flags(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text("{}")
+        # Scene-source flags and query flags alike conflict with --spec.
+        for flags in (["--profile", "internal"], ["--top", "3"],
+                      ["--backend", "sharded"]):
+            code = main(["audit", "--spec", str(path)] + flags)
+            assert code == 2
+            assert "ambiguous" in capsys.readouterr().err
+
+    def test_audit_bad_spec_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        for bad in ('{"kind": "galxy"}', '{"backend": "galxy"}', "{}"):
+            path.write_text(bad)
+            code = main(["audit", "--spec", str(path)])
+            assert code == 2
+            assert "invalid audit spec" in capsys.readouterr().err
+
+    def test_audit_flag_backend_mismatch_fails_cleanly(self, capsys):
+        code = main(
+            ["audit", "--profile", "internal", "--workers", "2"]
+        )
+        assert code == 2
+        assert "--workers applies" in capsys.readouterr().err
+
+    def test_audit_requires_a_scene_source(self, capsys):
+        code = main(["audit"])
+        assert code == 2
+        assert "scene source" in capsys.readouterr().err
+
+    def test_audit_parser_defaults(self):
+        args = build_parser().parse_args(["audit", "--profile", "internal"])
+        assert args.backend == "inline"
+        assert args.kind == "tracks"
+        assert args.split == "val"
+
+
 class TestRank:
     def test_rank_prints_audited_list(self, capsys):
-        code = main(
-            ["rank", "--profile", "internal", "--scene", "0", "--top", "5",
-             "--train", "2", "--val", "2"]
-        )
+        with pytest.warns(DeprecationWarning, match="repro.cli rank"):
+            code = main(
+                ["rank", "--profile", "internal", "--scene", "0", "--top", "5",
+                 "--train", "2", "--val", "2"]
+            )
         assert code == 0
         out = capsys.readouterr().out
         assert "potential missing labels" in out
