@@ -25,6 +25,7 @@ The JSON layout::
       "serving": {
         "delta_vs_full": {...},   # repro.eval.serving_perf.delta_vs_full
         "sharding": {...},        # repro.eval.serving_perf.sharding_report
+        "remote": {...},          # repro.eval.serving_perf.remote_report
       },
       "pytest_benchmarks": [  # mean seconds per benchmark test
         {"name": ..., "mean_s": ..., "stddev_s": ...}, ...
@@ -113,6 +114,10 @@ def main(argv: list[str] | None = None) -> int:
         help="process counts to sweep in the sharding comparison",
     )
     parser.add_argument(
+        "--remote-workers", type=int, nargs="+", default=[1, 2],
+        help="TCP worker counts to sweep in the remote-backend comparison",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="fast sanity mode: tiny sizes, one repeat, no pytest run "
         "(used by the tier-1 smoke test)",
@@ -125,6 +130,7 @@ def main(argv: list[str] | None = None) -> int:
         args.delta_tracks = 8
         args.shard_scenes = 2
         args.shard_workers = [1]
+        args.remote_workers = [2]
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.eval.perf import ab_compile_rank, render_report
@@ -137,6 +143,7 @@ def main(argv: list[str] | None = None) -> int:
     if not args.skip_serving:
         from repro.eval.serving_perf import (
             delta_vs_full,
+            remote_report,
             render_serving_report,
             sharding_report,
         )
@@ -149,8 +156,17 @@ def main(argv: list[str] | None = None) -> int:
             worker_counts=tuple(args.shard_workers),
             repeats=max(1, args.repeats),
         )
-        report["serving"] = {"delta_vs_full": delta, "sharding": sharding}
-        print(render_serving_report(delta, sharding))
+        remote = remote_report(
+            n_scenes=args.shard_scenes,
+            worker_counts=tuple(args.remote_workers),
+            repeats=max(1, args.repeats),
+        )
+        report["serving"] = {
+            "delta_vs_full": delta,
+            "sharding": sharding,
+            "remote": remote,
+        }
+        print(render_serving_report(delta, sharding, remote))
 
     if not args.skip_pytest:
         report["pytest_benchmarks"] = run_pytest_benchmarks(

@@ -12,16 +12,21 @@ what a user holds is:
   binds it to a fitted engine, and executes it on any registered
   backend;
 - the backend registry (:mod:`repro.api.backends`) — ``inline``,
-  ``threaded``, ``sharded``, ``session``, all returning byte-identical
-  rankings for the same spec (property-tested), so strategy is a
-  deployment choice, not an API choice;
+  ``threaded``, ``sharded``, ``session``, and ``remote``
+  (:mod:`repro.api.remote` over a :class:`WorkerPool` of TCP
+  workers), all returning byte-identical rankings for the same spec
+  (property-tested), so strategy is a deployment choice, not an API
+  choice;
 - :class:`AuditResult` (:mod:`repro.api.result`) — the one typed
   result: scored items + provenance (backend, spec hash, model
-  fingerprint, timings);
+  fingerprint, timings, per-worker attribution);
 - the versioned wire protocol (:mod:`repro.api.protocol`) and its
   in-repo client (:class:`AuditClient`, :mod:`repro.api.client`) —
-  the same schema the streaming service serves and a future remote
-  backend will speak.
+  the same schema the streaming service serves, over stdio or TCP
+  (``repro.cli serve --listen``), with worker registration
+  (``hello``) and liveness (``health``) ops for the distributed
+  layer (:class:`WorkerEndpoint` / :class:`WorkerPool`,
+  :mod:`repro.api.pool`).
 """
 
 from repro.api import protocol
@@ -34,6 +39,8 @@ from repro.api.backends import (
     register_backend,
 )
 from repro.api.client import AuditClient
+from repro.api.pool import WorkerEndpoint, WorkerPool
+from repro.api.remote import RemoteBackend
 from repro.api.result import AuditProvenance, AuditResult
 from repro.api.spec import (
     SPEC_VERSION,
@@ -54,9 +61,12 @@ __all__ = [
     "AuditSpec",
     "ExecutionBackend",
     "FilterSpec",
+    "RemoteBackend",
     "SceneSource",
     "SpecValidationError",
     "UnknownBackendError",
+    "WorkerEndpoint",
+    "WorkerPool",
     "available_backends",
     "get_backend",
     "protocol",

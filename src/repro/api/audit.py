@@ -143,6 +143,7 @@ class Audit:
         timings["rank_s"] = time.perf_counter() - t0
         timings["total_s"] = time.perf_counter() - t_start
 
+        extras = executor.provenance_extras()
         learned = self.fixy.learned
         provenance = AuditProvenance(
             backend=backend_name,
@@ -152,6 +153,7 @@ class Audit:
             api_version=API_VERSION,
             timings=timings,
             backend_options=options,
+            workers=extras.get("workers"),
         )
         return AuditResult(items=items, spec=self.spec, provenance=provenance)
 
@@ -168,12 +170,18 @@ class Audit:
         released on the next :meth:`close`... immediately below).
         """
         try:
-            key = (name, tuple(sorted(options.items())))
+            key = (
+                name,
+                tuple(
+                    (k, tuple(v) if isinstance(v, list) else v)
+                    for k, v in sorted(options.items())
+                ),
+            )
+            executor = self._executors.get(key)
         except TypeError:
             executor = get_backend(name, **options)
             self._executors[object()] = executor  # still owned + closed
             return executor
-        executor = self._executors.get(key)
         if executor is None:
             executor = get_backend(name, **options)
             self._executors[key] = executor

@@ -3,10 +3,8 @@
 A backend is *how* a validated spec runs, nothing more: every backend
 receives the same fitted engine, the same scenes, and the same compiled
 filter, and must return the same ranking — byte-identical, which the
-``tests/api`` property suite asserts across all four. That equivalence
-is what makes the backend a free choice (and what will make a future
-``remote`` backend — ROADMAP's cross-machine sharding — just one more
-name in this registry):
+``tests/api`` property suite asserts across all five (the ``remote``
+backend lives in :mod:`repro.api.remote` and registers itself here):
 
 ========== ==========================================================
 name       strategy
@@ -20,6 +18,10 @@ sharded    :class:`~repro.serving.sharded.ShardedRanker` process pool
            filters must be picklable — FilterSpec compiles to one)
 session    one incremental :class:`~repro.serving.session.SceneSession`
            per scene (the streaming layer's spliced columnar state)
+remote     :class:`~repro.api.pool.WorkerPool` over N TCP workers
+           (``repro.cli serve --listen``; ``workers``/``timeout``/
+           ``connect_timeout``/``check_model`` options; partitions
+           requeue off dead workers)
 ========== ==========================================================
 
 Backends register by name via :func:`register_backend`; unknown names
@@ -118,6 +120,16 @@ class ExecutionBackend:
 
     def run(self, fixy, spec, scenes, filt) -> list[ScoredItem]:
         raise NotImplementedError
+
+    def provenance_extras(self) -> dict:
+        """Backend-specific provenance from the most recent :meth:`run`.
+
+        Recognized keys are folded into the result's
+        :class:`~repro.api.result.AuditProvenance` — today
+        ``"workers"`` (per-worker partition attribution, the remote
+        backend). Local backends have nothing to add.
+        """
+        return {}
 
     def close(self) -> None:
         """Release any held resources (idempotent)."""

@@ -8,41 +8,101 @@ maps a request dict to a response dict:
   beyond the protocol's own dicts; ideal for tests and embedding);
 - :meth:`AuditClient.over_streams` — line-delimited JSON over a
   reader/writer pair, the framing ``python -m repro.cli serve`` speaks
-  on stdio (and the same framing a socket front end would use — the
-  ROADMAP's remote-worker item rides on exactly this client).
+  on stdio (and the same framing the TCP transport uses);
+- :meth:`AuditClient.connect` — the same framing over a TCP socket to
+  a ``python -m repro.cli serve --listen HOST:PORT`` worker, with a
+  per-request timeout (the transport the ``remote`` backend rides).
 
 Failures come back as :class:`~repro.api.protocol.ProtocolError` with
 the server's structured code — a typo'd rank kind raises the same
 ``unknown_rank_kind`` whether it happened in-process or across a pipe.
+Transport failures are typed too: EOF mid-response raises
+:class:`~repro.api.protocol.StreamClosedError`, a partial or garbage
+response line :class:`~repro.api.protocol.MalformedResponseError`, and
+a missed deadline :class:`~repro.api.protocol.RequestTimeoutError`.
 """
 
 from __future__ import annotations
 
 import json
+import socket as _socket
 
 from repro.api import protocol
 from repro.api.result import AuditResult
 from repro.api.spec import AuditSpec
 
-__all__ = ["AuditClient"]
+__all__ = ["AuditClient", "parse_address"]
+
+
+def parse_address(address) -> tuple[str, int]:
+    """``"host:port"`` (or a ``(host, port)`` pair) → ``(host, port)``."""
+    if isinstance(address, (tuple, list)) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    host, sep, port = str(address).rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"worker address must be 'host:port', got {address!r}"
+        )
+    return host, int(port)
 
 
 class _StreamTransport:
-    """One JSON line out, one JSON line back."""
+    """One JSON line out, one JSON line back, with typed failures.
 
-    def __init__(self, writer, reader):
+    When built over a socket (``sock``), ``timeout`` is applied per
+    request as an *idle* deadline: each underlying socket operation
+    (the write, each read while waiting for the response line) must
+    make progress within ``timeout`` seconds. A silent server trips it;
+    a server that keeps dripping bytes keeps the request alive.
+    """
+
+    def __init__(self, writer, reader, sock=None, timeout: float | None = None):
         self._writer = writer
         self._reader = reader
+        self._sock = sock
+        self.timeout = timeout
 
     def __call__(self, request: dict) -> dict:
-        self._writer.write(json.dumps(request) + "\n")
-        self._writer.flush()
-        line = self._reader.readline()
+        if self._sock is not None:
+            self._sock.settimeout(self.timeout)
+        try:
+            self._writer.write(json.dumps(request) + "\n")
+            self._writer.flush()
+            line = self._reader.readline()
+        except (TimeoutError, _socket.timeout):
+            raise protocol.RequestTimeoutError(
+                f"no response within {self.timeout}s "
+                f"(op {request.get('op')!r})"
+            ) from None
+        except (BrokenPipeError, ConnectionError, OSError, ValueError) as exc:
+            # ValueError covers writes on a stream closed under us.
+            raise protocol.StreamClosedError(
+                f"stream broke mid-request: {exc}"
+            ) from None
         if not line:
-            raise protocol.ProtocolError(
-                protocol.INTERNAL_ERROR, "server closed the stream"
+            raise protocol.StreamClosedError(
+                "server closed the stream before responding"
             )
-        return json.loads(line)
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise protocol.MalformedResponseError(
+                f"response line is not JSON: {exc}"
+            ) from None
+        if not isinstance(response, dict):
+            raise protocol.MalformedResponseError(
+                f"response is not a protocol envelope: "
+                f"{type(response).__name__}"
+            )
+        return response
+
+    def close(self) -> None:
+        for resource in (self._writer, self._reader, self._sock):
+            if resource is not None:
+                try:
+                    resource.close()
+                except OSError:
+                    pass
 
 
 class AuditClient:
@@ -74,6 +134,41 @@ class AuditClient:
     def over_streams(cls, writer, reader) -> "AuditClient":
         """A client speaking line-delimited JSON over ``writer``/``reader``."""
         return cls(_StreamTransport(writer, reader))
+
+    @classmethod
+    def connect(
+        cls,
+        address,
+        timeout: float | None = None,
+        connect_timeout: float | None = 5.0,
+    ) -> "AuditClient":
+        """A client over a fresh TCP connection to ``"host:port"``.
+
+        ``connect_timeout`` bounds the TCP handshake; ``timeout`` is
+        the per-request idle deadline (``None`` = wait forever),
+        raising :class:`~repro.api.protocol.RequestTimeoutError` when
+        missed.
+        Connection refusal/timeouts raise
+        :class:`~repro.api.protocol.StreamClosedError` so callers see
+        one typed failure for "worker not there".
+        """
+        host, port = parse_address(address)
+        try:
+            sock = _socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise protocol.StreamClosedError(
+                f"cannot connect to worker {host}:{port}: {exc}"
+            ) from None
+        return cls(
+            _StreamTransport(
+                sock.makefile("w", encoding="utf-8", newline="\n"),
+                sock.makefile("r", encoding="utf-8", newline="\n"),
+                sock=sock,
+                timeout=timeout,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Protocol plumbing
@@ -168,3 +263,34 @@ class AuditClient:
         """Server-side session-store counters."""
         response = self._call("stats")
         return {k: v for k, v in response.items() if k not in ("ok", "v")}
+
+    def hello(self) -> dict:
+        """The worker's registration card.
+
+        ``{"protocol_version", "model_fingerprint", "capacity",
+        "features", "ops"}`` — what the pool checks before handing a
+        worker any scenes.
+        """
+        response = self._call("hello")
+        return {k: v for k, v in response.items() if k not in ("ok", "v")}
+
+    def health(self) -> dict:
+        """Liveness + serving stats (``status``, ``uptime_s``,
+        ``requests_handled``, session-store counters)."""
+        response = self._call("health")
+        return {k: v for k, v in response.items() if k not in ("ok", "v")}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the transport (a no-op for in-process transports)."""
+        closer = getattr(self._send, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "AuditClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,371 @@
+"""WorkerEndpoint / WorkerPool: N protocol workers as one audit surface.
+
+A *worker* is any process speaking the serving protocol over TCP —
+canonically ``python -m repro.cli serve --listen HOST:PORT``. The pool
+turns a list of worker addresses into a distributed executor:
+
+1. **Register** (:meth:`WorkerPool.connect`): each endpoint answers the
+   ``hello`` op with its protocol version, model fingerprint, and
+   capacity. A version the pool does not speak or a fingerprint that
+   differs from the coordinator's model is fatal
+   (``unsupported_version`` / ``model_mismatch``) — a pool never mixes
+   models, because byte-identical rankings are the contract.
+   Unreachable workers are recorded as unhealthy and skipped.
+2. **Partition** (:func:`partition_scenes`): scenes are split into
+   contiguous, capacity-weighted chunks in scene order. Contiguity is
+   what keeps the final merge byte-identical to the inline backend —
+   :func:`~repro.core.scoring.merge_rankings` breaks score ties by
+   block submission order, and contiguous chunks concatenated in
+   partition order preserve exactly the inline scene order.
+3. **Dispatch**: each partition runs as one ``audit`` request on its
+   worker over a dedicated connection (so requeued partitions never
+   interleave frames on a shared socket). A worker that dies
+   mid-audit — EOF, refused connection, timeout — is retired from the
+   pool and its partition is **requeued** onto the next healthy
+   worker; only when every worker is gone does the pool raise
+   ``worker_unavailable``.
+4. **Merge**: per-partition rankings (each already merged and
+   truncated worker-side) are merged once more in partition order with
+   the coordinator's ``top_k`` — the same two-level merge the sharded
+   backend uses, and provably equal to the single global merge.
+
+The pool reports per-worker attribution (address, partition, scenes,
+seconds, attempts) which the ``remote`` backend surfaces as
+``AuditResult.provenance.workers``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+from repro.api import protocol
+from repro.api.client import AuditClient, parse_address
+from repro.core.scoring import ScoredItem, merge_rankings
+
+__all__ = ["WorkerEndpoint", "WorkerPool", "partition_scenes"]
+
+
+class WorkerEndpoint:
+    """One remote worker address plus its registration state.
+
+    The endpoint itself is cheap — connections are opened per request
+    (:meth:`client`), so a pool can hold endpoints for workers that
+    come and go. State:
+
+    - ``info``: the worker's ``hello`` payload once registered;
+    - ``healthy``: flips False when registration fails or a dispatch
+      sees a transport failure; unhealthy workers get no partitions.
+    """
+
+    def __init__(
+        self,
+        address,
+        timeout: float | None = None,
+        connect_timeout: float | None = 5.0,
+        probe_timeout: float | None = 10.0,
+    ):
+        self.host, self.port = parse_address(address)
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.probe_timeout = probe_timeout
+        self.info: dict | None = None
+        self.healthy = False
+        self.last_error: str | None = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def __repr__(self) -> str:
+        state = "healthy" if self.healthy else "unhealthy"
+        return f"WorkerEndpoint({self.address!r}, {state})"
+
+    @property
+    def capacity(self) -> int:
+        """Advertised capacity (≥1; defaults to 1 until registered)."""
+        if self.info is None:
+            return 1
+        return max(1, int(self.info.get("capacity") or 1))
+
+    def client(self, probe: bool = False) -> AuditClient:
+        """A fresh connection to this worker (caller closes it).
+
+        ``probe`` connections use the short ``probe_timeout`` deadline:
+        hello/health must answer fast, so a worker whose listener
+        accepts but whose process is wedged cannot hang registration —
+        only audit dispatches get the (possibly unbounded) ``timeout``.
+        """
+        return AuditClient.connect(
+            (self.host, self.port),
+            timeout=self.probe_timeout if probe else self.timeout,
+            connect_timeout=self.connect_timeout,
+        )
+
+    def register(self, expected_fingerprint: str | None = ...) -> dict:
+        """``hello`` the worker and validate what it advertises.
+
+        Raises :class:`~repro.api.protocol.ProtocolError` with
+        ``unsupported_version`` for a protocol we do not speak and
+        ``model_mismatch`` when ``expected_fingerprint`` (pass ``None``
+        to require an unfitted worker; the default ``...`` skips the
+        check) differs from the worker's model. Transport failures
+        propagate as typed :class:`~repro.api.protocol.TransportError`.
+        """
+        with self.client(probe=True) as client:
+            info = client.hello()
+        version = info.get("protocol_version")
+        if version != protocol.PROTOCOL_VERSION:
+            raise protocol.ProtocolError(
+                protocol.UNSUPPORTED_VERSION,
+                f"worker {self.address} speaks protocol {version!r}; this "
+                f"pool speaks {protocol.PROTOCOL_VERSION}",
+                details={"worker": self.address},
+            )
+        if expected_fingerprint is not ...:
+            fingerprint = info.get("model_fingerprint")
+            if fingerprint != expected_fingerprint:
+                raise protocol.ProtocolError(
+                    protocol.MODEL_MISMATCH,
+                    f"worker {self.address} serves model "
+                    f"{_short(fingerprint)} but the coordinator audits "
+                    f"with {_short(expected_fingerprint)}; distributed "
+                    "rankings must come from one model",
+                    details={
+                        "worker": self.address,
+                        "worker_fingerprint": fingerprint,
+                        "expected_fingerprint": expected_fingerprint,
+                    },
+                )
+        self.info = info
+        self.healthy = True
+        self.last_error = None
+        return info
+
+    def health(self) -> dict:
+        """One ``health`` probe (marks the endpoint on failure)."""
+        try:
+            with self.client(probe=True) as client:
+                report = client.health()
+        except protocol.TransportError as exc:
+            self.mark_failed(str(exc))
+            raise
+        self.healthy = True
+        return report
+
+    def mark_failed(self, reason: str) -> None:
+        self.healthy = False
+        self.last_error = reason
+
+
+def _short(fingerprint: str | None) -> str:
+    return fingerprint[:12] if fingerprint else "<unfitted>"
+
+
+def partition_scenes(scenes: list, workers: list) -> list[tuple[int, list]]:
+    """Contiguous, capacity-weighted scene chunks in scene order.
+
+    Returns ``[(worker_index, scenes_chunk), ...]`` covering every
+    scene exactly once, chunk boundaries proportional to each worker's
+    advertised capacity (largest-remainder rounding, deterministic).
+    Workers may receive empty chunks only when there are more workers
+    than scenes; empty chunks are dropped.
+    """
+    if not workers:
+        raise protocol.ProtocolError(
+            protocol.WORKER_UNAVAILABLE, "no healthy workers to partition over"
+        )
+    weights = [max(1, int(getattr(w, "capacity", 1))) for w in workers]
+    total_weight = sum(weights)
+    n = len(scenes)
+    shares = [n * w / total_weight for w in weights]
+    counts = [int(s) for s in shares]
+    # Largest remainder (ties broken by worker order) to place the rest.
+    remainders = sorted(
+        range(len(workers)),
+        key=lambda i: (-(shares[i] - counts[i]), i),
+    )
+    for i in remainders[: n - sum(counts)]:
+        counts[i] += 1
+    partitions: list[tuple[int, list]] = []
+    start = 0
+    for index, count in enumerate(counts):
+        if count:
+            partitions.append((index, scenes[start : start + count]))
+            start += count
+    return partitions
+
+
+class WorkerPool:
+    """A set of :class:`WorkerEndpoint` executing audits in parallel.
+
+    Args:
+        workers: Worker addresses (``"host:port"`` strings, ``(host,
+            port)`` pairs, or prebuilt endpoints).
+        timeout: Per-request deadline for audit dispatches (``None``
+            waits forever — rankings can legitimately take a while).
+        connect_timeout: TCP handshake deadline per connection.
+        probe_timeout: Deadline for hello/health probes, always
+            bounded so a wedged-but-accepting worker is skipped at
+            registration instead of hanging the pool.
+    """
+
+    def __init__(
+        self,
+        workers,
+        timeout: float | None = None,
+        connect_timeout: float | None = 5.0,
+        probe_timeout: float | None = 10.0,
+    ):
+        self.endpoints = [
+            w
+            if isinstance(w, WorkerEndpoint)
+            else WorkerEndpoint(
+                w,
+                timeout=timeout,
+                connect_timeout=connect_timeout,
+                probe_timeout=probe_timeout,
+            )
+            for w in workers
+        ]
+        if not self.endpoints:
+            raise ValueError("WorkerPool needs at least one worker address")
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Registration + health
+    # ------------------------------------------------------------------
+    def connect(self, expected_fingerprint: str | None = ...) -> list[dict]:
+        """Register every reachable worker; returns their hello payloads.
+
+        Unreachable workers are marked unhealthy and skipped — the pool
+        degrades, it does not fail — but a *reachable* worker with the
+        wrong protocol version or model fingerprint raises immediately
+        (that is a deployment error, not an outage). Raises
+        ``worker_unavailable`` when no worker registered at all.
+        """
+        infos = []
+        for endpoint in self.endpoints:
+            try:
+                infos.append(endpoint.register(expected_fingerprint))
+            except protocol.TransportError as exc:
+                endpoint.mark_failed(str(exc))
+        if not infos:
+            raise protocol.ProtocolError(
+                protocol.WORKER_UNAVAILABLE,
+                "no workers reachable: "
+                + "; ".join(
+                    f"{e.address}: {e.last_error}" for e in self.endpoints
+                ),
+            )
+        return infos
+
+    def healthy_workers(self) -> list[WorkerEndpoint]:
+        with self._lock:
+            return [e for e in self.endpoints if e.healthy]
+
+    def health(self) -> dict[str, dict | None]:
+        """Probe every endpoint; ``None`` for workers that failed."""
+        out: dict[str, dict | None] = {}
+        for endpoint in self.endpoints:
+            try:
+                out[endpoint.address] = endpoint.health()
+            except protocol.TransportError:
+                out[endpoint.address] = None
+        return out
+
+    # ------------------------------------------------------------------
+    # Distributed audit
+    # ------------------------------------------------------------------
+    def audit(self, spec, scenes) -> tuple[list[ScoredItem], list[dict]]:
+        """Run ``spec`` over ``scenes`` across the healthy workers.
+
+        Returns ``(merged items, worker reports)``. The spec is shipped
+        with ``backend="inline"`` (each worker executes its partition
+        serially — the reference strategy) and without the coordinator's
+        scene source (the scenes travel with the request). Failure of a
+        worker mid-audit requeues its partition; see the module
+        docstring for why the result stays byte-identical.
+        """
+        workers = self.healthy_workers()
+        partitions = partition_scenes(list(scenes), workers)
+        if not partitions:  # no scenes: nothing to dispatch
+            return [], []
+        # What the worker executes: same declaration, inline strategy,
+        # scenes shipped explicitly rather than re-resolved remotely.
+        ship_spec = replace(
+            spec, backend="inline", backend_options={}, scenes=None
+        )
+        reports: list[dict | None] = [None] * len(partitions)
+        blocks: list[list[ScoredItem] | None] = [None] * len(partitions)
+
+        def run_partition(slot: int) -> None:
+            worker_index, chunk = partitions[slot]
+            worker = workers[worker_index]
+            attempts = 0
+            tried: set[str] = set()
+            while True:
+                attempts += 1
+                tried.add(worker.address)
+                t0 = time.perf_counter()
+                try:
+                    with worker.client() as client:
+                        result = client.audit(ship_spec, scenes=chunk)
+                except protocol.TransportError as exc:
+                    with self._lock:
+                        worker.mark_failed(str(exc))
+                    worker = self._replacement(tried)
+                    if worker is None:
+                        raise protocol.ProtocolError(
+                            protocol.WORKER_UNAVAILABLE,
+                            f"partition {slot} ({len(chunk)} scenes) failed "
+                            f"on every worker; last error: {exc}",
+                        ) from exc
+                    continue
+                blocks[slot] = result.items
+                reports[slot] = {
+                    "worker": worker.address,
+                    "partition": slot,
+                    "n_scenes": len(chunk),
+                    "rank_s": time.perf_counter() - t0,
+                    "attempts": attempts,
+                }
+                return
+
+        with ThreadPoolExecutor(max_workers=len(partitions)) as executor:
+            futures = [
+                executor.submit(run_partition, slot)
+                for slot in range(len(partitions))
+            ]
+            for future in futures:
+                future.result()  # re-raise the first partition failure
+
+        merged = merge_rankings(
+            [block for block in blocks if block is not None], spec.top_k
+        )
+        return merged, [report for report in reports if report is not None]
+
+    def _replacement(self, tried: set[str]) -> WorkerEndpoint | None:
+        """A healthy worker not yet tried for this partition (requeue
+        target). Never a tried one — each tried worker was marked
+        unhealthy when it failed, and re-dispatching a partition to the
+        worker that just dropped it would loop, not recover."""
+        for endpoint in self.healthy_workers():
+            if endpoint.address not in tried:
+                return endpoint
+        return None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Forget registration state (connections are per-request)."""
+        for endpoint in self.endpoints:
+            endpoint.healthy = False
+            endpoint.info = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

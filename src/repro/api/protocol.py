@@ -30,6 +30,15 @@ Rules:
   (``StreamingService(accept_legacy=False)``, ``cli serve --strict``)
   reject them with ``unsupported_version``.
 
+Still protocol version 1 (additions are strictly additive): the
+``hello``/``health`` ops register and monitor workers for distributed
+execution (:mod:`repro.api.pool`), and the
+``model_mismatch``/``worker_unavailable``/``request_timeout`` codes
+report distributed failures. Client-side transport failures raise
+typed :class:`TransportError` subclasses (:class:`StreamClosedError`,
+:class:`MalformedResponseError`, :class:`RequestTimeoutError`) carrying
+those same codes.
+
 Typed failures cross the boundary as codes:
 :class:`~repro.core.scoring.UnknownRankKindError` →
 ``unknown_rank_kind``, :class:`~repro.api.backends.UnknownBackendError`
@@ -49,7 +58,11 @@ __all__ = [
     "LEGACY_VERSION",
     "PROTOCOL_VERSION",
     "SUPPORTED_VERSIONS",
+    "MalformedResponseError",
     "ProtocolError",
+    "RequestTimeoutError",
+    "StreamClosedError",
+    "TransportError",
     "classify_exception",
     "error_response",
     "make_request",
@@ -76,6 +89,9 @@ UNKNOWN_RANK_KIND = "unknown_rank_kind"
 UNKNOWN_BACKEND = "unknown_backend"
 INVALID_SPEC = "invalid_spec"
 INTERNAL_ERROR = "internal_error"
+MODEL_MISMATCH = "model_mismatch"
+WORKER_UNAVAILABLE = "worker_unavailable"
+REQUEST_TIMEOUT = "request_timeout"
 
 ERROR_CODES = (
     UNSUPPORTED_VERSION,
@@ -87,6 +103,9 @@ ERROR_CODES = (
     UNKNOWN_BACKEND,
     INVALID_SPEC,
     INTERNAL_ERROR,
+    MODEL_MISMATCH,
+    WORKER_UNAVAILABLE,
+    REQUEST_TIMEOUT,
 )
 
 
@@ -105,6 +124,45 @@ class ProtocolError(Exception):
 
     def __reduce__(self):
         return (type(self), (self.code, self.message, self.details))
+
+
+class TransportError(ProtocolError):
+    """A client-side transport failure (the request never completed).
+
+    Unlike a structured error *response* — which means the server is
+    alive and said no — a transport error means the conversation itself
+    broke: the stream closed, the bytes were not a protocol response,
+    or the deadline passed. Each failure mode is its own subclass with
+    a fixed code, so callers (the worker pool's requeue logic above
+    all) can switch on the type instead of parsing messages.
+    """
+
+    code_class: str = INTERNAL_ERROR
+
+    def __init__(self, message: str, details: dict | None = None):
+        super().__init__(self.code_class, message, details)
+
+    def __reduce__(self):
+        return (type(self), (self.message, self.details))
+
+
+class StreamClosedError(TransportError):
+    """EOF or a broken pipe mid-conversation: the worker is gone."""
+
+    code_class = WORKER_UNAVAILABLE
+
+
+class MalformedResponseError(TransportError):
+    """The server's bytes were not a protocol response (partial or
+    garbage line, or a non-object JSON value)."""
+
+    code_class = BAD_JSON
+
+
+class RequestTimeoutError(TransportError):
+    """The per-request deadline passed with no response line."""
+
+    code_class = REQUEST_TIMEOUT
 
 
 # ---------------------------------------------------------------------------

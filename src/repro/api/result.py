@@ -37,6 +37,11 @@ class AuditProvenance:
         timings: Wall-clock seconds by phase (at least ``rank_s`` and
             ``total_s``).
         backend_options: Options the backend was constructed with.
+        workers: Per-worker partition attribution for distributed
+            execution (``None`` for local backends): one dict per
+            partition with ``worker`` (address), ``partition`` index,
+            ``n_scenes``, ``rank_s``, and ``attempts`` (>1 means the
+            partition was requeued off a dead worker).
     """
 
     backend: str
@@ -46,9 +51,10 @@ class AuditProvenance:
     api_version: int
     timings: dict = field(default_factory=dict)
     backend_options: dict = field(default_factory=dict)
+    workers: list | None = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "backend": self.backend,
             "spec_hash": self.spec_hash,
             "model_fingerprint": self.model_fingerprint,
@@ -57,9 +63,13 @@ class AuditProvenance:
             "timings": dict(self.timings),
             "backend_options": dict(self.backend_options),
         }
+        if self.workers is not None:
+            out["workers"] = [dict(w) for w in self.workers]
+        return out
 
     @staticmethod
     def from_dict(data: Mapping) -> "AuditProvenance":
+        workers = data.get("workers")
         return AuditProvenance(
             backend=data["backend"],
             spec_hash=data["spec_hash"],
@@ -68,6 +78,7 @@ class AuditProvenance:
             api_version=int(data["api_version"]),
             timings=dict(data.get("timings", {})),
             backend_options=dict(data.get("backend_options", {})),
+            workers=[dict(w) for w in workers] if workers is not None else None,
         )
 
 

@@ -15,9 +15,12 @@ Subcommands (also exposed as ``python -m repro.cli``):
 - ``bench``       A/B the scalar reference vs the columnar fast path
                   (compile+rank) and optionally persist the report;
 - ``serve``       run the streaming serving loop: line-delimited JSON
-                  protocol requests on stdin, responses on stdout
-                  (open/edit/rank/audit/close/stats over live scene
-                  sessions; see :mod:`repro.api.protocol`).
+                  protocol requests on stdin, responses on stdout —
+                  or, with ``--listen HOST:PORT``, behind a threaded
+                  TCP listener, which makes the process a worker for
+                  the distributed ``remote`` backend
+                  (open/edit/rank/audit/close/stats/hello/health over
+                  live scene sessions; see :mod:`repro.api.protocol`).
 
 Examples::
 
@@ -28,6 +31,9 @@ Examples::
     python -m repro.cli audit --spec audit.json --out result.json
     python -m repro.cli bench --densities 10 100 --out BENCH_scaling.json
     python -m repro.cli serve --model model.json < requests.jsonl
+    python -m repro.cli serve --model model.json --listen 0.0.0.0:7500 --strict
+    python -m repro.cli audit --paths scene.json --model model.json \
+        --backend remote --workers host1:7500 host2:7500
 
 The ``audit`` and ``serve`` commands are thin clients of
 :mod:`repro.api`; everything they do is equally available in-process.
@@ -115,11 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--top", type=int, default=None, help="keep top K items")
     audit.add_argument(
         "--backend", default="inline",
-        help="execution backend: inline, threaded, sharded, or session",
+        help="execution backend: inline, threaded, sharded, session, "
+        "or remote",
     )
     audit.add_argument(
-        "--workers", type=int, default=None,
-        help="worker processes (sharded backend)",
+        "--workers", nargs="+", default=None, metavar="N|HOST:PORT",
+        help="sharded backend: one process count (--workers 4); remote "
+        "backend: worker addresses (--workers host1:7500 host2:7500)",
+    )
+    audit.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds (remote backend)",
     )
     audit.add_argument(
         "--jobs", type=int, default=None,
@@ -195,6 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="reject version-less (v0) protocol requests with a structured "
         "unsupported_version error instead of the deprecation shim",
     )
+    serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the protocol over TCP instead of stdio (port 0 picks "
+        "a free port; the bound address is announced on stderr as "
+        "'listening on HOST:PORT'); this is the worker mode of the "
+        "remote backend",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=1,
+        help="advertised audit capacity (partition weight in a worker "
+        "pool; default 1)",
+    )
 
     return parser
 
@@ -263,6 +287,7 @@ def _cmd_audit(args) -> int:
         SceneSource,
         UnknownBackendError,
     )
+    from repro.api.protocol import ProtocolError
     from repro.api.spec import SpecValidationError
     from repro.core.scoring import UnknownRankKindError
 
@@ -273,6 +298,7 @@ def _cmd_audit(args) -> int:
         or args.backend != "inline" or args.features != "default"
         or args.split != "val" or args.workers is not None
         or args.jobs is not None or args.model_only
+        or args.timeout is not None
     )
     try:
         if args.spec is not None:
@@ -291,12 +317,42 @@ def _cmd_audit(args) -> int:
                 )
             backend_options = {}
             if args.workers is not None:
-                if args.backend != "sharded":
+                if args.backend == "sharded":
+                    if len(args.workers) != 1 or not args.workers[0].isdigit():
+                        raise SpecValidationError(
+                            "--workers for the sharded backend takes one "
+                            f"process count, got {args.workers!r}"
+                        )
+                    backend_options["n_workers"] = int(args.workers[0])
+                elif args.backend == "remote":
+                    from repro.api.client import parse_address
+
+                    for worker in args.workers:
+                        try:
+                            parse_address(worker)
+                        except ValueError:
+                            raise SpecValidationError(
+                                "--workers for the remote backend takes "
+                                f"HOST:PORT addresses, got {worker!r}"
+                            ) from None
+                    backend_options["workers"] = list(args.workers)
+                else:
                     raise SpecValidationError(
-                        "--workers applies to the sharded backend "
+                        "--workers applies to the sharded (process count) "
+                        "or remote (worker addresses) backend "
                         f"(got --backend {args.backend})"
                     )
-                backend_options["n_workers"] = args.workers
+            elif args.backend == "remote":
+                raise SpecValidationError(
+                    "the remote backend needs --workers HOST:PORT [...]"
+                )
+            if args.timeout is not None:
+                if args.backend != "remote":
+                    raise SpecValidationError(
+                        "--timeout applies to the remote backend "
+                        f"(got --backend {args.backend})"
+                    )
+                backend_options["timeout"] = args.timeout
             if args.jobs is not None:
                 if args.backend != "threaded":
                     raise SpecValidationError(
@@ -334,6 +390,12 @@ def _cmd_audit(args) -> int:
     ) as exc:
         print(f"invalid audit spec: {exc}", file=sys.stderr)
         return 2
+    except ProtocolError as exc:
+        # The distributed failure modes (worker_unavailable,
+        # model_mismatch, request_timeout, ...) — the declaration was
+        # fine, the execution failed.
+        print(f"audit failed: {exc}", file=sys.stderr)
+        return 3
     text = result.to_json(indent=2)
     print(text)
     if args.out:
@@ -417,6 +479,17 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
     from repro.core import Fixy, LearnedModel, default_features, model_error_features
     from repro.serving import StreamingService
 
+    listen_address = None
+    if args.listen is not None:
+        from repro.api.client import parse_address
+
+        try:
+            listen_address = parse_address(args.listen)
+        except ValueError as exc:
+            # Fail before the (slow) model load / fit.
+            print(f"invalid --listen address: {exc}", file=sys.stderr)
+            return 2
+
     features = (
         default_features() if args.features == "default" else model_error_features()
     )
@@ -435,15 +508,37 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
         fixy,
         max_sessions=args.max_sessions,
         accept_legacy=not args.strict,
+        capacity=args.capacity,
     )
     from repro.api.protocol import PROTOCOL_VERSION
 
     print(
         f"serving ({source}); protocol v{PROTOCOL_VERSION}"
         f"{' (strict)' if args.strict else ''}; "
-        "ops: open/edit/rank/audit/close/stats; one JSON request per line",
+        "ops: open/edit/rank/audit/close/stats/hello/health; "
+        "one JSON request per line",
         file=sys.stderr,
     )
+    if listen_address is not None:
+        from repro.serving.tcp import serve_tcp
+
+        host, port = listen_address
+        try:
+            server = serve_tcp(service, host=host, port=port)
+        except OSError as exc:  # port busy, address not bindable, ...
+            print(f"cannot listen on {args.listen}: {exc}", file=sys.stderr)
+            return 2
+        print(f"listening on {server.address}", file=sys.stderr, flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        print(
+            f"served {service.requests_handled} requests", file=sys.stderr
+        )
+        return 0
     handled = service.serve(stdin or sys.stdin, stdout or sys.stdout)
     print(f"served {handled} requests", file=sys.stderr)
     return 0

@@ -68,10 +68,20 @@ class AuditBackendReport:
 
 
 def audit_backend_equivalence(
-    backends: tuple[str, ...] = ("inline", "threaded", "sharded", "session"),
+    backends: tuple[str, ...] = (
+        "inline", "threaded", "sharded", "session", "remote",
+    ),
     top_k: int = 25,
+    n_remote_workers: int = 2,
 ) -> AuditBackendReport:
-    """Run one declarative audit on every backend and compare rankings."""
+    """Run one declarative audit on every backend and compare rankings.
+
+    When ``"remote"`` is among the backends, ``n_remote_workers`` real
+    TCP workers (:class:`repro.serving.TcpWorker`, each a
+    line-JSON protocol server on an ephemeral port — the same surface
+    ``repro.cli serve --listen`` exposes) are spawned in-process and
+    the audit is partitioned across them.
+    """
     from repro.api import Audit, AuditSpec, FilterSpec
     from repro.datasets import SYNTHETIC_INTERNAL
     from repro.eval.experiments import get_dataset
@@ -95,11 +105,23 @@ def audit_backend_equivalence(
         n_scenes=len(scenes),
         n_items=0,
     )
+    workers = []
+    if "remote" in backends:
+        from repro.serving.tcp import TcpWorker
+
+        workers = [
+            TcpWorker(audit.fixy) for _ in range(max(1, n_remote_workers))
+        ]
     reference = None
     try:
         for name in backends:
+            options = (
+                {"workers": [w.address for w in workers]}
+                if name == "remote"
+                else {}
+            )
             t0 = time.perf_counter()
-            result = audit.run(scenes=scenes, backend=name)
+            result = audit.run(scenes=scenes, backend=name, **options)
             seconds = time.perf_counter() - t0
             signature = [
                 (s.scene_id, s.track_id, s.score, s.n_factors)
@@ -111,6 +133,8 @@ def audit_backend_equivalence(
             report.backends.append((name, seconds, signature == reference))
     finally:
         audit.close()
+        for worker in workers:
+            worker.stop()
     return report
 
 

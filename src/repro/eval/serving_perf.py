@@ -15,6 +15,11 @@ tracked:
   :class:`~repro.serving.sharded.ShardedRanker` process pools of
   increasing width, recording throughput and checking the rankings are
   **byte-identical** across all paths.
+- :func:`remote_report` — audit the same batch through the ``remote``
+  backend against 1..N real TCP protocol workers
+  (:class:`repro.serving.TcpWorker`), recording distributed throughput
+  vs the inline reference and checking byte-identity once more — the
+  cross-machine analogue of the sharding comparison.
 
 Timings use best-of-``repeats`` like :mod:`repro.eval.perf`; model
 fitting and grid warmup are excluded (one-time offline preparation).
@@ -31,6 +36,7 @@ from repro.core.compile import compile_scene
 
 __all__ = [
     "delta_vs_full",
+    "remote_report",
     "sharding_report",
     "render_serving_report",
 ]
@@ -207,8 +213,108 @@ def sharding_report(
 
 
 # ----------------------------------------------------------------------
-def render_serving_report(delta: dict | None, sharding: dict | None) -> str:
-    """Human-readable rendering of the two serving reports."""
+def remote_report(
+    n_scenes: int = 6,
+    n_objects: int = 20,
+    worker_counts: Sequence[int] = (1, 2),
+    repeats: int = 3,
+    fixy=None,
+) -> dict:
+    """Inline vs 1..N-TCP-worker audit throughput (+ identity check).
+
+    Spawns ``max(worker_counts)`` in-process TCP workers sharing one
+    warmed engine, runs the same :class:`repro.api.AuditSpec` through
+    the ``inline`` backend and through ``remote`` pools of increasing
+    width, and records best-of-``repeats`` wall-clock, scenes/s, and a
+    byte-identity verdict per width — the distributed row of the
+    scaling trajectory in ``BENCH_scaling.json``.
+    """
+    from repro.api import Audit, AuditSpec
+    from repro.serving.tcp import TcpWorker
+
+    fixy = fixy or _warm_finder()
+    scenes = [
+        _build_scene(n_objects, seed=2000 + i) for i in range(n_scenes)
+    ]
+    spec = AuditSpec(kind="tracks")
+    workers = [TcpWorker(fixy) for _ in range(max(worker_counts))]
+
+    def best_of(fn) -> tuple[float, list]:
+        best, out = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            ranked = fn()
+            elapsed = time.perf_counter() - t0
+            best = min(best, elapsed)
+            out = ranked
+        return best, out
+
+    audit = Audit(spec, fixy=fixy)
+    try:
+        inline_s, inline_result = best_of(
+            lambda: audit.run(scenes=scenes, backend="inline")
+        )
+        reference = _ranking_signature(inline_result.items)
+
+        cases = []
+        identical = True
+        for n_workers in worker_counts:
+            addresses = [w.address for w in workers[:n_workers]]
+            # First call registers the pool (hello round-trips); the
+            # cold/warm split mirrors sharding_report.
+            t0 = time.perf_counter()
+            cold = audit.run(
+                scenes=scenes, backend="remote", workers=addresses
+            )
+            cold_s = time.perf_counter() - t0
+            warm_s, warm = best_of(
+                lambda: audit.run(
+                    scenes=scenes, backend="remote", workers=addresses
+                )
+            )
+            match = (
+                _ranking_signature(cold.items) == reference
+                and _ranking_signature(warm.items) == reference
+            )
+            identical &= match
+            cases.append(
+                {
+                    "n_workers": n_workers,
+                    "cold_ms": round(1e3 * cold_s, 3),
+                    "warm_ms": round(1e3 * warm_s, 3),
+                    "scenes_per_s": (
+                        round(n_scenes / warm_s, 2) if warm_s > 0 else None
+                    ),
+                    "byte_identical": match,
+                    "partitions": [
+                        {"worker": w["worker"], "n_scenes": w["n_scenes"]}
+                        for w in (warm.provenance.workers or [])
+                    ],
+                }
+            )
+    finally:
+        audit.close()
+        for worker in workers:
+            worker.stop()
+    return {
+        "n_scenes": n_scenes,
+        "n_objects": n_objects,
+        "repeats": repeats,
+        "inline_ms": round(1e3 * inline_s, 3),
+        "inline_scenes_per_s": (
+            round(n_scenes / inline_s, 2) if inline_s > 0 else None
+        ),
+        "n_ranked": len(inline_result.items),
+        "byte_identical": identical,
+        "worker_cases": cases,
+    }
+
+
+# ----------------------------------------------------------------------
+def render_serving_report(
+    delta: dict | None, sharding: dict | None, remote: dict | None = None
+) -> str:
+    """Human-readable rendering of the serving reports."""
     lines = ["Serving layer: delta recompilation and process sharding"]
     if delta is not None:
         lines.append(
@@ -230,5 +336,19 @@ def render_serving_report(delta: dict | None, sharding: dict | None) -> str:
                 f"{case['cold_ms']:.1f} ms, warm {case['warm_ms']:.1f} ms "
                 f"({case['scenes_per_s']:.1f} scenes/s), cache "
                 f"{case['cache_hits']}h/{case['cache_misses']}m"
+            )
+    if remote is not None:
+        lines.append(
+            f"  remote audit of {remote['n_scenes']} scenes "
+            f"({remote['n_objects']} objects each): inline "
+            f"{remote['inline_ms']:.1f} ms "
+            f"({remote['inline_scenes_per_s']:.1f} scenes/s), "
+            f"byte-identical={remote['byte_identical']}"
+        )
+        for case in remote["worker_cases"]:
+            lines.append(
+                f"    {case['n_workers']} TCP worker(s): cold "
+                f"{case['cold_ms']:.1f} ms, warm {case['warm_ms']:.1f} ms "
+                f"({case['scenes_per_s']:.1f} scenes/s)"
             )
     return "\n".join(lines)

@@ -30,7 +30,10 @@ compile pipeline:
   (:mod:`repro.api.protocol`) over the store (``python -m repro.cli
   serve``; the in-repo client is
   :class:`repro.api.AuditClient`, and version-less v0 requests are
-  still answered through a deprecation shim).
+  still answered through a deprecation shim);
+- :mod:`repro.serving.tcp` — the same protocol behind a threaded TCP
+  listener (``repro.cli serve --listen HOST:PORT``); each worker in
+  the distributed ``remote`` backend is one of these.
 
 Everything here is an execution strategy behind the unified audit API:
 :class:`repro.api.AuditSpec` runs on the session and sharded layers via
@@ -53,8 +56,12 @@ from repro.serving.session import SceneSession, SessionStats
 from repro.serving.sharded import ShardedRanker
 from repro.serving.store import SessionStore
 from repro.serving.service import StreamingService
+from repro.serving.tcp import ProtocolTCPServer, TcpWorker, serve_tcp
 
 __all__ = [
+    "ProtocolTCPServer",
+    "TcpWorker",
+    "serve_tcp",
     "InsertBundle",
     "InsertObservation",
     "InsertTrack",

@@ -20,6 +20,11 @@ audit    ``spec`` (AuditSpec.to_dict) + ``session_id`` *or*
          (AuditResult.to_dict)
 close    ``session_id`` → ``closed``
 stats    → store counters
+hello    → ``protocol_version``, ``model_fingerprint``, ``capacity``,
+         ``features``, ``ops`` (worker registration — what a
+         :class:`~repro.api.pool.WorkerPool` checks before dispatch)
+health   → ``status``, ``uptime_s``, ``requests_handled`` + store
+         counters (liveness probe)
 ======== ==============================================================
 
 Every v1 request and response carries ``"v"``; failures come back as
@@ -66,15 +71,38 @@ class StreamingService:
         accept_legacy: Answer version-less (v0) requests in the v0
             dialect with a :class:`DeprecationWarning` (default). When
             false, such requests get ``unsupported_version``.
+        capacity: Advertised audit capacity (a unitless weight the
+            worker pool uses to size scene partitions; a worker with
+            capacity 2 gets roughly twice the scenes of one with 1).
     """
 
-    def __init__(self, fixy, max_sessions: int = 32, accept_legacy: bool = True):
+    def __init__(
+        self,
+        fixy,
+        max_sessions: int = 32,
+        accept_legacy: bool = True,
+        capacity: int = 1,
+    ):
         self.store = SessionStore(fixy, max_sessions=max_sessions)
         self.accept_legacy = accept_legacy
+        self.capacity = int(capacity)
+        self.requests_handled = 0
+        self._started = time.time()
+        self._ops = {
+            "open": self._op_open,
+            "edit": self._op_edit,
+            "rank": self._op_rank,
+            "audit": self._op_audit,
+            "close": self._op_close,
+            "stats": self._op_stats,
+            "hello": self._op_hello,
+            "health": self._op_health,
+        }
 
     # ------------------------------------------------------------------
     def handle(self, request: dict) -> dict:
         """Process one request dict; always returns a response dict."""
+        self.requests_handled += 1
         try:
             version = protocol.negotiate_version(request, self.accept_legacy)
         except protocol.ProtocolError as exc:
@@ -83,19 +111,12 @@ class StreamingService:
             )
         try:
             op = request.get("op")
-            handler = {
-                "open": self._op_open,
-                "edit": self._op_edit,
-                "rank": self._op_rank,
-                "audit": self._op_audit,
-                "close": self._op_close,
-                "stats": self._op_stats,
-            }.get(op)
+            handler = self._ops.get(op)
             if handler is None:
                 raise protocol.ProtocolError(
                     protocol.UNKNOWN_OP,
-                    f"unknown op {op!r}; expected open, edit, rank, audit, "
-                    "close, or stats",
+                    f"unknown op {op!r}; expected one of "
+                    f"{', '.join(sorted(self._ops))}",
                 )
             payload = handler(request)
         except Exception as exc:  # protocol boundary: report, don't die
@@ -209,3 +230,32 @@ class StreamingService:
 
     def _op_stats(self, request: dict) -> dict:
         return self.store.stats()
+
+    def _op_hello(self, request: dict) -> dict:
+        """Worker registration: who am I, what do I serve, how much.
+
+        The worker pool (:mod:`repro.api.pool`) calls this once per
+        worker before dispatching scenes — the fingerprint is how a
+        coordinator proves every worker scores with the *same* model
+        (the byte-identity precondition across machines).
+        """
+        learned = self.store.fixy.learned
+        return {
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "model_fingerprint": (
+                learned.fingerprint() if learned is not None else None
+            ),
+            "capacity": self.capacity,
+            "features": [f.name for f in self.store.fixy.features],
+            "ops": sorted(self._ops),
+        }
+
+    def _op_health(self, request: dict) -> dict:
+        """Liveness + stats: cheap enough to poll between audits."""
+        return {
+            "status": "ok",
+            "uptime_s": time.time() - self._started,
+            "requests_handled": self.requests_handled,
+            "capacity": self.capacity,
+            **self.store.stats(),
+        }

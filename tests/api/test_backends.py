@@ -19,7 +19,12 @@ from repro.api.backends import _BACKENDS
 
 from tests.core.conftest import make_obs, make_track, scene_of
 
-ALL_BACKENDS = ("inline", "threaded", "sharded", "session")
+ALL_BACKENDS = ("inline", "threaded", "sharded", "session", "remote")
+
+
+def backend_options(backend: str, workers) -> dict:
+    """Per-run options: the remote backend needs the live worker pool."""
+    return {"workers": list(workers)} if backend == "remote" else {}
 
 
 def random_scenes(seed: int, n_scenes: int):
@@ -61,13 +66,17 @@ def signature(result):
 
 class TestBackendEquivalence:
     @pytest.mark.parametrize("kind", ["tracks", "bundles", "observations"])
-    def test_all_backends_identical_per_kind(self, api_fixy, kind):
+    def test_all_backends_identical_per_kind(self, api_fixy, tcp_workers, kind):
         spec = AuditSpec(kind=kind, top_k=20)
         scenes = random_scenes(seed=7, n_scenes=2)
         reference = None
         with Audit(spec, fixy=api_fixy) as audit:
             for backend in ALL_BACKENDS:
-                result = audit.run(scenes=scenes, backend=backend)
+                result = audit.run(
+                    scenes=scenes,
+                    backend=backend,
+                    **backend_options(backend, tcp_workers),
+                )
                 assert result.provenance.backend == backend
                 if reference is None:
                     reference = signature(result)
@@ -84,10 +93,11 @@ class TestBackendEquivalence:
         filtered=st.booleans(),
     )
     def test_equivalence_property(
-        self, api_fixy, seed, n_scenes, kind, top_k, filtered
+        self, api_fixy, tcp_workers, seed, n_scenes, kind, top_k, filtered
     ):
-        """inline/threaded/sharded/session return byte-identical rankings
-        for the same AuditSpec on randomized scenes."""
+        """inline/threaded/sharded/session/remote return byte-identical
+        rankings for the same AuditSpec on randomized scenes (remote
+        runs over 2 real TCP workers)."""
         spec = AuditSpec(
             kind=kind,
             top_k=top_k,
@@ -98,7 +108,11 @@ class TestBackendEquivalence:
         scenes = random_scenes(seed=seed, n_scenes=n_scenes)
         with Audit(spec, fixy=api_fixy) as audit:
             results = {
-                backend: audit.run(scenes=scenes, backend=backend)
+                backend: audit.run(
+                    scenes=scenes,
+                    backend=backend,
+                    **backend_options(backend, tcp_workers),
+                )
                 for backend in ALL_BACKENDS
             }
         reference = signature(results["inline"])
@@ -107,12 +121,16 @@ class TestBackendEquivalence:
         if top_k is not None:
             assert len(reference) <= top_k
 
-    def test_spec_hash_constant_across_backends(self, api_fixy):
+    def test_spec_hash_constant_across_backends(self, api_fixy, tcp_workers):
         spec = AuditSpec(kind="tracks", top_k=5)
         scenes = random_scenes(seed=3, n_scenes=1)
         with Audit(spec, fixy=api_fixy) as audit:
             hashes = {
-                audit.run(scenes=scenes, backend=b).provenance.spec_hash
+                audit.run(
+                    scenes=scenes,
+                    backend=b,
+                    **backend_options(b, tcp_workers),
+                ).provenance.spec_hash
                 for b in ALL_BACKENDS
             }
         assert hashes == {spec.spec_hash()}
@@ -145,7 +163,7 @@ class TestBackendEquivalence:
 
 
 class TestRegistry:
-    def test_four_builtin_backends(self):
+    def test_five_builtin_backends(self):
         assert set(ALL_BACKENDS) <= set(available_backends())
 
     def test_unknown_backend_is_typed_and_lists_valid(self):

@@ -1,0 +1,294 @@
+"""Distributed execution: worker registration (hello/health), scene
+partitioning, the remote backend, and mid-audit failure requeue."""
+
+import socket
+
+import pytest
+
+from repro.api import (
+    Audit,
+    AuditResult,
+    AuditSpec,
+    FilterSpec,
+    SpecValidationError,
+    WorkerEndpoint,
+    WorkerPool,
+    get_backend,
+    protocol,
+)
+from repro.api.pool import partition_scenes
+from repro.serving import StreamingService
+from repro.serving.tcp import TcpWorker
+
+from tests.serving.conftest import model_scene
+
+
+def dead_address() -> str:
+    """An address nothing listens on (bound, then immediately closed)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return "127.0.0.1:%d" % sock.getsockname()[1]
+
+
+def signature(items, kind="tracks"):
+    return [s.to_dict(kind) for s in items]
+
+
+class TestRegistration:
+    def test_hello_registers_version_fingerprint_capacity(
+        self, api_fixy, tcp_workers
+    ):
+        pool = WorkerPool(tcp_workers)
+        infos = pool.connect()
+        assert len(infos) == 2
+        expected = api_fixy.learned.fingerprint()
+        for endpoint, info in zip(pool.endpoints, infos):
+            assert endpoint.healthy
+            assert info["protocol_version"] == protocol.PROTOCOL_VERSION
+            assert info["model_fingerprint"] == expected
+            assert info["capacity"] == 1
+            assert "audit" in info["ops"] and "health" in info["ops"]
+
+    def test_model_mismatch_is_fatal(self, tcp_workers):
+        pool = WorkerPool(tcp_workers)
+        with pytest.raises(protocol.ProtocolError) as exc:
+            pool.connect(expected_fingerprint="0000deadbeef0000")
+        assert exc.value.code == "model_mismatch"
+        assert exc.value.details["worker"] in tcp_workers
+
+    def test_unreachable_worker_skipped_not_fatal(self, tcp_workers):
+        pool = WorkerPool([dead_address(), tcp_workers[0]])
+        infos = pool.connect()
+        assert len(infos) == 1
+        assert [e.address for e in pool.healthy_workers()] == [tcp_workers[0]]
+        assert pool.endpoints[0].last_error
+
+    def test_all_unreachable_raises_worker_unavailable(self):
+        pool = WorkerPool([dead_address(), dead_address()])
+        with pytest.raises(protocol.ProtocolError) as exc:
+            pool.connect()
+        assert exc.value.code == "worker_unavailable"
+
+    def test_health_probe(self, tcp_workers):
+        pool = WorkerPool(tcp_workers)
+        pool.connect()
+        reports = pool.health()
+        for address in tcp_workers:
+            report = reports[address]
+            assert report["status"] == "ok"
+            assert report["uptime_s"] >= 0
+            assert report["requests_handled"] >= 1  # at least the hello
+
+    def test_health_marks_dead_worker(self, tcp_workers):
+        pool = WorkerPool([tcp_workers[0], dead_address()])
+        pool.connect()
+        reports = pool.health()
+        assert reports[tcp_workers[0]]["status"] == "ok"
+        assert reports[pool.endpoints[1].address] is None
+        assert not pool.endpoints[1].healthy
+
+    def test_wedged_worker_skipped_by_probe_timeout(self, tcp_workers):
+        """A listener that accepts but never answers cannot hang
+        registration: the bounded probe deadline skips it."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        wedged = "127.0.0.1:%d" % listener.getsockname()[1]
+        try:
+            pool = WorkerPool([wedged, tcp_workers[0]], probe_timeout=0.3)
+            infos = pool.connect()
+            assert len(infos) == 1
+            assert [e.address for e in pool.healthy_workers()] == [
+                tcp_workers[0]
+            ]
+            assert "no response" in pool.endpoints[0].last_error
+        finally:
+            listener.close()
+
+    def test_capacity_weighting_from_hello(self, api_fixy):
+        with TcpWorker(api_fixy, capacity=3) as worker:
+            pool = WorkerPool([worker.address])
+            pool.connect()
+            assert pool.endpoints[0].capacity == 3
+
+
+class TestPartitioning:
+    def test_contiguous_cover_in_order(self):
+        scenes = list(range(10))
+        workers = [WorkerEndpoint("h:1"), WorkerEndpoint("h:2")]
+        parts = partition_scenes(scenes, workers)
+        assert [chunk for _, chunk in parts] == [scenes[:5], scenes[5:]]
+
+    def test_capacity_weighted(self):
+        scenes = list(range(9))
+        heavy = WorkerEndpoint("h:1")
+        heavy.info = {"capacity": 2}
+        parts = partition_scenes(scenes, [heavy, WorkerEndpoint("h:2")])
+        assert [len(chunk) for _, chunk in parts] == [6, 3]
+        # Still contiguous and in order.
+        assert [s for _, chunk in parts for s in chunk] == scenes
+
+    def test_more_workers_than_scenes_drops_empty_chunks(self):
+        workers = [WorkerEndpoint(f"h:{i}") for i in range(4)]
+        parts = partition_scenes([1], workers)
+        assert len(parts) == 1 and parts[0][1] == [1]
+
+    def test_no_workers_raises(self):
+        with pytest.raises(protocol.ProtocolError) as exc:
+            partition_scenes([1, 2], [])
+        assert exc.value.code == "worker_unavailable"
+
+
+class TestRemoteBackend:
+    def test_requires_workers_option(self):
+        with pytest.raises(SpecValidationError, match="rejected options"):
+            get_backend("remote")
+
+    def test_default_dispatch_timeout_is_finite(self):
+        """Silent worker death must eventually trip the deadline and
+        requeue — waiting forever is opt-in, not the default."""
+        backend = get_backend("remote", workers=["h:1"])
+        assert backend.timeout == type(backend).DEFAULT_TIMEOUT
+        assert backend.timeout is not None and backend.timeout > 0
+
+    def test_spec_with_backend_remote_round_trips(self, tcp_workers):
+        spec = AuditSpec(kind="tracks", top_k=5).with_backend(
+            "remote", workers=list(tcp_workers), timeout=30.0
+        )
+        restored = AuditSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.backend_options["workers"] == list(tcp_workers)
+
+    def test_provenance_worker_attribution(self, api_fixy, tcp_workers):
+        spec = AuditSpec(kind="tracks", top_k=10)
+        scenes = [model_scene(f"attr-{i}", n_tracks=3) for i in range(4)]
+        with Audit(spec, fixy=api_fixy) as audit:
+            result = audit.run(
+                scenes=scenes, backend="remote", workers=list(tcp_workers)
+            )
+        reports = result.provenance.workers
+        assert reports is not None and len(reports) == 2
+        assert {r["worker"] for r in reports} == set(tcp_workers)
+        assert sum(r["n_scenes"] for r in reports) == len(scenes)
+        assert all(r["rank_s"] >= 0 and r["attempts"] == 1 for r in reports)
+        # Attribution survives the JSON round-trip.
+        restored = AuditResult.from_json(result.to_json())
+        assert restored.provenance.workers == reports
+        # Local backends have no worker attribution.
+        with Audit(spec, fixy=api_fixy) as audit:
+            assert audit.run(scenes=scenes).provenance.workers is None
+
+    def test_remote_matches_inline_with_filter(self, api_fixy, tcp_workers):
+        spec = AuditSpec(
+            kind="tracks",
+            top_k=6,
+            filters=FilterSpec(has_model=True, has_human=False),
+        )
+        scenes = [model_scene(f"filt-{i}", n_tracks=4) for i in range(3)]
+        with Audit(spec, fixy=api_fixy) as audit:
+            inline = audit.run(scenes=scenes)
+            remote = audit.run(
+                scenes=scenes, backend="remote", workers=list(tcp_workers)
+            )
+        assert signature(remote.items) == signature(inline.items)
+
+    def test_model_mismatch_via_audit(self, tcp_workers):
+        """A coordinator fitted on different data must refuse the pool."""
+        from repro.core import Fixy, default_features
+        from tests.core.conftest import moving_track, scene_of
+
+        other = Fixy(default_features()).fit(
+            [
+                scene_of(
+                    [
+                        moving_track(
+                            f"other-{i}", n_frames=10, speed=1.0,
+                            start_x=5.0 * i, jitter=0.05, seed=50 + i,
+                        )
+                        for i in range(6)
+                    ],
+                    scene_id="other-train",
+                )
+            ]
+        )
+        other.warmup_fast_eval()
+        spec = AuditSpec(kind="tracks")
+        with Audit(spec, fixy=other) as audit:
+            with pytest.raises(protocol.ProtocolError) as exc:
+                audit.run(
+                    scenes=[model_scene("mm")],
+                    backend="remote",
+                    workers=list(tcp_workers),
+                )
+        assert exc.value.code == "model_mismatch"
+
+    def test_no_workers_reachable_via_audit(self, api_fixy):
+        spec = AuditSpec(kind="tracks")
+        with Audit(spec, fixy=api_fixy) as audit:
+            with pytest.raises(protocol.ProtocolError) as exc:
+                audit.run(
+                    scenes=[model_scene("nw")],
+                    backend="remote",
+                    workers=[dead_address()],
+                )
+        assert exc.value.code == "worker_unavailable"
+
+
+class _DyingService(StreamingService):
+    """Accepts hello/health but drops the connection on the first
+    ``audit`` — a worker that dies mid-audit, as the client sees it."""
+
+    def __init__(self, fixy, **kw):
+        super().__init__(fixy, **kw)
+        self.audits_seen = 0
+
+    def handle(self, request):
+        if request.get("op") == "audit":
+            self.audits_seen += 1
+            # SystemExit skips every except-Exception layer (service,
+            # socketserver) and threads swallow it silently: the
+            # connection just drops, exactly like a killed process.
+            raise SystemExit("simulated worker death")
+        return super().handle(request)
+
+
+@pytest.mark.filterwarnings(
+    # The simulated death intentionally kills handler threads.
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+class TestRequeue:
+    def test_partition_requeued_off_dead_worker(self, api_fixy):
+        """Acceptance: an audit over 2 workers survives one dying
+        mid-audit; the partition is requeued and the merged ranking is
+        byte-identical to inline."""
+        dying = _DyingService(api_fixy)
+        with TcpWorker(service=dying) as bad, TcpWorker(api_fixy) as good:
+            spec = AuditSpec(kind="tracks", top_k=8)
+            scenes = [model_scene(f"rq-{i}", n_tracks=3) for i in range(4)]
+            with Audit(spec, fixy=api_fixy) as audit:
+                inline = audit.run(scenes=scenes)
+                remote = audit.run(
+                    scenes=scenes,
+                    backend="remote",
+                    workers=[bad.address, good.address],
+                )
+            assert dying.audits_seen == 1  # the doomed dispatch happened
+            assert signature(remote.items) == signature(inline.items)
+            reports = remote.provenance.workers
+            assert {r["worker"] for r in reports} == {good.address}
+            assert sum(r["n_scenes"] for r in reports) == len(scenes)
+            # The requeued partition records its extra attempt.
+            assert sorted(r["attempts"] for r in reports) == [1, 2]
+
+    def test_all_workers_dead_mid_audit_raises(self, api_fixy):
+        with TcpWorker(service=_DyingService(api_fixy)) as only:
+            spec = AuditSpec(kind="tracks")
+            with Audit(spec, fixy=api_fixy) as audit:
+                with pytest.raises(protocol.ProtocolError) as exc:
+                    audit.run(
+                        scenes=[model_scene("dead")],
+                        backend="remote",
+                        workers=[only.address],
+                    )
+            assert exc.value.code == "worker_unavailable"
+            assert "partition" in exc.value.message

@@ -1,7 +1,10 @@
 """Versioned wire protocol: negotiation, structured errors, the client,
+transport hardening (EOF / garbage / timeout), worker registration ops,
 and the legacy (v0) deprecation shim."""
 
+import io
 import json
+import socket
 import threading
 
 import pytest
@@ -172,6 +175,20 @@ class TestClient:
         assert len(result.items) == 2
         assert result.provenance.backend == "session"
 
+    def test_hello_and_health_ops(self, service, api_fixy):
+        client = AuditClient.local(service=service)
+        hello = client.hello()
+        assert hello["protocol_version"] == protocol.PROTOCOL_VERSION
+        assert hello["model_fingerprint"] == api_fixy.learned.fingerprint()
+        assert hello["capacity"] == 1
+        assert set(hello["ops"]) >= {"audit", "hello", "health", "rank"}
+        assert hello["features"]  # advertised feature names
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0
+        assert health["requests_handled"] >= 1
+        assert "live_sessions" in health
+
     def test_over_streams_transport(self, api_fixy):
         """The client speaks the line-JSON framing `cli serve` uses,
         against a real serve() loop over OS pipes."""
@@ -204,3 +221,86 @@ class TestClient:
             server_out.close()
             client_reader.close()
         assert not server.is_alive()
+
+
+def stream_client(response_text: str) -> AuditClient:
+    """A client whose 'server' is a canned byte stream."""
+    return AuditClient.over_streams(
+        writer=io.StringIO(), reader=io.StringIO(response_text)
+    )
+
+
+class TestTransportHardening:
+    """EOF, garbage, and timeout are typed ProtocolError subclasses —
+    never a raw json/OSError escaping to the caller."""
+
+    def test_eof_mid_response_is_stream_closed(self):
+        client = stream_client("")  # server died before answering
+        with pytest.raises(protocol.StreamClosedError) as exc:
+            client.stats()
+        assert exc.value.code == "worker_unavailable"
+        assert isinstance(exc.value, protocol.ProtocolError)
+
+    def test_garbage_line_is_malformed_response(self):
+        for bad in ('{"ok": true, "v":', "not json at all", "[1, 2, 3]"):
+            client = stream_client(bad + "\n")
+            with pytest.raises(protocol.MalformedResponseError) as exc:
+                client.stats()
+            assert exc.value.code == "bad_json"
+
+    def test_closed_stream_write_is_stream_closed(self):
+        writer = io.StringIO()
+        writer.close()
+        client = AuditClient.over_streams(writer=writer, reader=io.StringIO())
+        with pytest.raises(protocol.StreamClosedError):
+            client.stats()
+
+    def test_request_timeout_over_real_socket(self):
+        """A silent server trips the per-request deadline with a typed
+        RequestTimeoutError, and the deadline is per request."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        try:
+            client = AuditClient.connect(
+                "127.0.0.1:%d" % listener.getsockname()[1], timeout=0.2
+            )
+            conn, _ = listener.accept()  # connected, but never respond
+            with pytest.raises(protocol.RequestTimeoutError) as exc:
+                client.stats()
+            assert exc.value.code == "request_timeout"
+            assert "stats" in exc.value.message
+            client.close()
+            conn.close()
+        finally:
+            listener.close()
+
+    def test_connect_refused_is_stream_closed(self):
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        with pytest.raises(protocol.StreamClosedError):
+            AuditClient.connect(f"127.0.0.1:{port}", connect_timeout=0.5)
+
+    def test_transport_errors_pickle_round_trip(self):
+        import pickle
+
+        for err in (
+            protocol.StreamClosedError("gone", details={"worker": "h:1"}),
+            protocol.MalformedResponseError("junk"),
+            protocol.RequestTimeoutError("slow"),
+        ):
+            clone = pickle.loads(pickle.dumps(err))
+            assert type(clone) is type(err)
+            assert clone.code == err.code
+            assert clone.message == err.message
+            assert clone.details == err.details
+
+    def test_parse_address_forms(self):
+        from repro.api.client import parse_address
+
+        assert parse_address("localhost:7500") == ("localhost", 7500)
+        assert parse_address(("10.0.0.1", 80)) == ("10.0.0.1", 80)
+        for bad in ("no-port", ":7500", "host:notanumber"):
+            with pytest.raises(ValueError):
+                parse_address(bad)

@@ -49,6 +49,13 @@ def test_smoke_writes_full_report(harness_module, tmp_path, capsys):
     assert sharding["process_cases"][0]["n_workers"] == 1
     assert sharding["process_cases"][0]["scenes_per_s"] > 0
 
+    remote = serving["remote"]
+    assert remote["byte_identical"] is True
+    assert remote["worker_cases"][0]["n_workers"] == 2  # --smoke sweep
+    assert remote["worker_cases"][0]["scenes_per_s"] > 0
+    partitions = remote["worker_cases"][0]["partitions"]
+    assert sum(p["n_scenes"] for p in partitions) == remote["n_scenes"]
+
     assert "pytest_benchmarks" not in report  # --smoke skips the child run
 
     printed = capsys.readouterr().out

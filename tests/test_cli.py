@@ -1,6 +1,10 @@
 """Tests for the command-line interface."""
 
 import json
+import re
+import socket
+import subprocess
+import sys
 
 import pytest
 
@@ -153,6 +157,212 @@ class TestAudit:
         assert args.backend == "inline"
         assert args.kind == "tracks"
         assert args.split == "val"
+
+    def test_audit_workers_flag_validation(self, capsys):
+        cases = [
+            # sharded takes one process count, not addresses
+            (["--backend", "sharded", "--workers", "a:1"], "process count"),
+            (["--backend", "sharded", "--workers", "2", "3"], "process count"),
+            # remote takes addresses, and requires them
+            (["--backend", "remote", "--workers", "nocolon"], "HOST:PORT"),
+            (["--backend", "remote", "--workers", "host:nan"], "HOST:PORT"),
+            (["--backend", "remote"], "--workers"),
+            # timeout is a remote-only knob
+            (["--timeout", "5"], "--timeout applies"),
+        ]
+        for flags, needle in cases:
+            code = main(["audit", "--profile", "internal"] + flags)
+            assert code == 2, flags
+            assert needle in capsys.readouterr().err, flags
+
+    def test_audit_remote_execution_failure_is_clean(self, capsys):
+        """A protocol failure (no worker listening) is reported as a
+        clean 'audit failed' with its own exit code, not a traceback."""
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            dead = "127.0.0.1:%d" % sock.getsockname()[1]
+        code = main(
+            ["audit", "--profile", "internal", "--train", "2", "--val", "1",
+             "--backend", "remote", "--workers", dead]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "audit failed" in err and "worker_unavailable" in err
+
+    def test_audit_sharded_workers_count_still_parses(self):
+        args = build_parser().parse_args(
+            ["audit", "--profile", "internal", "--backend", "sharded",
+             "--workers", "4"]
+        )
+        assert args.workers == ["4"]
+
+    def test_serve_listen_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--listen", "0.0.0.0:7500", "--capacity", "3",
+             "--strict"]
+        )
+        assert args.listen == "0.0.0.0:7500"
+        assert args.capacity == 3
+        assert args.strict is True
+
+    def test_serve_bad_listen_address_fails_before_model_load(self, capsys):
+        for bad in ("7500", "no-port-here", "host:nan"):
+            code = main(["serve", "--listen", bad])
+            assert code == 2
+            assert "invalid --listen address" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# The TCP transport: `serve --listen` workers as real subprocesses.
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def served_artifacts(tmp_path_factory):
+    """A saved model + scene files shared by the TCP serve tests."""
+    from tests.serving.conftest import build_training_scenes, model_scene
+    from repro.core import Fixy, default_features
+
+    tmp = tmp_path_factory.mktemp("cli-tcp")
+    fixy = Fixy(default_features()).fit(build_training_scenes())
+    fixy.warmup_fast_eval()
+    model_path = tmp / "model.json"
+    fixy.learned.save(model_path, include_grids=True)
+    scene_paths = []
+    for i in range(2):
+        path = tmp / f"scene-{i}.json"
+        model_scene(f"cli-tcp-{i}", n_tracks=4).save(path)
+        scene_paths.append(str(path))
+    return {
+        "model_path": str(model_path),
+        "fingerprint": fixy.learned.fingerprint(),
+        "scene_paths": scene_paths,
+    }
+
+
+def spawn_serve(model_path: str, *extra_flags: str) -> subprocess.Popen:
+    """`python -m repro.cli serve --listen 127.0.0.1:0 ...`; the bound
+    address is parsed off stderr and stored on ``proc.address``."""
+    import os
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--model", model_path,
+         "--listen", "127.0.0.1:0", *extra_flags],
+        stderr=subprocess.PIPE,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    for line in proc.stderr:
+        found = re.search(r"listening on (\S+)", line)
+        if found:
+            proc.address = found.group(1)
+            return proc
+    proc.terminate()
+    raise RuntimeError("serve --listen never announced its address")
+
+
+@pytest.fixture(scope="module")
+def strict_worker(served_artifacts):
+    proc = spawn_serve(served_artifacts["model_path"], "--strict")
+    yield proc
+    proc.terminate()
+    proc.wait(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def legacy_worker(served_artifacts):
+    proc = spawn_serve(served_artifacts["model_path"], "--capacity", "2")
+    yield proc
+    proc.terminate()
+    proc.wait(timeout=10)
+
+
+def raw_request(address: str, payload: dict) -> dict:
+    """One raw JSON line to a worker, bypassing the typed client (the
+    only way to send version-less v0 requests)."""
+    host, port = address.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=10) as sock:
+        sock.sendall((json.dumps(payload) + "\n").encode())
+        reader = sock.makefile("r")
+        return json.loads(reader.readline())
+
+
+class TestServeListen:
+    """The stdio protocol behind TCP: strict mode, the v0 shim, worker
+    registration, and the remote backend end-to-end via the CLI."""
+
+    def test_strict_rejects_v0_over_tcp(self, strict_worker):
+        response = raw_request(strict_worker.address, {"op": "stats"})
+        assert response["ok"] is False
+        assert response["v"] == 1
+        assert response["error"]["code"] == "unsupported_version"
+
+    def test_strict_answers_v1_over_tcp(self, strict_worker):
+        response = raw_request(strict_worker.address, {"v": 1, "op": "stats"})
+        assert response["ok"] is True
+        assert response["v"] == 1
+
+    def test_v0_shim_over_tcp(self, legacy_worker):
+        """A version-less request over TCP is answered in the v0
+        dialect (no "v", string errors) — the deprecation shim is
+        transport-independent."""
+        response = raw_request(legacy_worker.address, {"op": "stats"})
+        assert response["ok"] is True
+        assert "v" not in response
+        bad = raw_request(legacy_worker.address, {"op": "warp"})
+        assert bad["ok"] is False
+        assert isinstance(bad["error"], str)  # v0 errors stay strings
+
+    def test_hello_over_tcp_advertises_model(
+        self, strict_worker, legacy_worker, served_artifacts
+    ):
+        from repro.api import AuditClient
+
+        with AuditClient.connect(strict_worker.address, timeout=30) as client:
+            hello = client.hello()
+        assert hello["protocol_version"] == 1
+        assert hello["model_fingerprint"] == served_artifacts["fingerprint"]
+        assert hello["capacity"] == 1
+        with AuditClient.connect(legacy_worker.address, timeout=30) as client:
+            assert client.hello()["capacity"] == 2
+
+    def test_serve_busy_port_fails_cleanly(
+        self, strict_worker, served_artifacts, capsys
+    ):
+        code = main(
+            ["serve", "--model", served_artifacts["model_path"],
+             "--listen", strict_worker.address]
+        )
+        assert code == 2
+        assert "cannot listen on" in capsys.readouterr().err
+
+    def test_cli_audit_remote_matches_inline(
+        self, strict_worker, legacy_worker, served_artifacts, capsys
+    ):
+        """`audit --backend remote --workers ...` against two live
+        serve subprocesses returns the same items as inline."""
+        base = [
+            "audit",
+            "--paths", *served_artifacts["scene_paths"],
+            "--model", served_artifacts["model_path"],
+            "--top", "5",
+        ]
+        assert main(base) == 0
+        inline = json.loads(capsys.readouterr().out)
+        code = main(
+            base + [
+                "--backend", "remote",
+                "--workers", strict_worker.address, legacy_worker.address,
+                "--timeout", "60",
+            ]
+        )
+        assert code == 0
+        remote = json.loads(capsys.readouterr().out)
+        assert remote["items"] == inline["items"]
+        assert remote["provenance"]["backend"] == "remote"
+        attribution = remote["provenance"]["workers"]
+        assert attribution and all(w["rank_s"] >= 0 for w in attribution)
+        assert {w["worker"] for w in attribution} <= {
+            strict_worker.address, legacy_worker.address,
+        }
 
 
 class TestRank:
