@@ -118,6 +118,12 @@ def main(argv: list[str] | None = None) -> int:
         help="TCP worker counts to sweep in the remote-backend comparison",
     )
     parser.add_argument(
+        "--wire", choices=["auto", "v1", "v2"], default="auto",
+        help="wire format for the remote comparison: auto (negotiated), "
+        "v1 (line-JSON), v2 (require binary frames + content-addressed "
+        "scenes — what CI smokes)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="fast sanity mode: tiny sizes, one repeat, no pytest run "
         "(used by the tier-1 smoke test)",
@@ -160,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
             n_scenes=args.shard_scenes,
             worker_counts=tuple(args.remote_workers),
             repeats=max(1, args.repeats),
+            wire=args.wire,
         )
         report["serving"] = {
             "delta_vs_full": delta,

@@ -3,11 +3,13 @@
 The distributed path end to end: save a fitted model, launch two real
 ``repro.cli serve --listen`` worker processes on it, then run the same
 declarative audit through the ``inline`` backend (this process) and the
-``remote`` backend (scenes partitioned across the two workers over the
-v1 wire protocol). The rankings come back byte-identical — the remote
-backend is a deployment decision, not a results decision — and the
-result's provenance says which worker ranked which partition, and how
-fast.
+``remote`` backend (scenes partitioned across the two workers; the
+``hello`` handshake negotiates the protocol v2 binary framed wire, so
+scene payloads ship as packed NumPy buffers addressed by content hash
+— a repeat audit of the same scenes ships ids only). The rankings come
+back byte-identical — the remote backend is a deployment decision, not
+a results decision — and the result's provenance says which worker
+ranked which partition, over which wire, and how fast.
 
 Run:
     PYTHONPATH=src python examples/remote_audit.py
@@ -107,8 +109,24 @@ try:
             f"  {report['worker']}: partition {report['partition']} "
             f"({report['n_scenes']} scenes) in "
             f"{1e3 * report['rank_s']:7.1f} ms, "
-            f"{report['attempts']} attempt(s)"
+            f"{report['attempts']} attempt(s), wire {report['wire']}, "
+            f"{report['bytes_sent']}B shipped"
         )
+
+    # A second audit of the same scenes rides the worker scene caches:
+    # only content hashes cross the wire.
+    warm = audit.run(
+        scenes=scenes, backend="remote", workers=addresses, timeout=120.0
+    )
+    assert [s.score for s in warm.items] == [s.score for s in remote.items]
+    cold_bytes = sum(r["bytes_sent"] for r in remote.provenance.workers)
+    warm_bytes = sum(r["bytes_sent"] for r in warm.provenance.workers)
+    hits = sum(r["scene_cache_hits"] for r in warm.provenance.workers)
+    print(
+        f"\nsecond audit of the same scenes: {warm_bytes}B on the wire "
+        f"(first: {cold_bytes}B), {hits}/{len(scenes)} worker cache hits "
+        "— ids shipped, not bodies"
+    )
 finally:
     audit.close()
     for worker in workers:

@@ -29,7 +29,7 @@ what a user holds is:
   :mod:`repro.api.pool`).
 """
 
-from repro.api import protocol
+from repro.api import frames, protocol
 from repro.api.audit import API_VERSION, Audit, AuditError, run_audit
 from repro.api.backends import (
     ExecutionBackend,
@@ -68,6 +68,7 @@ __all__ = [
     "WorkerEndpoint",
     "WorkerPool",
     "available_backends",
+    "frames",
     "get_backend",
     "protocol",
     "register_backend",

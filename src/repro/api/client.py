@@ -11,15 +11,28 @@ maps a request dict to a response dict:
   on stdio (and the same framing the TCP transport uses);
 - :meth:`AuditClient.connect` — the same framing over a TCP socket to
   a ``python -m repro.cli serve --listen HOST:PORT`` worker, with a
-  per-request timeout (the transport the ``remote`` backend rides).
+  per-request timeout (the transport the ``remote`` backend rides);
+  pass ``wire="frames"`` to speak the protocol v2 binary framed wire
+  (:mod:`repro.api.frames`) on the same port — scene payloads then
+  travel as raw packed blobs instead of JSON, and requests can be
+  pipelined (:meth:`AuditClient.send_request` /
+  :meth:`AuditClient.recv_response`).
+
+Every client speaks one protocol version per connection (``version=``;
+default the build's :data:`~repro.api.protocol.PROTOCOL_VERSION`) and
+requires the server to answer in kind — the worker pool connects to a
+worker at the version its ``hello`` negotiated, which is how a v2
+coordinator keeps driving v1-only workers.
 
 Failures come back as :class:`~repro.api.protocol.ProtocolError` with
 the server's structured code — a typo'd rank kind raises the same
 ``unknown_rank_kind`` whether it happened in-process or across a pipe.
 Transport failures are typed too: EOF mid-response raises
 :class:`~repro.api.protocol.StreamClosedError`, a partial or garbage
-response line :class:`~repro.api.protocol.MalformedResponseError`, and
-a missed deadline :class:`~repro.api.protocol.RequestTimeoutError`.
+response line :class:`~repro.api.protocol.MalformedResponseError`, a
+missed deadline :class:`~repro.api.protocol.RequestTimeoutError`, and
+a broken v2 frame :class:`~repro.api.protocol.FrameDecodeError` /
+:class:`~repro.api.protocol.FrameTooLargeError`.
 """
 
 from __future__ import annotations
@@ -27,7 +40,7 @@ from __future__ import annotations
 import json
 import socket as _socket
 
-from repro.api import protocol
+from repro.api import frames, protocol
 from repro.api.result import AuditResult
 from repro.api.spec import AuditSpec
 
@@ -61,13 +74,17 @@ class _StreamTransport:
         self._reader = reader
         self._sock = sock
         self.timeout = timeout
+        self.bytes_sent = 0
+        self.bytes_received = 0
 
     def __call__(self, request: dict) -> dict:
-        if self._sock is not None:
-            self._sock.settimeout(self.timeout)
         try:
-            self._writer.write(json.dumps(request) + "\n")
+            if self._sock is not None:
+                self._sock.settimeout(self.timeout)
+            line_out = json.dumps(request) + "\n"
+            self._writer.write(line_out)
             self._writer.flush()
+            self.bytes_sent += len(line_out)
             line = self._reader.readline()
         except (TimeoutError, _socket.timeout):
             raise protocol.RequestTimeoutError(
@@ -83,6 +100,7 @@ class _StreamTransport:
             raise protocol.StreamClosedError(
                 "server closed the stream before responding"
             )
+        self.bytes_received += len(line)
         try:
             response = json.loads(line)
         except json.JSONDecodeError as exc:
@@ -105,11 +123,97 @@ class _StreamTransport:
                     pass
 
 
+class _FrameTransport:
+    """The protocol v2 binary framed wire over one socket.
+
+    Same request/response dicts as the line-JSON transport, but each
+    message is a length-prefixed frame (JSON header + raw blobs, see
+    :mod:`repro.api.frames`), and :meth:`send` / :meth:`recv` are
+    exposed separately so a coordinator can pipeline several requests
+    before reading the first response. ``timeout`` is the same idle
+    deadline the stream transport applies.
+    """
+
+    class _CountingReader:
+        """Binary reader wrapper tallying exact bytes consumed."""
+
+        def __init__(self, raw):
+            self._raw = raw
+            self.count = 0
+
+        def read(self, n: int) -> bytes:
+            data = self._raw.read(n)
+            self.count += len(data)
+            return data
+
+        def close(self) -> None:
+            self._raw.close()
+
+    def __init__(self, sock, timeout: float | None = None):
+        self._sock = sock
+        self._reader = self._CountingReader(sock.makefile("rb"))
+        self._writer = sock.makefile("wb")
+        self.timeout = timeout
+        self.bytes_sent = 0
+
+    def send(self, request: dict, blobs: tuple[bytes, ...] = ()) -> None:
+        try:
+            self._sock.settimeout(self.timeout)
+            self.bytes_sent += frames.write_frame(self._writer, request, blobs)
+        except (TimeoutError, _socket.timeout):
+            raise protocol.RequestTimeoutError(
+                f"no progress within {self.timeout}s sending "
+                f"(op {request.get('op')!r})"
+            ) from None
+        except (BrokenPipeError, ConnectionError, OSError, ValueError) as exc:
+            raise protocol.StreamClosedError(
+                f"stream broke mid-request: {exc}"
+            ) from None
+
+    def recv(self) -> tuple[dict, list[bytes]]:
+        try:
+            self._sock.settimeout(self.timeout)
+            frame = frames.read_frame(self._reader)
+        except (TimeoutError, _socket.timeout):
+            raise protocol.RequestTimeoutError(
+                f"no response frame within {self.timeout}s"
+            ) from None
+        except protocol.TransportError:
+            raise  # already typed (truncated / malformed / oversized)
+        except (ConnectionError, OSError, ValueError) as exc:
+            raise protocol.StreamClosedError(
+                f"stream broke mid-response: {exc}"
+            ) from None
+        return frame
+
+    @property
+    def bytes_received(self) -> int:
+        return self._reader.count
+
+    def __call__(self, request: dict) -> dict:
+        self.send(request)
+        header, _ = self.recv()
+        return header
+
+    def close(self) -> None:
+        for resource in (self._writer, self._reader, self._sock):
+            try:
+                resource.close()
+            except OSError:
+                pass
+
+
 class AuditClient:
     """Typed client over a ``dict -> dict`` protocol transport."""
 
-    def __init__(self, transport):
+    def __init__(self, transport, version: int = protocol.PROTOCOL_VERSION):
+        if version not in protocol.SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported client protocol version {version!r}; "
+                f"expected one of {protocol.SUPPORTED_VERSIONS}"
+            )
         self._send = transport
+        self.version = version
 
     # ------------------------------------------------------------------
     # Constructors
@@ -141,17 +245,28 @@ class AuditClient:
         address,
         timeout: float | None = None,
         connect_timeout: float | None = 5.0,
+        wire: str = "json",
+        version: int | None = None,
     ) -> "AuditClient":
         """A client over a fresh TCP connection to ``"host:port"``.
 
         ``connect_timeout`` bounds the TCP handshake; ``timeout`` is
         the per-request idle deadline (``None`` = wait forever),
         raising :class:`~repro.api.protocol.RequestTimeoutError` when
-        missed.
+        missed. ``wire`` picks the framing: ``"json"`` (line-JSON, the
+        v1 wire every worker speaks) or ``"frames"`` (the v2 binary
+        framed wire — only against a server that advertises it in
+        ``hello``'s ``wire_formats``). ``version`` stamps every
+        request (defaults to the build's version for ``"json"``, and
+        is always v2 for ``"frames"``).
         Connection refusal/timeouts raise
         :class:`~repro.api.protocol.StreamClosedError` so callers see
         one typed failure for "worker not there".
         """
+        if wire not in ("json", "frames"):
+            raise ValueError(
+                f"wire must be 'json' or 'frames', got {wire!r}"
+            )
         host, port = parse_address(address)
         try:
             sock = _socket.create_connection(
@@ -161,13 +276,23 @@ class AuditClient:
             raise protocol.StreamClosedError(
                 f"cannot connect to worker {host}:{port}: {exc}"
             ) from None
+        try:
+            # Requests are small; never let Nagle hold a frame back.
+            sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        if wire == "frames":
+            return cls(_FrameTransport(sock, timeout=timeout), version=2)
         return cls(
             _StreamTransport(
                 sock.makefile("w", encoding="utf-8", newline="\n"),
                 sock.makefile("r", encoding="utf-8", newline="\n"),
                 sock=sock,
                 timeout=timeout,
-            )
+            ),
+            version=(
+                version if version is not None else protocol.PROTOCOL_VERSION
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -175,7 +300,13 @@ class AuditClient:
     # ------------------------------------------------------------------
     def _call(self, op: str, **fields) -> dict:
         fields = {k: v for k, v in fields.items() if v is not None}
-        response = self._send(protocol.make_request(op, **fields))
+        response = self._send(
+            protocol.make_request(op, version=self.version, **fields)
+        )
+        return self._check(response)
+
+    def _check(self, response) -> dict:
+        """Validate one response envelope (version, ok flag, errors)."""
         if not isinstance(response, dict):
             raise protocol.ProtocolError(
                 protocol.INTERNAL_ERROR,
@@ -183,11 +314,11 @@ class AuditClient:
             )
         if response.get("ok"):
             version = response.get("v")
-            if version != protocol.PROTOCOL_VERSION:
+            if version != self.version:
                 raise protocol.ProtocolError(
                     protocol.UNSUPPORTED_VERSION,
                     f"server answered in protocol version {version!r}; this "
-                    f"client speaks {protocol.PROTOCOL_VERSION}",
+                    f"client speaks {self.version}",
                 )
             return response
         error = response.get("error")
@@ -199,6 +330,46 @@ class AuditClient:
             )
         # A v0 (string) error from a legacy server.
         raise protocol.ProtocolError(protocol.INTERNAL_ERROR, str(error))
+
+    # ------------------------------------------------------------------
+    # Pipelined framed calls (v2 wire only)
+    # ------------------------------------------------------------------
+    @property
+    def supports_pipelining(self) -> bool:
+        """Whether the transport separates send from receive (frames)."""
+        return hasattr(self._send, "send") and hasattr(self._send, "recv")
+
+    def send_request(self, op: str, blobs: tuple[bytes, ...] = (), **fields):
+        """Write one framed request without waiting for its response.
+
+        Responses arrive in request order via :meth:`recv_response` —
+        the coordinator's chunk pipelining (encode chunk *i+1* while
+        the worker ranks chunk *i*). Only valid on a framed transport.
+        """
+        if not self.supports_pipelining:
+            raise protocol.ProtocolError(
+                protocol.INTERNAL_ERROR,
+                "send_request needs a framed transport "
+                "(connect with wire='frames')",
+            )
+        fields = {k: v for k, v in fields.items() if v is not None}
+        self._send.send(
+            protocol.make_request(op, version=self.version, **fields), blobs
+        )
+
+    def recv_response(self) -> dict:
+        """Read + validate the next in-order framed response."""
+        response, _blobs = self._send.recv()
+        return self._check(response)
+
+    @property
+    def bytes_sent(self) -> int:
+        """Bytes written to the transport so far (0 for in-process)."""
+        return getattr(self._send, "bytes_sent", 0)
+
+    @property
+    def bytes_received(self) -> int:
+        return getattr(self._send, "bytes_received", 0)
 
     # ------------------------------------------------------------------
     # Operations

@@ -1,0 +1,369 @@
+"""The protocol v2 binary wire: length-prefixed frames + packed scenes.
+
+Protocol v1 ships every request as one JSON line; at small scene sizes
+the coordinator-side ``Scene.to_dict()`` + ``json.dumps`` per audit
+dominates the distributed hot path (see ``BENCH_scaling.json``
+``serving.remote``). This module is the v2 answer, in three layers:
+
+**Frames.** A frame is a small JSON *header* plus zero or more raw
+binary *blobs*, all length-prefixed::
+
+    MAGIC(4) | u32 header_len | u16 n_blobs | n_blobs x u64 blob_len
+             | header bytes (UTF-8 JSON) | blob bytes ...
+
+The header is the same request/response dict the line-JSON wire
+carries; blobs carry bulk payloads (packed scenes) that never pass
+through a JSON encoder. :data:`MAGIC` opens with a non-ASCII byte, so
+a framed connection is self-identifying: the first byte of a JSON line
+can never be ``0xAB``, which is how the TCP server
+(:mod:`repro.serving.tcp`) answers line-JSON and framed clients on the
+same port with no upgrade round-trip. Hard caps
+(:data:`MAX_HEADER_BYTES`, :data:`MAX_BLOB_BYTES`, :data:`MAX_BLOBS`)
+bound what a peer can make us buffer; violations raise
+:class:`~repro.api.protocol.FrameTooLargeError` *before* the body is
+read.
+
+**Packed scenes.** :func:`pack_scene` encodes one scene as a compact
+JSON *skeleton* (ids, classes, sources, metadata — everything but the
+numbers) followed by one contiguous little-endian float64 array holding
+every observation's box parameters and confidence, column layout
+:data:`OBS_COLUMNS`. One encode touches NumPy once instead of building
+a dict per observation; :func:`unpack_scene` restores a
+:class:`~repro.core.model.Scene` whose floats are bit-identical to the
+original (binary transport is exact, like JSON's repr round-trip), so
+rankings computed from an unpacked scene are byte-identical to local
+ones.
+
+**Content addressing.** :func:`scene_fingerprint` names a packed scene
+by the blake2b of its bytes. A coordinator ships ``scene_hashes`` and
+only the bodies the worker's :class:`SceneCache` (bounded LRU of
+*decoded* scenes, keyed by fingerprint) does not already hold — the
+second audit of the same scene set ships ids, not bodies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import struct
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.api import protocol
+
+__all__ = [
+    "MAGIC",
+    "MAX_BLOBS",
+    "MAX_BLOB_BYTES",
+    "MAX_HEADER_BYTES",
+    "OBS_COLUMNS",
+    "SceneCache",
+    "encode_frame",
+    "pack_scene",
+    "read_frame",
+    "scene_fingerprint",
+    "unpack_scene",
+    "write_frame",
+]
+
+#: Frame prelude. The first byte is deliberately outside ASCII so no
+#: JSON line (or HTTP verb, for that matter) can ever start a frame.
+MAGIC = b"\xabRF2"
+
+#: Hard caps on what one frame may make a peer buffer.
+MAX_HEADER_BYTES = 16 * 1024 * 1024
+MAX_BLOB_BYTES = 256 * 1024 * 1024
+MAX_BLOBS = 1024
+
+_PRELUDE = struct.Struct("<4sIH")  # magic, header_len, n_blobs
+_BLOB_LEN = struct.Struct("<Q")
+_SKELETON_LEN = struct.Struct("<I")
+
+#: Column layout of a packed scene's float64 observation array.
+OBS_COLUMNS = ("x", "y", "z", "length", "width", "height", "yaw", "confidence")
+
+
+# ---------------------------------------------------------------------------
+# Frame codec
+# ---------------------------------------------------------------------------
+def _check_sizes(header_len: int, blob_lens: list[int]) -> None:
+    if header_len > MAX_HEADER_BYTES:
+        raise protocol.FrameTooLargeError(
+            f"frame header is {header_len} bytes "
+            f"(cap {MAX_HEADER_BYTES})"
+        )
+    if len(blob_lens) > MAX_BLOBS:
+        raise protocol.FrameTooLargeError(
+            f"frame carries {len(blob_lens)} blobs (cap {MAX_BLOBS})"
+        )
+    for length in blob_lens:
+        if length > MAX_BLOB_BYTES:
+            raise protocol.FrameTooLargeError(
+                f"frame blob is {length} bytes (cap {MAX_BLOB_BYTES})"
+            )
+
+
+def encode_frame(header: dict, blobs: tuple[bytes, ...] = ()) -> bytes:
+    """One frame as bytes (header JSON-encoded, blobs appended raw)."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    blobs = [bytes(b) for b in blobs]
+    _check_sizes(len(header_bytes), [len(b) for b in blobs])
+    parts = [_PRELUDE.pack(MAGIC, len(header_bytes), len(blobs))]
+    parts.extend(_BLOB_LEN.pack(len(b)) for b in blobs)
+    parts.append(header_bytes)
+    parts.extend(blobs)
+    return b"".join(parts)
+
+
+def write_frame(writer, header: dict, blobs: tuple[bytes, ...] = ()) -> int:
+    """Encode and write one frame to a binary writer; returns its size."""
+    data = encode_frame(header, blobs)
+    writer.write(data)
+    writer.flush()
+    return len(data)
+
+
+def _read_exact(reader, n: int, context: str) -> bytes:
+    """Read exactly ``n`` bytes or raise a typed truncation error."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = reader.read(remaining)
+        if not chunk:
+            raise protocol.StreamClosedError(
+                f"stream closed mid-frame ({context}: "
+                f"{n - remaining} of {n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(reader, allow_eof: bool = False):
+    """Read one frame from a binary reader.
+
+    Returns ``(header, blobs)``; ``None`` on a clean EOF at a frame
+    boundary when ``allow_eof`` (the server's end-of-conversation).
+    Raises :class:`~repro.api.protocol.StreamClosedError` on a
+    truncated frame, :class:`~repro.api.protocol.FrameDecodeError` on
+    bad magic or a non-object header, and
+    :class:`~repro.api.protocol.FrameTooLargeError` when a declared
+    size exceeds the caps (the body is not read — the caller must
+    close the stream, which is no longer in sync).
+    """
+    first = reader.read(1)
+    if not first:
+        if allow_eof:
+            return None
+        raise protocol.StreamClosedError(
+            "stream closed before a frame arrived"
+        )
+    prelude = first + _read_exact(reader, _PRELUDE.size - 1, "frame prelude")
+    magic, header_len, n_blobs = _PRELUDE.unpack(prelude)
+    if magic != MAGIC:
+        raise protocol.FrameDecodeError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r})"
+        )
+    if n_blobs > MAX_BLOBS:
+        raise protocol.FrameTooLargeError(
+            f"frame declares {n_blobs} blobs (cap {MAX_BLOBS})"
+        )
+    blob_lens = [
+        _BLOB_LEN.unpack(_read_exact(reader, _BLOB_LEN.size, "blob length"))[0]
+        for _ in range(n_blobs)
+    ]
+    _check_sizes(header_len, blob_lens)
+    header_bytes = _read_exact(reader, header_len, "frame header")
+    try:
+        header = json.loads(header_bytes)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise protocol.FrameDecodeError(
+            f"frame header is not JSON: {exc}"
+        ) from None
+    if not isinstance(header, dict):
+        raise protocol.FrameDecodeError(
+            f"frame header is not an object: {type(header).__name__}"
+        )
+    blobs = [
+        _read_exact(reader, length, f"blob {i}")
+        for i, length in enumerate(blob_lens)
+    ]
+    return header, blobs
+
+
+# ---------------------------------------------------------------------------
+# Packed scenes
+# ---------------------------------------------------------------------------
+def pack_scene(scene) -> bytes:
+    """One scene as skeleton JSON + a columnar float64 observation array.
+
+    Accepts a live :class:`~repro.core.model.Scene` or its
+    ``to_dict()`` form. The observation rows follow track/bundle/
+    observation order, one row of :data:`OBS_COLUMNS` per observation
+    (``confidence`` rides as NaN when absent — a real confidence is
+    constrained to ``[0, 1]`` so NaN is unambiguous).
+    """
+    if hasattr(scene, "to_dict"):
+        payload = scene.to_dict()
+    else:
+        # Dict input: copy before the destructive column extraction.
+        payload = json.loads(json.dumps(scene))
+    rows = []
+    for track in payload["tracks"]:
+        for bundle in track["bundles"]:
+            for obs in bundle["observations"]:
+                box = obs.pop("box")
+                confidence = obs.pop("confidence", None)
+                rows.append(
+                    (
+                        box["x"],
+                        box["y"],
+                        box["z"],
+                        box["length"],
+                        box["width"],
+                        box["height"],
+                        box.get("yaw", 0.0),
+                        math.nan if confidence is None else float(confidence),
+                    )
+                )
+    numbers = np.asarray(rows, dtype="<f8").reshape(len(rows), len(OBS_COLUMNS))
+    skeleton = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return (
+        _SKELETON_LEN.pack(len(skeleton)) + skeleton + numbers.tobytes(order="C")
+    )
+
+
+def unpack_scene(data: bytes):
+    """Decode :func:`pack_scene` bytes back into a live ``Scene``.
+
+    Raises :class:`~repro.api.protocol.FrameDecodeError` when the
+    bytes are not a packed scene (short buffer, bad skeleton, a
+    number array that does not match the skeleton's observation
+    count).
+    """
+    from repro.core.model import Scene
+
+    try:
+        (skeleton_len,) = _SKELETON_LEN.unpack_from(data, 0)
+        body_start = _SKELETON_LEN.size + skeleton_len
+        payload = json.loads(data[_SKELETON_LEN.size : body_start])
+        numbers = np.frombuffer(data, dtype="<f8", offset=body_start)
+        numbers = numbers.reshape(-1, len(OBS_COLUMNS))
+        row = 0
+        for track in payload["tracks"]:
+            for bundle in track["bundles"]:
+                for obs in bundle["observations"]:
+                    values = numbers[row]
+                    row += 1
+                    obs["box"] = {
+                        "x": float(values[0]),
+                        "y": float(values[1]),
+                        "z": float(values[2]),
+                        "length": float(values[3]),
+                        "width": float(values[4]),
+                        "height": float(values[5]),
+                        "yaw": float(values[6]),
+                    }
+                    confidence = float(values[7])
+                    obs["confidence"] = (
+                        None if math.isnan(confidence) else confidence
+                    )
+        if row != len(numbers):
+            raise ValueError(
+                f"packed scene has {len(numbers)} observation rows but "
+                f"the skeleton names {row}"
+            )
+    except protocol.ProtocolError:
+        raise
+    except Exception as exc:
+        raise protocol.FrameDecodeError(
+            f"blob is not a packed scene: {type(exc).__name__}: {exc}"
+        ) from None
+    return Scene.from_dict(payload)
+
+
+def scene_fingerprint(packed: bytes) -> str:
+    """Content address of a packed scene: blake2b of its bytes."""
+    return hashlib.blake2b(packed, digest_size=20).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Worker-side scene cache
+# ---------------------------------------------------------------------------
+class SceneCache:
+    """Bounded LRU of *decoded* scenes keyed by content fingerprint.
+
+    The worker half of content-addressed scene transport: blobs are
+    ingested once (hash + decode), later audits naming the same hash
+    reuse the decoded ``Scene`` object — which also keeps the engine's
+    compiled-scene LRU warm, since that cache is keyed by object
+    identity. Thread-safe: one service instance serves many
+    connections.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = max(1, int(maxsize))
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        #: Lookups served from cache (``get`` found it, or an ``ingest``
+        #: short-circuited on an already-decoded entry).
+        self.hits = 0
+        #: Lookups the cache could not serve (``get`` returned None).
+        self.misses = 0
+        #: Bodies actually decoded (each is one ``unpack_scene``).
+        self.decodes = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def ingest(self, blob: bytes) -> tuple[str, object]:
+        """Hash + decode + store one packed-scene blob.
+
+        Returns ``(fingerprint, scene)`` — the caller holds the
+        decoded scene for the current request even if a
+        smaller-than-request cache evicts it immediately.
+        """
+        fingerprint = scene_fingerprint(blob)
+        with self._lock:
+            scene = self._entries.get(fingerprint)
+            if scene is not None:
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1  # body was resent, but no decode needed
+                return fingerprint, scene
+        scene = unpack_scene(blob)  # decode outside the lock
+        with self._lock:
+            self.decodes += 1
+            self._entries[fingerprint] = scene
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return fingerprint, scene
+
+    def get(self, fingerprint: str):
+        """The decoded scene for ``fingerprint``, or ``None`` (a miss
+        the caller must refill via ``need``)."""
+        with self._lock:
+            scene = self._entries.get(fingerprint)
+            if scene is not None:
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return scene
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "decodes": self.decodes,
+                "evictions": self.evictions,
+            }

@@ -5,47 +5,141 @@ canonically ``python -m repro.cli serve --listen HOST:PORT``. The pool
 turns a list of worker addresses into a distributed executor:
 
 1. **Register** (:meth:`WorkerPool.connect`): each endpoint answers the
-   ``hello`` op with its protocol version, model fingerprint, and
-   capacity. A version the pool does not speak or a fingerprint that
-   differs from the coordinator's model is fatal
+   ``hello`` op (sent at the baseline v1 dialect every deployed worker
+   speaks) with its protocol version, model fingerprint, capacity, and
+   wire formats. The pool then talks to each worker at the *negotiated*
+   version — ``min(worker, ours)`` — so one pool drives v1-only and v2
+   workers side by side. A version with no common dialect or a
+   fingerprint that differs from the coordinator's model is fatal
    (``unsupported_version`` / ``model_mismatch``) — a pool never mixes
    models, because byte-identical rankings are the contract.
    Unreachable workers are recorded as unhealthy and skipped.
-2. **Partition** (:func:`partition_scenes`): scenes are split into
+2. **Re-probe** (:meth:`WorkerPool.reprobe`, run at the top of every
+   :meth:`audit`): retired endpoints are re-``hello``-ed and re-admitted
+   when they answer with a matching model fingerprint — a restarted
+   worker rejoins a long-lived pool without a rebuild. One that comes
+   back with the *wrong* model stays retired.
+3. **Partition** (:func:`partition_scenes`): scenes are split into
    contiguous, capacity-weighted chunks in scene order. Contiguity is
    what keeps the final merge byte-identical to the inline backend —
    :func:`~repro.core.scoring.merge_rankings` breaks score ties by
    block submission order, and contiguous chunks concatenated in
    partition order preserve exactly the inline scene order.
-3. **Dispatch**: each partition runs as one ``audit`` request on its
-   worker over a dedicated connection (so requeued partitions never
-   interleave frames on a shared socket). A worker that dies
-   mid-audit — EOF, refused connection, timeout — is retired from the
-   pool and its partition is **requeued** onto the next healthy
-   worker; only when every worker is gone does the pool raise
-   ``worker_unavailable``.
-4. **Merge**: per-partition rankings (each already merged and
-   truncated worker-side) are merged once more in partition order with
-   the coordinator's ``top_k`` — the same two-level merge the sharded
-   backend uses, and provably equal to the single global merge.
+4. **Dispatch**: each partition streams to its worker as a sequence of
+   scene *chunks* over one dedicated connection (so requeued partitions
+   never interleave frames on a shared socket). Against a v2 worker the
+   chunks ride the binary framed wire, content-addressed: the request
+   names ``scene_hashes`` and carries packed bodies only for hashes the
+   coordinator has not yet shipped to that worker; the worker answers
+   ``need`` for anything its cache evicted, and only those bodies are
+   resent — a warm audit of the same scenes ships ids, not bodies.
+   Chunks are pipelined (up to ``pipeline`` requests in flight), so
+   coordinator-side encoding of chunk *i+1* overlaps worker-side
+   ranking of chunk *i*. Against a v1 worker the same chunks travel as
+   classic line-JSON ``audit`` requests. Either way the encoded payload
+   per scene — dict, packed bytes, content hash — is computed once and
+   cached (:class:`_ScenePayloads`), so a requeued partition (and the
+   next audit of the same scenes) reuses bytes instead of re-encoding.
+   A worker that dies mid-partition — EOF, refused connection,
+   timeout — is retired and its *unfinished* chunks are requeued onto
+   the next healthy worker; only when every worker is gone does the
+   pool raise ``worker_unavailable``.
+5. **Merge**: per-chunk rankings (each already merged and truncated
+   worker-side) are merged once more in global chunk order with the
+   coordinator's ``top_k`` — the same multi-level merge the sharded
+   backend uses, and provably equal to the single global merge because
+   chunks are contiguous sub-ranges in scene order.
 
 The pool reports per-worker attribution (address, partition, scenes,
-seconds, attempts) which the ``remote`` backend surfaces as
-``AuditResult.provenance.workers``.
+seconds, attempts, wire format, bytes on the wire, encode time, and
+worker scene-cache hits/misses) which the ``remote`` backend surfaces
+as ``AuditResult.provenance.workers``.
+
+The payload cache assumes scenes are not mutated in place between
+audits through the same pool (scene *objects* are the cache key); edit
+workflows go through :class:`~repro.serving.session.SceneSession`,
+which never mutates the source scene. Call
+:meth:`WorkerPool.clear_scene_cache` after mutating a scene in place.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import weakref
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 
-from repro.api import protocol
+from repro.api import frames, protocol
 from repro.api.client import AuditClient, parse_address
+from repro.api.result import AuditResult
 from repro.core.scoring import ScoredItem, merge_rankings
 
 __all__ = ["WorkerEndpoint", "WorkerPool", "partition_scenes"]
+
+#: Wire preferences a pool accepts: negotiate per worker ("auto"),
+#: force classic line-JSON ("v1"), or require the framed wire ("v2").
+WIRE_MODES = ("auto", "v1", "v2")
+
+
+class _ScenePayloads:
+    """Encoded-payload cache: one dict / packed-bytes / hash per scene.
+
+    Keyed by scene object identity (guarded by a weakref so a recycled
+    ``id()`` can never alias a dead scene), computed lazily, bounded
+    LRU. This is what makes a requeued partition — and the next audit
+    of the same scene list — reuse bytes instead of calling
+    ``Scene.to_dict()`` + encode again.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        self.maxsize = max(1, int(maxsize))
+        self._entries: OrderedDict[int, dict] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _entry(self, scene) -> dict:
+        key = id(scene)
+        entry = self._entries.get(key)
+        if entry is not None and entry["ref"]() is scene:
+            self._entries.move_to_end(key)
+            return entry
+        entry = {
+            "ref": weakref.ref(scene),
+            "dict": None,
+            "packed": None,
+            "hash": None,
+        }
+        self._entries[key] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def dict_for(self, scene) -> dict:
+        with self._lock:
+            entry = self._entry(scene)
+            payload = entry["dict"]
+        if payload is None:
+            payload = scene.to_dict()  # encode outside the lock
+            with self._lock:
+                entry["dict"] = payload
+        return payload
+
+    def packed_for(self, scene) -> tuple[bytes, str]:
+        """``(packed bytes, content hash)`` for one scene."""
+        with self._lock:
+            entry = self._entry(scene)
+            packed, fingerprint = entry["packed"], entry["hash"]
+        if packed is None:
+            packed = frames.pack_scene(scene)
+            fingerprint = frames.scene_fingerprint(packed)
+            with self._lock:
+                entry["packed"], entry["hash"] = packed, fingerprint
+        return packed, fingerprint
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
 
 
 class WorkerEndpoint:
@@ -57,7 +151,16 @@ class WorkerEndpoint:
 
     - ``info``: the worker's ``hello`` payload once registered;
     - ``healthy``: flips False when registration fails or a dispatch
-      sees a transport failure; unhealthy workers get no partitions.
+      sees a transport failure; unhealthy workers get no partitions
+      (until :meth:`WorkerPool.reprobe` re-admits them);
+    - ``protocol_version`` / ``wire_formats``: the negotiated dialect
+      and the wire the worker can speak (v2 workers advertise
+      ``"frames"``);
+    - a bounded mirror of which scene hashes this worker should
+      already hold (:meth:`knows` / :meth:`remember`), sized to the
+      worker's advertised scene cache — the coordinator ships bodies
+      proactively for unknown hashes and relies on the worker's
+      ``need`` reply to heal any divergence.
     """
 
     def __init__(
@@ -74,6 +177,21 @@ class WorkerEndpoint:
         self.info: dict | None = None
         self.healthy = False
         self.last_error: str | None = None
+        self.protocol_version = protocol.BASELINE_VERSION
+        self.wire_formats: tuple[str, ...] = ("json",)
+        self._known_hashes: OrderedDict[str, None] = OrderedDict()
+        self._known_limit = 256
+        # Monotonic deadline before which reprobe() leaves this
+        # endpoint alone — set after a *failed* probe so one blackholed
+        # worker cannot add its connect timeout to every audit.
+        self._next_probe_at = 0.0
+        # One persistent dispatch connection, reused across audits so
+        # the warm path pays no TCP handshake. Guarded by a try-lock:
+        # a second concurrent dispatch to the same worker (a requeued
+        # partition) gets an ad-hoc connection instead of blocking.
+        self._cached_client: AuditClient | None = None
+        self._cached_wire: str | None = None
+        self._client_lock = threading.Lock()
 
     @property
     def address(self) -> str:
@@ -90,34 +208,115 @@ class WorkerEndpoint:
             return 1
         return max(1, int(self.info.get("capacity") or 1))
 
-    def client(self, probe: bool = False) -> AuditClient:
+    @property
+    def supports_frames(self) -> bool:
+        """Whether dispatch may use the v2 framed wire on this worker."""
+        return self.protocol_version >= 2 and "frames" in self.wire_formats
+
+    # -- coordinator-side mirror of the worker's scene cache ----------
+    def knows(self, fingerprint: str) -> bool:
+        return fingerprint in self._known_hashes
+
+    def remember(self, fingerprint: str) -> None:
+        self._known_hashes[fingerprint] = None
+        self._known_hashes.move_to_end(fingerprint)
+        while len(self._known_hashes) > self._known_limit:
+            self._known_hashes.popitem(last=False)
+
+    def client(self, probe: bool = False, wire: str = "json") -> AuditClient:
         """A fresh connection to this worker (caller closes it).
 
-        ``probe`` connections use the short ``probe_timeout`` deadline:
-        hello/health must answer fast, so a worker whose listener
-        accepts but whose process is wedged cannot hang registration —
-        only audit dispatches get the (possibly unbounded) ``timeout``.
+        ``probe`` connections use the short ``probe_timeout`` deadline
+        and the baseline protocol version (hello/health must answer
+        fast and must work against workers whose version is still
+        unknown); audit dispatches get the (possibly unbounded)
+        ``timeout`` and the endpoint's negotiated version. Pass
+        ``wire="frames"`` for the v2 binary wire (only when
+        :attr:`supports_frames`).
         """
+        if probe:
+            return AuditClient.connect(
+                (self.host, self.port),
+                timeout=self.probe_timeout,
+                connect_timeout=self.connect_timeout,
+                version=protocol.BASELINE_VERSION,
+            )
         return AuditClient.connect(
             (self.host, self.port),
-            timeout=self.probe_timeout if probe else self.timeout,
+            timeout=self.timeout,
             connect_timeout=self.connect_timeout,
+            wire=wire,
+            version=self.protocol_version,
         )
+
+    def lease(self, wire: str) -> tuple[AuditClient, bool, bool]:
+        """A dispatch connection: the persistent one when free, else a
+        fresh ad-hoc one. Returns ``(client, leased, reused)`` —
+        ``reused`` means the client predates this lease, so a
+        transport failure on it may just be a stale socket (worker
+        restart, NAT timeout) rather than a dead worker, and the
+        dispatcher retries once on a fresh connection before retiring
+        the endpoint. Always pair with :meth:`release`."""
+        if self._client_lock.acquire(blocking=False):
+            client = self._cached_client
+            reused = client is not None and self._cached_wire == wire
+            if not reused:
+                if client is not None:
+                    client.close()
+                    self._cached_client = None
+                try:
+                    client = self.client(wire=wire)
+                except BaseException:
+                    self._client_lock.release()
+                    raise
+                self._cached_client = client
+                self._cached_wire = wire
+            return client, True, reused
+        return self.client(wire=wire), False, False
+
+    def release(self, client: AuditClient, leased: bool, ok: bool) -> None:
+        """Return a leased/ad-hoc connection (drop it on failure)."""
+        if leased:
+            if not ok:
+                client.close()
+                self._cached_client = None
+            self._client_lock.release()
+        else:
+            client.close()  # ad-hoc connections never persist
+
+    def drop_cached_client(self) -> None:
+        """Close the persistent connection (if not currently leased)."""
+        if self._client_lock.acquire(blocking=False):
+            try:
+                if self._cached_client is not None:
+                    self._cached_client.close()
+                    self._cached_client = None
+            finally:
+                self._client_lock.release()
 
     def register(self, expected_fingerprint: str | None = ...) -> dict:
         """``hello`` the worker and validate what it advertises.
 
         Raises :class:`~repro.api.protocol.ProtocolError` with
-        ``unsupported_version`` for a protocol we do not speak and
-        ``model_mismatch`` when ``expected_fingerprint`` (pass ``None``
-        to require an unfitted worker; the default ``...`` skips the
-        check) differs from the worker's model. Transport failures
-        propagate as typed :class:`~repro.api.protocol.TransportError`.
+        ``unsupported_version`` for a protocol we share no dialect
+        with and ``model_mismatch`` when ``expected_fingerprint``
+        (pass ``None`` to require an unfitted worker; the default
+        ``...`` skips the check) differs from the worker's model.
+        Transport failures propagate as typed
+        :class:`~repro.api.protocol.TransportError`.
         """
         with self.client(probe=True) as client:
             info = client.hello()
-        version = info.get("protocol_version")
-        if version != protocol.PROTOCOL_VERSION:
+        # The worker's ceiling: ``max_protocol_version`` (additive, v2+
+        # workers), falling back to ``protocol_version`` (all a PR-4
+        # worker reports — and which v2 workers mirror at the request's
+        # version so PR-4 *coordinators* keep accepting them).
+        version = info.get("max_protocol_version", info.get("protocol_version"))
+        try:
+            negotiated = min(int(version), protocol.PROTOCOL_VERSION)
+        except (TypeError, ValueError):
+            negotiated = None
+        if negotiated not in protocol.SUPPORTED_VERSIONS:
             raise protocol.ProtocolError(
                 protocol.UNSUPPORTED_VERSION,
                 f"worker {self.address} speaks protocol {version!r}; this "
@@ -140,6 +339,12 @@ class WorkerEndpoint:
                     },
                 )
         self.info = info
+        self.protocol_version = negotiated
+        self.wire_formats = tuple(info.get("wire_formats") or ("json",))
+        self._known_limit = max(1, int(info.get("scene_cache") or 0) or 256)
+        # A (re)registered worker may be a fresh process: assume its
+        # scene cache is empty and let `need` replies heal the rest.
+        self._known_hashes.clear()
         self.healthy = True
         self.last_error = None
         return info
@@ -158,6 +363,10 @@ class WorkerEndpoint:
     def mark_failed(self, reason: str) -> None:
         self.healthy = False
         self.last_error = reason
+        # The worker may come back as a fresh process with an empty
+        # scene cache — drop the mirror rather than trust it.
+        self._known_hashes.clear()
+        self.drop_cached_client()
 
 
 def _short(fingerprint: str | None) -> str:
@@ -210,6 +419,17 @@ class WorkerPool:
         probe_timeout: Deadline for hello/health probes, always
             bounded so a wedged-but-accepting worker is skipped at
             registration instead of hanging the pool.
+        wire: ``"auto"`` (v2 frames for workers that advertise them,
+            line-JSON for the rest — the mixed-pool default), ``"v1"``
+            (force line-JSON everywhere), or ``"v2"`` (require the
+            framed wire; a worker without it fails registration).
+        chunk_scenes: Scenes per dispatch request (0 = one request per
+            partition). Smaller chunks pipeline encode against worker
+            compute and requeue less work when a worker dies.
+        pipeline: Framed requests kept in flight per worker connection.
+        reprobe_interval: Seconds a retired endpoint is left alone
+            after a *failed* re-probe, so an endpoint that stays dead
+            costs one connect timeout per interval, not per audit.
     """
 
     def __init__(
@@ -218,7 +438,15 @@ class WorkerPool:
         timeout: float | None = None,
         connect_timeout: float | None = 5.0,
         probe_timeout: float | None = 10.0,
+        wire: str = "auto",
+        chunk_scenes: int = 8,
+        pipeline: int = 2,
+        reprobe_interval: float = 10.0,
     ):
+        if wire not in WIRE_MODES:
+            raise TypeError(
+                f"wire must be one of {WIRE_MODES}, got {wire!r}"
+            )
         self.endpoints = [
             w
             if isinstance(w, WorkerEndpoint)
@@ -232,7 +460,17 @@ class WorkerPool:
         ]
         if not self.endpoints:
             raise ValueError("WorkerPool needs at least one worker address")
+        self.wire = wire
+        self.chunk_scenes = max(0, int(chunk_scenes))
+        self.pipeline = max(1, int(pipeline))
+        self.reprobe_interval = max(0.0, float(reprobe_interval))
+        self._payloads = _ScenePayloads()
+        self._expected_fingerprint = ...
         self._lock = threading.Lock()
+        # Persistent dispatch threads: spawning a pool per audit costs
+        # more than a whole warm ids-only audit does.
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_width = 0
 
     # ------------------------------------------------------------------
     # Registration + health
@@ -242,16 +480,23 @@ class WorkerPool:
 
         Unreachable workers are marked unhealthy and skipped — the pool
         degrades, it does not fail — but a *reachable* worker with the
-        wrong protocol version or model fingerprint raises immediately
-        (that is a deployment error, not an outage). Raises
-        ``worker_unavailable`` when no worker registered at all.
+        wrong protocol version, missing v2 support under ``wire="v2"``,
+        or the wrong model fingerprint raises immediately (that is a
+        deployment error, not an outage). Raises ``worker_unavailable``
+        when no worker registered at all.
         """
+        self._expected_fingerprint = expected_fingerprint
         infos = []
         for endpoint in self.endpoints:
             try:
                 infos.append(endpoint.register(expected_fingerprint))
             except protocol.TransportError as exc:
                 endpoint.mark_failed(str(exc))
+                endpoint._next_probe_at = (
+                    time.monotonic() + self.reprobe_interval
+                )
+                continue
+            self._require_wire(endpoint)
         if not infos:
             raise protocol.ProtocolError(
                 protocol.WORKER_UNAVAILABLE,
@@ -261,6 +506,53 @@ class WorkerPool:
                 ),
             )
         return infos
+
+    def _require_wire(self, endpoint: WorkerEndpoint) -> None:
+        if self.wire == "v2" and not endpoint.supports_frames:
+            raise protocol.ProtocolError(
+                protocol.UNSUPPORTED_VERSION,
+                f"worker {endpoint.address} does not support the v2 "
+                "framed wire required by wire='v2' (it advertises "
+                f"{list(endpoint.wire_formats)})",
+                details={"worker": endpoint.address},
+            )
+
+    def reprobe(self) -> list[str]:
+        """Re-``hello`` retired endpoints; re-admit the matching ones.
+
+        The self-healing half of worker-pool elasticity: called at the
+        top of every :meth:`audit`, so a worker that died and was
+        restarted rejoins the pool without a rebuild — *if* it answers
+        with a model fingerprint matching the one this pool registered
+        against (and the required wire). Ones that stay unreachable or
+        come back wrong stay retired, with ``last_error`` updated.
+        A probe that *fails* parks the endpoint for
+        ``reprobe_interval`` seconds, so an endpoint that stays dead
+        costs one connect timeout per interval, not one per audit.
+        Returns the re-admitted addresses.
+        """
+        readmitted = []
+        now = time.monotonic()
+        for endpoint in self.endpoints:
+            if endpoint.healthy or endpoint.last_error is None:
+                # Healthy, or never probed (connect() has not run).
+                continue
+            if now < endpoint._next_probe_at:
+                continue  # recently failed a probe: leave it parked
+            try:
+                endpoint.register(self._expected_fingerprint)
+                self._require_wire(endpoint)
+            except protocol.TransportError as exc:
+                endpoint.mark_failed(str(exc))
+                endpoint._next_probe_at = now + self.reprobe_interval
+            except protocol.ProtocolError as exc:
+                # Came back with the wrong model/protocol: stays out.
+                endpoint.mark_failed(str(exc))
+                endpoint._next_probe_at = now + self.reprobe_interval
+            else:
+                endpoint._next_probe_at = 0.0
+                readmitted.append(endpoint.address)
+        return readmitted
 
     def healthy_workers(self) -> list[WorkerEndpoint]:
         with self._lock:
@@ -276,6 +568,13 @@ class WorkerPool:
                 out[endpoint.address] = None
         return out
 
+    def clear_scene_cache(self) -> None:
+        """Drop cached per-scene payloads (after in-place scene edits)."""
+        self._payloads.clear()
+        with self._lock:
+            for endpoint in self.endpoints:
+                endpoint._known_hashes.clear()
+
     # ------------------------------------------------------------------
     # Distributed audit
     # ------------------------------------------------------------------
@@ -283,14 +582,17 @@ class WorkerPool:
         """Run ``spec`` over ``scenes`` across the healthy workers.
 
         Returns ``(merged items, worker reports)``. The spec is shipped
-        with ``backend="inline"`` (each worker executes its partition
-        serially — the reference strategy) and without the coordinator's
-        scene source (the scenes travel with the request). Failure of a
-        worker mid-audit requeues its partition; see the module
+        with ``backend="inline"`` (each worker executes its chunk
+        serially — the reference strategy) and without the
+        coordinator's scene source (the scenes travel with the
+        request, as bodies or content hashes). Failure of a worker
+        mid-audit requeues its unfinished chunks; see the module
         docstring for why the result stays byte-identical.
         """
+        self.reprobe()
         workers = self.healthy_workers()
-        partitions = partition_scenes(list(scenes), workers)
+        scenes = list(scenes)
+        partitions = partition_scenes(scenes, workers)
         if not partitions:  # no scenes: nothing to dispatch
             return [], []
         # What the worker executes: same declaration, inline strategy,
@@ -298,54 +600,257 @@ class WorkerPool:
         ship_spec = replace(
             spec, backend="inline", backend_options={}, scenes=None
         )
-        reports: list[dict | None] = [None] * len(partitions)
-        blocks: list[list[ScoredItem] | None] = [None] * len(partitions)
+        spec_payload = ship_spec.to_dict()  # encoded once, reused per chunk
+
+        # Split partitions into dispatch chunks; `blocks` is indexed by
+        # global chunk order = scene order (the merge contract).
+        jobs: list[tuple[WorkerEndpoint, list[tuple[int, list]]]] = []
+        n_chunks = 0
+        for worker_index, part in partitions:
+            size = self.chunk_scenes or len(part)
+            chunk_jobs = [
+                (n_chunks + j, part[i : i + size])
+                for j, i in enumerate(range(0, len(part), size))
+            ]
+            jobs.append((workers[worker_index], chunk_jobs))
+            n_chunks += len(chunk_jobs)
+        blocks: list[list[ScoredItem] | None] = [None] * n_chunks
+        # One report per (partition, worker that completed chunks) —
+        # after a mid-partition death the dead worker keeps credit for
+        # the chunks it finished, the replacement for the rest.
+        reports: list[list[dict]] = [[] for _ in jobs]
 
         def run_partition(slot: int) -> None:
-            worker_index, chunk = partitions[slot]
-            worker = workers[worker_index]
+            worker, chunk_jobs = jobs[slot]
             attempts = 0
             tried: set[str] = set()
+            fresh_retried: set[str] = set()
+            remaining = chunk_jobs
             while True:
                 attempts += 1
-                tried.add(worker.address)
                 t0 = time.perf_counter()
                 try:
-                    with worker.client() as client:
-                        result = client.audit(ship_spec, scenes=chunk)
+                    stats = self._dispatch(
+                        worker, spec_payload, remaining, blocks
+                    )
                 except protocol.TransportError as exc:
+                    elapsed = time.perf_counter() - t0
+                    if (
+                        getattr(exc, "reused_connection", False)
+                        and worker.address not in fresh_retried
+                    ):
+                        # The failure was on a connection cached from an
+                        # earlier audit — a worker restart or idle-socket
+                        # death looks identical to a live failure. Retry
+                        # this worker once on a fresh connection before
+                        # retiring it (the stale client was already
+                        # dropped by release()).
+                        fresh_retried.add(worker.address)
+                        remaining = [
+                            job for job in remaining if blocks[job[0]] is None
+                        ]
+                        continue
+                    tried.add(worker.address)
                     with self._lock:
                         worker.mark_failed(str(exc))
+                    # Chunks that completed before the death keep their
+                    # blocks (credited to the worker that ranked them);
+                    # only unfinished ones requeue.
+                    finished = [
+                        job for job in remaining if blocks[job[0]] is not None
+                    ]
+                    if finished:
+                        reports[slot].append(
+                            {
+                                "worker": worker.address,
+                                "partition": slot,
+                                "n_scenes": sum(len(c) for _, c in finished),
+                                "rank_s": elapsed,
+                                "attempts": attempts,
+                                "failed_after": str(exc),
+                            }
+                        )
+                    remaining = [
+                        job for job in remaining if blocks[job[0]] is None
+                    ]
                     worker = self._replacement(tried)
                     if worker is None:
+                        n_left = sum(len(c) for _, c in remaining)
                         raise protocol.ProtocolError(
                             protocol.WORKER_UNAVAILABLE,
-                            f"partition {slot} ({len(chunk)} scenes) failed "
+                            f"partition {slot} ({n_left} scenes) failed "
                             f"on every worker; last error: {exc}",
                         ) from exc
                     continue
-                blocks[slot] = result.items
-                reports[slot] = {
-                    "worker": worker.address,
-                    "partition": slot,
-                    "n_scenes": len(chunk),
-                    "rank_s": time.perf_counter() - t0,
-                    "attempts": attempts,
-                }
+                reports[slot].append(
+                    {
+                        "worker": worker.address,
+                        "partition": slot,
+                        "n_scenes": sum(len(c) for _, c in remaining),
+                        "rank_s": time.perf_counter() - t0,
+                        "attempts": attempts,
+                        **stats,
+                    }
+                )
                 return
 
-        with ThreadPoolExecutor(max_workers=len(partitions)) as executor:
-            futures = [
-                executor.submit(run_partition, slot)
-                for slot in range(len(partitions))
-            ]
-            for future in futures:
-                future.result()  # re-raise the first partition failure
+        executor = self._dispatch_executor(len(jobs))
+        futures = [
+            executor.submit(run_partition, slot) for slot in range(len(jobs))
+        ]
+        for future in futures:
+            future.result()  # re-raise the first partition failure
 
         merged = merge_rankings(
             [block for block in blocks if block is not None], spec.top_k
         )
-        return merged, [report for report in reports if report is not None]
+        return merged, [report for slot in reports for report in slot]
+
+    def _dispatch_executor(self, width: int) -> ThreadPoolExecutor:
+        """The reusable partition-dispatch thread pool (grown on demand)."""
+        with self._lock:
+            if self._executor is None or self._executor_width < width:
+                old = self._executor
+                self._executor_width = max(width, len(self.endpoints))
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._executor_width,
+                    thread_name_prefix="pool-dispatch",
+                )
+                if old is not None:
+                    old.shutdown(wait=False)
+            return self._executor
+
+    # ------------------------------------------------------------------
+    # Per-worker dispatch (one attempt over one dedicated connection)
+    # ------------------------------------------------------------------
+    def _dispatch(self, worker, spec_payload, chunk_jobs, blocks) -> dict:
+        if worker.supports_frames and self.wire != "v1":
+            return self._dispatch_framed(
+                worker, spec_payload, chunk_jobs, blocks
+            )
+        return self._dispatch_json(worker, spec_payload, chunk_jobs, blocks)
+
+    def _dispatch_json(self, worker, spec_payload, chunk_jobs, blocks) -> dict:
+        """v1 line-JSON: one ``audit`` request per chunk, serially."""
+        stats = {
+            "wire": "v1",
+            "n_chunks": len(chunk_jobs),
+            "encode_s": 0.0,
+            "scene_cache_hits": 0,
+            "scene_cache_misses": 0,
+        }
+        client, leased, reused = worker.lease(wire="json")
+        bytes_before = client.bytes_sent
+        ok = False
+        try:
+            for block_slot, chunk in chunk_jobs:
+                t0 = time.perf_counter()
+                payloads = [self._payloads.dict_for(s) for s in chunk]
+                stats["encode_s"] += time.perf_counter() - t0
+                result = client.audit(spec_payload, scenes=payloads)
+                blocks[block_slot] = result.items
+            stats["bytes_sent"] = client.bytes_sent - bytes_before
+            ok = True
+        except protocol.TransportError as exc:
+            exc.reused_connection = reused
+            raise
+        finally:
+            worker.release(client, leased, ok)
+        return stats
+
+    #: Times one chunk may be answered with ``need`` before the pool
+    #: declares the worker's cache broken (refusing what it was just
+    #: sent is a protocol violation, not an outage).
+    MAX_REFILLS = 3
+
+    def _dispatch_framed(
+        self, worker, spec_payload, chunk_jobs, blocks
+    ) -> dict:
+        """v2 frames: content-addressed chunks, pipelined on one socket."""
+        stats = {
+            "wire": "v2",
+            "n_chunks": len(chunk_jobs),
+            "encode_s": 0.0,
+            "scene_cache_hits": 0,
+            "scene_cache_misses": 0,
+        }
+        client, leased, reused = worker.lease(wire="frames")
+        bytes_before = client.bytes_sent
+        ok = False
+        try:
+            queue = deque(chunk_jobs)
+            in_flight: deque = deque()  # (block_slot, hashes, by_hash, refills)
+            while queue or in_flight:
+                # Keep the send window full: encode + ship ahead while
+                # the worker ranks earlier chunks.
+                while queue and len(in_flight) < self.pipeline:
+                    block_slot, chunk = queue.popleft()
+                    t0 = time.perf_counter()
+                    hashes, by_hash = [], {}
+                    for scene in chunk:
+                        packed, fingerprint = self._payloads.packed_for(scene)
+                        hashes.append(fingerprint)
+                        by_hash[fingerprint] = packed
+                    with self._lock:
+                        unknown = [
+                            h for h in by_hash if not worker.knows(h)
+                        ]
+                        for fingerprint in unknown:
+                            worker.remember(fingerprint)
+                    blobs = tuple(by_hash[h] for h in unknown)
+                    stats["encode_s"] += time.perf_counter() - t0
+                    client.send_request(
+                        "audit",
+                        blobs=blobs,
+                        spec=spec_payload,
+                        scene_hashes=hashes,
+                    )
+                    in_flight.append((block_slot, hashes, by_hash, 0))
+                block_slot, hashes, by_hash, refills = in_flight.popleft()
+                response = client.recv_response()
+                need = response.get("need")
+                if need:
+                    # The worker evicted (or never had) some bodies.
+                    # Resend the *whole chunk's* bodies, not just the
+                    # missing ones: blobs shipped with a request are
+                    # resolvable request-locally even when the worker's
+                    # LRU is smaller than the chunk, so one refill
+                    # always completes — refilling only `need` can
+                    # ping-pong forever (each refill's ingests evicting
+                    # the chunk's other scenes).
+                    if refills >= self.MAX_REFILLS or not set(need) <= set(
+                        by_hash
+                    ):
+                        raise protocol.ProtocolError(
+                            protocol.UNKNOWN_SCENE_HASH,
+                            f"worker {worker.address} cannot resolve scene "
+                            f"hashes it was sent: {sorted(need)[:3]}...",
+                            details={"worker": worker.address},
+                        )
+                    client.send_request(
+                        "audit",
+                        blobs=tuple(by_hash.values()),
+                        spec=spec_payload,
+                        scene_hashes=hashes,
+                    )
+                    with self._lock:
+                        for fingerprint in by_hash:
+                            worker.remember(fingerprint)
+                    in_flight.append((block_slot, hashes, by_hash, refills + 1))
+                    continue
+                result = AuditResult.from_dict(response["result"])
+                blocks[block_slot] = result.items
+                cache = response.get("scene_cache") or {}
+                stats["scene_cache_hits"] += int(cache.get("hits") or 0)
+                stats["scene_cache_misses"] += int(cache.get("misses") or 0)
+            stats["bytes_sent"] = client.bytes_sent - bytes_before
+            ok = True
+        except protocol.TransportError as exc:
+            exc.reused_connection = reused
+            raise
+        finally:
+            worker.release(client, leased, ok)
+        return stats
 
     def _replacement(self, tried: set[str]) -> WorkerEndpoint | None:
         """A healthy worker not yet tried for this partition (requeue
@@ -359,10 +864,18 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Forget registration state (connections are per-request)."""
+        """Drop connections, dispatch threads, and registration state."""
         for endpoint in self.endpoints:
+            endpoint.drop_cached_client()
             endpoint.healthy = False
             endpoint.info = None
+            endpoint.last_error = None
+        self._payloads.clear()
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._executor_width = 0
+        if executor is not None:
+            executor.shutdown(wait=False)
 
     def __enter__(self) -> "WorkerPool":
         return self

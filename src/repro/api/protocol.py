@@ -30,7 +30,7 @@ Rules:
   (``StreamingService(accept_legacy=False)``, ``cli serve --strict``)
   reject them with ``unsupported_version``.
 
-Still protocol version 1 (additions are strictly additive): the
+Introduced at protocol version 1 (additions are strictly additive): the
 ``hello``/``health`` ops register and monitor workers for distributed
 execution (:mod:`repro.api.pool`), and the
 ``model_mismatch``/``worker_unavailable``/``request_timeout`` codes
@@ -38,6 +38,32 @@ report distributed failures. Client-side transport failures raise
 typed :class:`TransportError` subclasses (:class:`StreamClosedError`,
 :class:`MalformedResponseError`, :class:`RequestTimeoutError`) carrying
 those same codes.
+
+Protocol version 2 adds the **binary framed wire** and
+**content-addressed scene transport** (:mod:`repro.api.frames`):
+
+- a peer may speak the same request/response dicts over length-prefixed
+  binary frames (a JSON header plus zero or more raw blobs) instead of
+  line-JSON; the wire format is per-connection, self-identifying (a
+  framed connection opens with :data:`repro.api.frames.MAGIC`, which can
+  never begin a JSON line), and advertised in ``hello`` as
+  ``wire_formats``;
+- an ``audit`` request may carry ``scene_hashes`` (content hashes of
+  packed scenes) instead of ``scenes``; bodies travel as frame blobs,
+  the server keeps a bounded LRU of decoded scenes keyed by hash, and a
+  request naming hashes the server does not hold is answered with
+  ``{"ok": true, "need": [missing...]}`` so the client resends only the
+  missing bodies;
+- new codes: ``frame_too_large`` / ``frame_malformed`` (the framed
+  transport's failure vocabulary, raised client-side as
+  :class:`FrameTooLargeError` / :class:`FrameDecodeError`) and
+  ``unknown_scene_hash`` (a hash that can be neither resolved nor
+  refilled).
+
+The v2 *JSON dialect* is otherwise identical to v1, and servers answer
+every request in the version it was asked in — a v1-only peer keeps
+working against a v2 build, which is how mixed-version worker pools
+stay live through a rolling upgrade.
 
 Typed failures cross the boundary as codes:
 :class:`~repro.core.scoring.UnknownRankKindError` →
@@ -54,10 +80,13 @@ import warnings
 from repro.core.scoring import UnknownRankKindError
 
 __all__ = [
+    "BASELINE_VERSION",
     "ERROR_CODES",
     "LEGACY_VERSION",
     "PROTOCOL_VERSION",
     "SUPPORTED_VERSIONS",
+    "FrameDecodeError",
+    "FrameTooLargeError",
     "MalformedResponseError",
     "ProtocolError",
     "RequestTimeoutError",
@@ -70,14 +99,20 @@ __all__ = [
     "ok_response",
 ]
 
-#: Current protocol version spoken by this build.
-PROTOCOL_VERSION = 1
+#: Current protocol version spoken by this build (v2: binary frames +
+#: content-addressed scene transport; the JSON dialect is unchanged).
+PROTOCOL_VERSION = 2
 
 #: The version-less, pre-versioning dialect (string errors, no "v").
 LEGACY_VERSION = 0
 
-#: Versions this server answers in their own dialect.
-SUPPORTED_VERSIONS = (PROTOCOL_VERSION,)
+#: The oldest versioned dialect every deployed peer speaks — what a
+#: coordinator uses to ``hello`` a worker whose version it does not
+#: know yet.
+BASELINE_VERSION = 1
+
+#: Versions this server answers in their own dialect (ascending).
+SUPPORTED_VERSIONS = (1, 2)
 
 # Machine-readable error codes (the protocol's stable error vocabulary).
 UNSUPPORTED_VERSION = "unsupported_version"
@@ -92,6 +127,9 @@ INTERNAL_ERROR = "internal_error"
 MODEL_MISMATCH = "model_mismatch"
 WORKER_UNAVAILABLE = "worker_unavailable"
 REQUEST_TIMEOUT = "request_timeout"
+FRAME_TOO_LARGE = "frame_too_large"
+FRAME_MALFORMED = "frame_malformed"
+UNKNOWN_SCENE_HASH = "unknown_scene_hash"
 
 ERROR_CODES = (
     UNSUPPORTED_VERSION,
@@ -106,6 +144,9 @@ ERROR_CODES = (
     MODEL_MISMATCH,
     WORKER_UNAVAILABLE,
     REQUEST_TIMEOUT,
+    FRAME_TOO_LARGE,
+    FRAME_MALFORMED,
+    UNKNOWN_SCENE_HASH,
 )
 
 
@@ -165,6 +206,21 @@ class RequestTimeoutError(TransportError):
     code_class = REQUEST_TIMEOUT
 
 
+class FrameTooLargeError(TransportError):
+    """A v2 frame declared a header/blob beyond the hard size caps —
+    reading on would buffer unbounded bytes, so the frame is refused
+    before its body is read (the stream is left unsynced: close it)."""
+
+    code_class = FRAME_TOO_LARGE
+
+
+class FrameDecodeError(TransportError):
+    """The bytes were not a well-formed v2 frame (bad magic, a header
+    that is not a JSON object, an unpackable scene blob)."""
+
+    code_class = FRAME_MALFORMED
+
+
 # ---------------------------------------------------------------------------
 # Envelope constructors
 # ---------------------------------------------------------------------------
@@ -195,19 +251,27 @@ def error_response(
 # ---------------------------------------------------------------------------
 # Version negotiation
 # ---------------------------------------------------------------------------
-def negotiate_version(request: dict, accept_legacy: bool = True) -> int:
+def negotiate_version(
+    request: dict,
+    accept_legacy: bool = True,
+    supported: tuple[int, ...] | None = None,
+) -> int:
     """The dialect to answer ``request`` in.
 
-    Returns a member of :data:`SUPPORTED_VERSIONS`, or
-    :data:`LEGACY_VERSION` for version-less requests when
-    ``accept_legacy`` (with a :class:`DeprecationWarning`). Anything
-    else raises :class:`ProtocolError` with ``unsupported_version``.
+    Returns a member of ``supported`` (default
+    :data:`SUPPORTED_VERSIONS`; a server built to emulate an older
+    peer passes a shorter tuple), or :data:`LEGACY_VERSION` for
+    version-less requests when ``accept_legacy`` (with a
+    :class:`DeprecationWarning`). Anything else raises
+    :class:`ProtocolError` with ``unsupported_version``.
     """
+    if supported is None:
+        supported = SUPPORTED_VERSIONS
     if "v" not in request:
         if accept_legacy:
             warnings.warn(
                 "version-less (v0) protocol request; add \"v\": "
-                f"{PROTOCOL_VERSION} — the legacy dialect will be removed",
+                f"{max(supported)} — the legacy dialect will be removed",
                 DeprecationWarning,
                 stacklevel=3,
             )
@@ -216,15 +280,15 @@ def negotiate_version(request: dict, accept_legacy: bool = True) -> int:
             UNSUPPORTED_VERSION,
             'request has no protocol version field "v" and this server '
             "does not accept legacy requests",
-            details={"supported": list(SUPPORTED_VERSIONS)},
+            details={"supported": list(supported)},
         )
     version = request["v"]
-    if version in SUPPORTED_VERSIONS:
+    if version in supported:
         return version
     raise ProtocolError(
         UNSUPPORTED_VERSION,
         f"unsupported protocol version {version!r}",
-        details={"supported": list(SUPPORTED_VERSIONS)},
+        details={"supported": list(supported)},
     )
 
 

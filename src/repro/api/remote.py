@@ -55,12 +55,25 @@ class RemoteBackend(ExecutionBackend):
     - ``connect_timeout``: TCP handshake deadline per connection;
     - ``check_model``: verify every worker's model fingerprint against
       the coordinating engine at registration (default True; turning
-      it off surrenders the byte-identity guarantee).
+      it off surrenders the byte-identity guarantee);
+    - ``wire``: ``"auto"`` (default — the protocol v2 binary framed
+      wire with content-addressed scene shipping for workers that
+      advertise it, classic line-JSON for v1-only workers, mixed pools
+      welcome), ``"v1"`` (force line-JSON), or ``"v2"`` (require
+      frames; a worker without them fails registration);
+    - ``chunk_scenes``: scenes per dispatch request (default 8; 0 =
+      one request per partition) — smaller chunks pipeline
+      coordinator-side encoding against worker-side ranking;
+    - ``pipeline``: framed requests kept in flight per worker.
 
-    The pool registers lazily on first :meth:`run` and re-registers
-    when the engine changes. The backend remembers per-worker
-    partition timings from the latest run and surfaces them through
-    :meth:`provenance_extras` into ``AuditResult.provenance.workers``.
+    The pool registers lazily on first :meth:`run`, re-registers when
+    the engine changes, and re-probes retired workers at the top of
+    every dispatch (a restarted worker with the right model rejoins
+    automatically). The backend remembers per-worker partition
+    timings — plus wire format, bytes shipped, encode seconds, and
+    worker scene-cache hits/misses — from the latest run and surfaces
+    them through :meth:`provenance_extras` into
+    ``AuditResult.provenance.workers``.
     """
 
     #: Default per-request idle deadline (seconds): generous enough for
@@ -74,16 +87,28 @@ class RemoteBackend(ExecutionBackend):
         timeout: float | None = DEFAULT_TIMEOUT,
         connect_timeout: float | None = 5.0,
         check_model: bool = True,
+        wire: str = "auto",
+        chunk_scenes: int = 8,
+        pipeline: int = 2,
     ):
+        from repro.api.pool import WIRE_MODES
+
         workers = list(workers)
         if not workers:
             raise TypeError(
                 "the remote backend needs workers=[\"host:port\", ...]"
             )
+        if wire not in WIRE_MODES:
+            raise TypeError(
+                f"wire must be one of {WIRE_MODES}, got {wire!r}"
+            )
         self.workers = workers
         self.timeout = timeout
         self.connect_timeout = connect_timeout
         self.check_model = check_model
+        self.wire = wire
+        self.chunk_scenes = chunk_scenes
+        self.pipeline = pipeline
         self._pool: WorkerPool | None = None
         self._fixy = None
         self._last_reports: list[dict] = []
@@ -108,6 +133,9 @@ class RemoteBackend(ExecutionBackend):
                 self.workers,
                 timeout=self.timeout,
                 connect_timeout=self.connect_timeout,
+                wire=self.wire,
+                chunk_scenes=self.chunk_scenes,
+                pipeline=self.pipeline,
             )
             pool.connect(expected_fingerprint=self._expected_fingerprint(fixy))
             self._pool = pool

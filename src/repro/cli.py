@@ -134,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request deadline in seconds (remote backend)",
     )
     audit.add_argument(
+        "--wire", choices=["auto", "v1", "v2"], default=None,
+        help="remote backend wire format: auto (negotiate per worker, "
+        "the default), v1 (line-JSON), v2 (require binary frames + "
+        "content-addressed scene shipping)",
+    )
+    audit.add_argument(
         "--jobs", type=int, default=None,
         help="worker threads (threaded backend)",
     )
@@ -219,6 +225,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="advertised audit capacity (partition weight in a worker "
         "pool; default 1)",
     )
+    serve.add_argument(
+        "--scene-cache", type=int, default=256,
+        help="decoded scenes kept by content hash for the v2 "
+        "content-addressed transport (bounded LRU; advertised in "
+        "hello; default 256)",
+    )
 
     return parser
 
@@ -298,7 +310,7 @@ def _cmd_audit(args) -> int:
         or args.backend != "inline" or args.features != "default"
         or args.split != "val" or args.workers is not None
         or args.jobs is not None or args.model_only
-        or args.timeout is not None
+        or args.timeout is not None or args.wire is not None
     )
     try:
         if args.spec is not None:
@@ -353,6 +365,13 @@ def _cmd_audit(args) -> int:
                         f"(got --backend {args.backend})"
                     )
                 backend_options["timeout"] = args.timeout
+            if args.wire is not None:
+                if args.backend != "remote":
+                    raise SpecValidationError(
+                        "--wire applies to the remote backend "
+                        f"(got --backend {args.backend})"
+                    )
+                backend_options["wire"] = args.wire
             if args.jobs is not None:
                 if args.backend != "threaded":
                     raise SpecValidationError(
@@ -509,6 +528,7 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
         max_sessions=args.max_sessions,
         accept_legacy=not args.strict,
         capacity=args.capacity,
+        scene_cache=args.scene_cache,
     )
     from repro.api.protocol import PROTOCOL_VERSION
 
@@ -516,7 +536,7 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
         f"serving ({source}); protocol v{PROTOCOL_VERSION}"
         f"{' (strict)' if args.strict else ''}; "
         "ops: open/edit/rank/audit/close/stats/hello/health; "
-        "one JSON request per line",
+        "one JSON request per line (or v2 binary frames over --listen)",
         file=sys.stderr,
     )
     if listen_address is not None:

@@ -179,6 +179,13 @@ class LearnedModel:
     distributions: dict[str, dict[str, LearnedFeatureDistribution]] = field(
         default_factory=dict
     )
+    #: Memoized content hash — the estimator set is fixed once fitting
+    #: (or from_dict) finishes, but serializing it costs tens of
+    #: milliseconds, far too much to pay on every audit's provenance
+    #: (coordinator *and* worker stamp one per request).
+    _fingerprint: str | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Persistence (offline fits can be expensive; save them as JSON)
@@ -231,18 +238,27 @@ class LearnedModel:
         return model
 
     def fingerprint(self) -> str:
-        """Stable content hash of the fitted estimators.
+        """Stable content hash of the fitted estimators (memoized).
 
         Density grids are excluded — they are traffic-dependent
         acceleration state, not model identity, so a model fingerprints
         the same before and after its lazy grid builds. Audit results
         (:class:`repro.api.AuditResult`) record this hash as provenance.
+        Computed once per model: the estimators never change after
+        fitting, and re-serializing them per audit dominated the warm
+        distributed hot path.
         """
-        import hashlib
-        import json
+        if self._fingerprint is None:
+            import hashlib
+            import json
 
-        text = json.dumps(self.to_dict(include_grids=False), sort_keys=True)
-        return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+            text = json.dumps(
+                self.to_dict(include_grids=False), sort_keys=True
+            )
+            self._fingerprint = hashlib.blake2b(
+                text.encode("utf-8"), digest_size=16
+            ).hexdigest()
+        return self._fingerprint
 
     def save(self, path, include_grids: bool = True) -> None:
         """Persist the model as JSON.

@@ -35,11 +35,23 @@ from repro.core import MissingTrackFinder
 from repro.core.compile import compile_scene
 
 __all__ = [
+    "available_cpus",
     "delta_vs_full",
     "remote_report",
     "sharding_report",
     "render_serving_report",
 ]
+
+
+def available_cpus() -> int:
+    """CPUs this process may run on (affinity-aware where the OS has
+    the concept; macOS/Windows fall back to the machine count)."""
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
 
 
 def _warm_finder():
@@ -213,21 +225,43 @@ def sharding_report(
 
 
 # ----------------------------------------------------------------------
+def _wire_stats(result) -> dict:
+    """Aggregate per-worker wire counters out of an AuditResult."""
+    reports = result.provenance.workers or []
+    return {
+        "bytes_sent": sum(r.get("bytes_sent", 0) for r in reports),
+        "encode_ms": round(
+            1e3 * sum(r.get("encode_s", 0.0) for r in reports), 3
+        ),
+        "scene_cache_hits": sum(
+            r.get("scene_cache_hits", 0) for r in reports
+        ),
+        "scene_cache_misses": sum(
+            r.get("scene_cache_misses", 0) for r in reports
+        ),
+        "wires": sorted({r.get("wire", "?") for r in reports}),
+    }
+
+
 def remote_report(
     n_scenes: int = 6,
     n_objects: int = 20,
     worker_counts: Sequence[int] = (1, 2),
     repeats: int = 3,
     fixy=None,
+    wire: str = "auto",
 ) -> dict:
     """Inline vs 1..N-TCP-worker audit throughput (+ identity check).
 
     Spawns ``max(worker_counts)`` in-process TCP workers sharing one
     warmed engine, runs the same :class:`repro.api.AuditSpec` through
     the ``inline`` backend and through ``remote`` pools of increasing
-    width, and records best-of-``repeats`` wall-clock, scenes/s, and a
-    byte-identity verdict per width — the distributed row of the
-    scaling trajectory in ``BENCH_scaling.json``.
+    width, and records best-of-``repeats`` wall-clock, scenes/s, a
+    byte-identity verdict, and the wire economics per width — bytes on
+    the wire (cold vs warm), coordinator encode milliseconds, and
+    worker scene-cache hits/misses, which is how the trajectory shows
+    the v2 warm path shipping ids instead of bodies. ``wire`` forwards
+    to the remote backend (``auto``/``v1``/``v2``).
     """
     from repro.api import Audit, AuditSpec
     from repro.serving.tcp import TcpWorker
@@ -260,16 +294,20 @@ def remote_report(
         identical = True
         for n_workers in worker_counts:
             addresses = [w.address for w in workers[:n_workers]]
-            # First call registers the pool (hello round-trips); the
-            # cold/warm split mirrors sharding_report.
+            # First call registers the pool (hello round-trips) and
+            # ships scene bodies; the warm runs ride the worker-side
+            # scene caches (ids only under the v2 wire). The cold/warm
+            # split mirrors sharding_report.
             t0 = time.perf_counter()
             cold = audit.run(
-                scenes=scenes, backend="remote", workers=addresses
+                scenes=scenes, backend="remote", workers=addresses,
+                wire=wire,
             )
             cold_s = time.perf_counter() - t0
             warm_s, warm = best_of(
                 lambda: audit.run(
-                    scenes=scenes, backend="remote", workers=addresses
+                    scenes=scenes, backend="remote", workers=addresses,
+                    wire=wire,
                 )
             )
             match = (
@@ -277,6 +315,8 @@ def remote_report(
                 and _ranking_signature(warm.items) == reference
             )
             identical &= match
+            cold_stats = _wire_stats(cold)
+            warm_stats = _wire_stats(warm)
             cases.append(
                 {
                     "n_workers": n_workers,
@@ -286,6 +326,12 @@ def remote_report(
                         round(n_scenes / warm_s, 2) if warm_s > 0 else None
                     ),
                     "byte_identical": match,
+                    "wire": warm_stats["wires"],
+                    "cold_bytes_sent": cold_stats["bytes_sent"],
+                    "warm_bytes_sent": warm_stats["bytes_sent"],
+                    "encode_ms": warm_stats["encode_ms"],
+                    "scene_cache_hits": warm_stats["scene_cache_hits"],
+                    "scene_cache_misses": warm_stats["scene_cache_misses"],
                     "partitions": [
                         {"worker": w["worker"], "n_scenes": w["n_scenes"]}
                         for w in (warm.provenance.workers or [])
@@ -300,6 +346,11 @@ def remote_report(
         "n_scenes": n_scenes,
         "n_objects": n_objects,
         "repeats": repeats,
+        "wire": wire,
+        # Worker scaling is bounded by the machine: on a single-CPU
+        # box N workers time-share one core, so warm throughput tops
+        # out at parity with 1 worker no matter the wire.
+        "n_cpus": available_cpus(),
         "inline_ms": round(1e3 * inline_s, 3),
         "inline_scenes_per_s": (
             round(n_scenes / inline_s, 2) if inline_s > 0 else None
@@ -346,9 +397,18 @@ def render_serving_report(
             f"byte-identical={remote['byte_identical']}"
         )
         for case in remote["worker_cases"]:
-            lines.append(
+            line = (
                 f"    {case['n_workers']} TCP worker(s): cold "
                 f"{case['cold_ms']:.1f} ms, warm {case['warm_ms']:.1f} ms "
                 f"({case['scenes_per_s']:.1f} scenes/s)"
             )
+            if "warm_bytes_sent" in case:
+                line += (
+                    f", wire {'+'.join(case['wire'])}: "
+                    f"{case['cold_bytes_sent']}B cold -> "
+                    f"{case['warm_bytes_sent']}B warm, "
+                    f"cache {case['scene_cache_hits']}h/"
+                    f"{case['scene_cache_misses']}m"
+                )
+            lines.append(line)
     return "\n".join(lines)

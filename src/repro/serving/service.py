@@ -16,8 +16,10 @@ edit     ``session_id``, ``edit`` (SceneEdit.to_dict) → ``changed``,
 rank     ``session_id``, optional ``kind`` (tracks default),
          ``top_k`` → ``results`` (ScoredItem.to_dict items)
 audit    ``spec`` (AuditSpec.to_dict) + ``session_id`` *or*
-         ``scenes`` (list of Scene.to_dict) → ``result``
-         (AuditResult.to_dict)
+         ``scenes`` (list of Scene.to_dict) *or* v2
+         ``scene_hashes`` (content hashes; bodies as frame blobs,
+         misses answered with ``need``) → ``result``
+         (AuditResult.to_dict) [+ ``scene_cache`` hit/miss counts]
 close    ``session_id`` → ``closed``
 stats    → store counters
 hello    → ``protocol_version``, ``model_fingerprint``, ``capacity``,
@@ -27,13 +29,25 @@ health   → ``status``, ``uptime_s``, ``requests_handled`` + store
          counters (liveness probe)
 ======== ==============================================================
 
-Every v1 request and response carries ``"v"``; failures come back as
+Every versioned request and response carries ``"v"``, and the service
+answers in the version it was asked in (a v1 client keeps getting v1
+responses from this v2 build); failures come back as
 ``{"ok": false, "error": {"code", "message", ...}}`` instead of
 raising, so one malformed request cannot take down the serving loop.
 Version-less (v0) requests are answered through a deprecation shim in
 the v0 dialect — string errors, no ``"v"`` — unless the service was
 built with ``accept_legacy=False``, in which case they get a
 structured ``unsupported_version`` error.
+
+Protocol v2 adds the binary framed wire (:mod:`repro.api.frames`,
+served by :meth:`StreamingService.serve_frames` — the TCP front end
+auto-detects it per connection from the frame magic) and
+content-addressed scene transport: an ``audit`` request may name
+``scene_hashes`` instead of shipping ``scenes``; bodies arrive as
+packed-scene frame blobs, are decoded once into a bounded
+:class:`~repro.api.frames.SceneCache`, and hashes the cache cannot
+resolve are answered with ``{"ok": true, "need": [...]}`` so the
+coordinator resends only the missing bodies.
 """
 
 from __future__ import annotations
@@ -42,13 +56,32 @@ import json
 import time
 import warnings
 
-from repro.api import protocol
+from repro.api import frames, protocol
 from repro.core.model import Scene
 from repro.core.scoring import ScoredItem
 from repro.serving.edits import edit_from_dict
 from repro.serving.store import SessionStore
 
 __all__ = ["StreamingService", "scored_item_to_dict"]
+
+
+def _sanitize_wire_request(request) -> dict:
+    """Drop underscore-prefixed keys from a request read off the wire.
+
+    Keys like ``_ingested_scenes`` are in-process plumbing between
+    :meth:`StreamingService.handle_frame` and the op handlers; a peer
+    must not be able to inject them (a raw JSON dict masquerading as a
+    decoded scene would bypass the cache's hash-verified path).
+    """
+    if not isinstance(request, dict):
+        return request
+    if any(isinstance(k, str) and k.startswith("_") for k in request):
+        return {
+            k: v
+            for k, v in request.items()
+            if not (isinstance(k, str) and k.startswith("_"))
+        }
+    return request
 
 
 def scored_item_to_dict(scored: ScoredItem, kind: str) -> dict:
@@ -74,6 +107,13 @@ class StreamingService:
         capacity: Advertised audit capacity (a unitless weight the
             worker pool uses to size scene partitions; a worker with
             capacity 2 gets roughly twice the scenes of one with 1).
+        scene_cache: Decoded scenes kept by content hash for the v2
+            content-addressed transport (bounded LRU; also the size
+            advertised in ``hello`` so coordinators can mirror it).
+        protocol_version: Highest protocol version to speak (default
+            the build's). Pass ``1`` to emulate a v1-only worker —
+            no framed wire, v2 requests rejected — which is how the
+            mixed-version pool tests stand up "old" workers.
     """
 
     def __init__(
@@ -82,10 +122,19 @@ class StreamingService:
         max_sessions: int = 32,
         accept_legacy: bool = True,
         capacity: int = 1,
+        scene_cache: int = 256,
+        protocol_version: int = protocol.PROTOCOL_VERSION,
     ):
+        if protocol_version not in protocol.SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"protocol_version must be one of "
+                f"{protocol.SUPPORTED_VERSIONS}, got {protocol_version!r}"
+            )
         self.store = SessionStore(fixy, max_sessions=max_sessions)
         self.accept_legacy = accept_legacy
         self.capacity = int(capacity)
+        self.protocol_version = protocol_version
+        self.scene_cache = frames.SceneCache(maxsize=scene_cache)
         self.requests_handled = 0
         self._started = time.time()
         self._ops = {
@@ -100,14 +149,37 @@ class StreamingService:
         }
 
     # ------------------------------------------------------------------
+    @property
+    def supports_frames(self) -> bool:
+        """Whether this service speaks the v2 binary framed wire."""
+        return self.protocol_version >= 2
+
+    @property
+    def supported_versions(self) -> tuple[int, ...]:
+        return tuple(
+            v
+            for v in protocol.SUPPORTED_VERSIONS
+            if v <= self.protocol_version
+        )
+
     def handle(self, request: dict) -> dict:
-        """Process one request dict; always returns a response dict."""
+        """Process one request dict; always returns a response dict.
+
+        The response is stamped in the request's own version — a v1
+        request gets a v1 response even from a v2 service, which is
+        what keeps mixed-version worker pools interoperable.
+        """
         self.requests_handled += 1
         try:
-            version = protocol.negotiate_version(request, self.accept_legacy)
+            version = protocol.negotiate_version(
+                request, self.accept_legacy, supported=self.supported_versions
+            )
         except protocol.ProtocolError as exc:
             return protocol.error_response(
-                exc.code, exc.message, details=exc.details
+                exc.code,
+                exc.message,
+                details=exc.details,
+                version=self.protocol_version,
             )
         try:
             op = request.get("op")
@@ -125,11 +197,12 @@ class StreamingService:
                 # v0 dialect: the error is a bare string.
                 return {"ok": False, "error": error.message}
             return protocol.error_response(
-                error.code, error.message, details=error.details
+                error.code, error.message, details=error.details,
+                version=version,
             )
         if version == protocol.LEGACY_VERSION:
             return {"ok": True, **payload}
-        return protocol.ok_response(payload)
+        return protocol.ok_response(payload, version=version)
 
     def serve(self, lines, out) -> int:
         """Line-delimited JSON loop: one request per input line.
@@ -154,9 +227,94 @@ class StreamingService:
                         protocol.BAD_JSON, f"bad JSON: {exc}"
                     )
             else:
-                response = self.handle(request)
+                response = self.handle(_sanitize_wire_request(request))
             out.write(json.dumps(response) + "\n")
             out.flush()
+            handled += 1
+        return handled
+
+    def handle_frame(
+        self, header: dict, blobs: list[bytes]
+    ) -> tuple[dict, list[bytes]]:
+        """Process one framed request: ingest scene blobs, dispatch.
+
+        Blobs are packed scenes (:func:`repro.api.frames.pack_scene`);
+        each is hashed and decoded into the scene cache *before* the
+        request dispatches, so an ``audit`` naming their hashes
+        resolves immediately. An undecodable blob fails just this
+        request — the frame itself was well-formed, the stream stays
+        in sync.
+        """
+        if not isinstance(header, dict):
+            return (
+                protocol.error_response(
+                    protocol.BAD_REQUEST,
+                    "frame header must be a request object",
+                    version=self.protocol_version,
+                ),
+                [],
+            )
+        header = _sanitize_wire_request(header)
+        if blobs:
+            ingested = {}
+            try:
+                for blob in blobs:
+                    fingerprint, scene = self.scene_cache.ingest(blob)
+                    ingested[fingerprint] = scene
+            except protocol.TransportError as exc:
+                return (
+                    protocol.error_response(
+                        exc.code, exc.message, version=self.protocol_version
+                    ),
+                    [],
+                )
+            header = dict(header)
+            # Internal plumbing (never a wire field): the decoded
+            # scenes of this request's blobs, held so resolution works
+            # even when the LRU is smaller than one request, plus the
+            # per-request hit/miss accounting.
+            header["_ingested_scenes"] = ingested
+        return self.handle(header), []
+
+    def serve_frames(self, reader, writer) -> int:
+        """Binary framed loop: one frame in, one frame out, until EOF.
+
+        ``reader``/``writer`` are binary streams. Frame-level failures
+        that leave the stream unsynced (truncation, bad magic, a
+        declared size over the caps) end the conversation — after a
+        best-effort error frame for decodable-but-refused cases;
+        per-request failures are ordinary error responses and the loop
+        continues.
+        """
+        handled = 0
+        while True:
+            try:
+                frame = frames.read_frame(reader, allow_eof=True)
+            except protocol.StreamClosedError:
+                break  # peer died mid-frame: nothing left to answer
+            except protocol.TransportError as exc:
+                # Malformed/oversized: report once, then stop — the
+                # byte stream can no longer be trusted to re-sync.
+                try:
+                    frames.write_frame(
+                        writer,
+                        protocol.error_response(
+                            exc.code,
+                            exc.message,
+                            version=self.protocol_version,
+                        ),
+                    )
+                except OSError:
+                    pass
+                break
+            if frame is None:
+                break
+            header, blobs = frame
+            response, out_blobs = self.handle_frame(header, blobs)
+            try:
+                frames.write_frame(writer, response, tuple(out_blobs))
+            except (OSError, ValueError):
+                break  # peer gone mid-response
             handled += 1
         return handled
 
@@ -220,10 +378,53 @@ class StreamingService:
                 ),
             )
         else:
-            scenes = [Scene.from_dict(d) for d in request["scenes"]]
+            cache_stats = None
+            hashes = request.get("scene_hashes")
+            if hashes is not None:
+                scenes, cache_stats, missing = self._resolve_scene_hashes(
+                    hashes, request.get("_ingested_scenes")
+                )
+                if missing:
+                    # Not an error: the coordinator resends only these
+                    # bodies (cache eviction, or a restarted worker).
+                    return {"need": missing}
+            else:
+                scenes = [Scene.from_dict(d) for d in request["scenes"]]
             with Audit(spec, fixy=self.store.fixy) as audit:
                 result = audit.run(scenes=scenes)
+            if cache_stats is not None:
+                return {"result": result.to_dict(), "scene_cache": cache_stats}
         return {"result": result.to_dict()}
+
+    def _resolve_scene_hashes(self, hashes, ingested):
+        """Resolve content hashes against the scene cache.
+
+        Returns ``(scenes, {"hits", "misses"}, missing_hashes)`` —
+        a *hit* is a hash served from cache without a body this
+        request, a *miss* one whose body just arrived as a blob.
+        """
+        if self.protocol_version < 2:
+            raise protocol.ProtocolError(
+                protocol.BAD_REQUEST,
+                "scene_hashes need protocol v2; this worker speaks "
+                f"v{self.protocol_version}",
+            )
+        ingested = dict(ingested or {})
+        scenes, missing = [], []
+        hits = misses = 0
+        for fingerprint in hashes:
+            scene = ingested.get(fingerprint)
+            if scene is not None:
+                scenes.append(scene)
+                misses += 1  # body shipped with this request
+                continue
+            scene = self.scene_cache.get(fingerprint)
+            if scene is None:
+                missing.append(fingerprint)
+            else:
+                scenes.append(scene)
+                hits += 1
+        return scenes, {"hits": hits, "misses": misses}, missing
 
     def _op_close(self, request: dict) -> dict:
         return {"closed": self.store.close(request["session_id"])}
@@ -240,14 +441,30 @@ class StreamingService:
         (the byte-identity precondition across machines).
         """
         learned = self.store.fixy.learned
+        # ``protocol_version`` mirrors the *request's* dialect: a PR-4
+        # coordinator hellos at v1 and requires this field to equal 1,
+        # so an upgraded worker must keep answering 1 there or every
+        # deployed pool rejects it mid-rolling-upgrade. The worker's
+        # actual ceiling travels in the additive ``max_protocol_version``
+        # field, which current pools use to negotiate up.
+        request_version = request.get("v")
+        if not isinstance(request_version, int) or request_version < 1:
+            request_version = protocol.BASELINE_VERSION
         return {
-            "protocol_version": protocol.PROTOCOL_VERSION,
+            "protocol_version": min(request_version, self.protocol_version),
+            "max_protocol_version": self.protocol_version,
             "model_fingerprint": (
                 learned.fingerprint() if learned is not None else None
             ),
             "capacity": self.capacity,
             "features": [f.name for f in self.store.fixy.features],
             "ops": sorted(self._ops),
+            "wire_formats": (
+                ["json", "frames"] if self.supports_frames else ["json"]
+            ),
+            "scene_cache": (
+                self.scene_cache.maxsize if self.supports_frames else 0
+            ),
         }
 
     def _op_health(self, request: dict) -> dict:
@@ -257,5 +474,6 @@ class StreamingService:
             "uptime_s": time.time() - self._started,
             "requests_handled": self.requests_handled,
             "capacity": self.capacity,
+            "scene_cache": self.scene_cache.stats(),
             **self.store.stats(),
         }

@@ -25,18 +25,39 @@ from __future__ import annotations
 import socketserver
 import threading
 
+from repro.api import frames
 from repro.serving.service import StreamingService
 
 __all__ = ["ProtocolTCPServer", "TcpWorker", "serve_tcp"]
 
 
 class _ProtocolHandler(socketserver.StreamRequestHandler):
-    """One connection: the service's line-JSON loop until EOF."""
+    """One connection: line-JSON or v2 frames, chosen by the first byte.
+
+    Nagle is disabled (a socketserver *handler* knob): responses are
+    one small frame/line each, and with pipelined requests in flight a
+    Nagle'd second response would sit out the peer's delayed-ACK
+    window (~40 ms) — three orders of magnitude over a warm audit.
+
+    A framed conversation opens with :data:`repro.api.frames.MAGIC`,
+    whose first byte is outside ASCII and therefore can never start a
+    JSON line — so one listener serves v1 line-JSON clients and v2
+    framed clients on the same port with no upgrade round-trip.
+    """
+
+    disable_nagle_algorithm = True
 
     def handle(self) -> None:
+        service = self.server.service
+        first = self.rfile.peek(1)[:1]
+        if first == frames.MAGIC[:1] and getattr(
+            service, "supports_frames", False
+        ):
+            service.serve_frames(self.rfile, self.wfile)
+            return
         reader = self.rfile
         writer = _Utf8Writer(self.wfile)
-        self.server.service.serve(_decode_lines(reader), writer)
+        service.serve(_decode_lines(reader), writer)
 
 
 def _decode_lines(binary_reader):

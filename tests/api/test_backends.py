@@ -121,6 +121,71 @@ class TestBackendEquivalence:
         if top_k is not None:
             assert len(reference) <= top_k
 
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_scenes=st.integers(min_value=1, max_value=3),
+        kind=st.sampled_from(["tracks", "bundles", "observations"]),
+        top_k=st.one_of(st.none(), st.integers(min_value=1, max_value=15)),
+        chunk_scenes=st.sampled_from([0, 1, 2]),
+    )
+    def test_wire_format_equivalence_property(
+        self,
+        api_fixy,
+        tcp_workers,
+        mixed_workers,
+        seed,
+        n_scenes,
+        kind,
+        top_k,
+        chunk_scenes,
+    ):
+        """The v2 framed wire (content-addressed, chunk-pipelined), the
+        v1 line-JSON wire, and a mixed v1+v2 pool all return rankings
+        byte-identical to inline for the same AuditSpec on randomized
+        scenes — wire format is a transport choice, not a results
+        choice."""
+        spec = AuditSpec(kind=kind, top_k=top_k)
+        scenes = random_scenes(seed=seed, n_scenes=n_scenes)
+        with Audit(spec, fixy=api_fixy) as audit:
+            reference = signature(audit.run(scenes=scenes))
+            variants = {
+                "v2": audit.run(
+                    scenes=scenes,
+                    backend="remote",
+                    workers=list(tcp_workers),
+                    wire="v2",
+                    chunk_scenes=chunk_scenes,
+                ),
+                "v2-warm": audit.run(
+                    scenes=scenes,
+                    backend="remote",
+                    workers=list(tcp_workers),
+                    wire="v2",
+                    chunk_scenes=chunk_scenes,
+                ),
+                "v1": audit.run(
+                    scenes=scenes,
+                    backend="remote",
+                    workers=list(tcp_workers),
+                    wire="v1",
+                    chunk_scenes=chunk_scenes,
+                ),
+                "mixed": audit.run(
+                    scenes=scenes,
+                    backend="remote",
+                    workers=list(mixed_workers),
+                    chunk_scenes=chunk_scenes,
+                ),
+            }
+        for label, result in variants.items():
+            assert signature(result) == reference, label
+        # The warm framed run resolved every scene from the worker
+        # cache (the ids-only fast path really ran).
+        warm = variants["v2-warm"].provenance.workers
+        assert sum(r["scene_cache_misses"] for r in warm) == 0
+        assert sum(r["scene_cache_hits"] for r in warm) == len(scenes)
+
     def test_spec_hash_constant_across_backends(self, api_fixy, tcp_workers):
         spec = AuditSpec(kind="tracks", top_k=5)
         scenes = random_scenes(seed=3, n_scenes=1)

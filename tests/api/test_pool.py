@@ -44,7 +44,12 @@ class TestRegistration:
         expected = api_fixy.learned.fingerprint()
         for endpoint, info in zip(pool.endpoints, infos):
             assert endpoint.healthy
-            assert info["protocol_version"] == protocol.PROTOCOL_VERSION
+            # Registration hellos at the v1 baseline, and the worker
+            # mirrors that (so PR-4 coordinators keep accepting it);
+            # its real ceiling is the additive max field.
+            assert info["protocol_version"] == 1
+            assert info["max_protocol_version"] == protocol.PROTOCOL_VERSION
+            assert endpoint.protocol_version == protocol.PROTOCOL_VERSION
             assert info["model_fingerprint"] == expected
             assert info["capacity"] == 1
             assert "audit" in info["ops"] and "health" in info["ops"]
@@ -232,6 +237,251 @@ class TestRemoteBackend:
                     workers=[dead_address()],
                 )
         assert exc.value.code == "worker_unavailable"
+
+
+class TestWireNegotiation:
+    def test_register_records_wire_and_version(self, tcp_workers):
+        pool = WorkerPool(tcp_workers)
+        pool.connect()
+        for endpoint in pool.endpoints:
+            assert endpoint.protocol_version == protocol.PROTOCOL_VERSION
+            assert endpoint.supports_frames
+
+    def test_v1_worker_negotiates_down(self, api_fixy, mixed_workers):
+        pool = WorkerPool(mixed_workers)
+        pool.connect()
+        old, new = pool.endpoints
+        assert old.protocol_version == 1 and not old.supports_frames
+        assert new.protocol_version == 2 and new.supports_frames
+
+    def test_mixed_pool_audit_matches_inline(self, api_fixy, mixed_workers):
+        """Acceptance: a v1-only worker (the pre-frames serve) still
+        completes an audit against a v2 coordinator via hello
+        negotiation — in the same pool as a framed worker — and the
+        merged ranking stays byte-identical to inline."""
+        spec = AuditSpec(kind="tracks", top_k=10)
+        scenes = [model_scene(f"mix-{i}", n_tracks=3) for i in range(4)]
+        with Audit(spec, fixy=api_fixy) as audit:
+            inline = audit.run(scenes=scenes)
+            mixed = audit.run(
+                scenes=scenes, backend="remote", workers=list(mixed_workers)
+            )
+        assert signature(mixed.items) == signature(inline.items)
+        wires = {r["worker"]: r["wire"] for r in mixed.provenance.workers}
+        assert wires == {mixed_workers[0]: "v1", mixed_workers[1]: "v2"}
+
+    def test_wire_v1_forces_line_json_everywhere(self, api_fixy, tcp_workers):
+        spec = AuditSpec(kind="tracks", top_k=5)
+        scenes = [model_scene(f"f1-{i}", n_tracks=3) for i in range(2)]
+        with Audit(spec, fixy=api_fixy) as audit:
+            result = audit.run(
+                scenes=scenes,
+                backend="remote",
+                workers=list(tcp_workers),
+                wire="v1",
+            )
+        assert {r["wire"] for r in result.provenance.workers} == {"v1"}
+
+    def test_wire_v2_rejects_v1_only_worker(self, api_fixy, mixed_workers):
+        pool = WorkerPool([mixed_workers[0]], wire="v2")
+        with pytest.raises(protocol.ProtocolError) as exc:
+            pool.connect()
+        assert exc.value.code == "unsupported_version"
+        assert "framed wire" in exc.value.message
+
+    def test_bad_wire_option_is_spec_error(self):
+        from repro.api import SpecValidationError, get_backend
+
+        with pytest.raises(SpecValidationError, match="rejected options"):
+            get_backend("remote", workers=["h:1"], wire="carrier-pigeon")
+
+
+class TestContentAddressedDispatch:
+    def test_warm_audit_ships_ids_only(self, api_fixy, tcp_workers):
+        """Acceptance: the second audit of the same scenes ships only
+        ids — bytes on the wire collapse and every scene is a worker
+        cache hit, recorded in provenance."""
+        spec = AuditSpec(kind="tracks", top_k=10)
+        scenes = [model_scene(f"warm-{i}", n_tracks=3) for i in range(4)]
+        with Audit(spec, fixy=api_fixy) as audit:
+            cold = audit.run(
+                scenes=scenes, backend="remote", workers=list(tcp_workers)
+            )
+            warm = audit.run(
+                scenes=scenes, backend="remote", workers=list(tcp_workers)
+            )
+        assert signature(warm.items) == signature(cold.items)
+        cold_bytes = sum(r["bytes_sent"] for r in cold.provenance.workers)
+        warm_bytes = sum(r["bytes_sent"] for r in warm.provenance.workers)
+        assert warm_bytes < cold_bytes / 5
+        assert sum(
+            r["scene_cache_misses"] for r in cold.provenance.workers
+        ) == len(scenes)
+        assert sum(
+            r["scene_cache_hits"] for r in warm.provenance.workers
+        ) == len(scenes)
+        assert sum(
+            r["scene_cache_misses"] for r in warm.provenance.workers
+        ) == 0
+
+    def test_warm_audit_survives_worker_cache_smaller_than_chunk(
+        self, api_fixy
+    ):
+        """Regression: a warm ids-only audit against a worker whose LRU
+        is smaller than one chunk must refill and complete (resending
+        the whole chunk's bodies), not ping-pong need replies into
+        unknown_scene_hash."""
+        worker = TcpWorker(api_fixy, scene_cache=4)
+        try:
+            spec = AuditSpec(kind="tracks", top_k=10)
+            scenes = [model_scene(f"lru-{i}", n_tracks=2) for i in range(8)]
+            backend = get_backend(
+                "remote", workers=[worker.address], chunk_scenes=8
+            )
+            try:
+                cold = backend.run(api_fixy, spec, scenes, None)
+                warm = backend.run(api_fixy, spec, scenes, None)
+                third = backend.run(api_fixy, spec, scenes, None)
+            finally:
+                backend.close()
+            assert signature(warm) == signature(cold)
+            assert signature(third) == signature(cold)
+        finally:
+            worker.stop()
+
+    def test_requeue_and_second_audit_reuse_encoded_payloads(
+        self, api_fixy, tcp_workers, monkeypatch
+    ):
+        """The coordinator encodes each scene once per pool, ever —
+        requeues and repeat audits reuse the cached bytes instead of
+        re-running Scene.to_dict + pack."""
+        from repro.api import frames as frames_mod
+        from repro.api import pool as pool_mod
+
+        packs = []
+        real_pack = frames_mod.pack_scene
+
+        def counting_pack(scene):
+            packs.append(scene)
+            return real_pack(scene)
+
+        monkeypatch.setattr(pool_mod.frames, "pack_scene", counting_pack)
+        spec = AuditSpec(kind="tracks", top_k=5)
+        scenes = [model_scene(f"pc-{i}", n_tracks=3) for i in range(4)]
+        backend = get_backend("remote", workers=list(tcp_workers))
+        try:
+            first = backend.run(api_fixy, spec, scenes, None)
+            assert len(packs) == len(scenes)
+            second = backend.run(api_fixy, spec, scenes, None)
+            assert len(packs) == len(scenes)  # no re-encode
+            assert signature(second) == signature(first)
+        finally:
+            backend.close()
+
+    def test_chunked_pipelined_dispatch_matches_single_chunk(
+        self, api_fixy, tcp_workers
+    ):
+        """chunk_scenes=1 + pipelining produces the same bytes as one
+        request per partition (the merge is chunk-order stable)."""
+        spec = AuditSpec(kind="tracks", top_k=6)
+        scenes = [model_scene(f"ch-{i}", n_tracks=3) for i in range(5)]
+        with Audit(spec, fixy=api_fixy) as audit:
+            whole = audit.run(
+                scenes=scenes,
+                backend="remote",
+                workers=list(tcp_workers),
+                chunk_scenes=0,
+            )
+            chunked = audit.run(
+                scenes=scenes,
+                backend="remote",
+                workers=list(tcp_workers),
+                chunk_scenes=1,
+                pipeline=3,
+            )
+            inline = audit.run(scenes=scenes)
+        assert signature(chunked.items) == signature(whole.items)
+        assert signature(chunked.items) == signature(inline.items)
+        by_worker = {
+            r["worker"]: r["n_chunks"] for r in chunked.provenance.workers
+        }
+        assert sorted(by_worker.values()) == [2, 3]  # 5 scenes, 2 workers
+
+
+class TestPersistentConnections:
+    def test_stale_cached_connection_retried_not_fatal(
+        self, api_fixy, tcp_workers
+    ):
+        """Regression: a worker restart (or NAT idle-kill) between
+        audits leaves the pool a dead cached connection. The next
+        audit must retry that worker on a fresh connection — not
+        retire it and raise worker_unavailable from a single-worker
+        pool."""
+        spec = AuditSpec(kind="tracks", top_k=5)
+        scenes = [model_scene(f"st-{i}", n_tracks=3) for i in range(3)]
+        backend = get_backend("remote", workers=[tcp_workers[0]])
+        try:
+            cold = backend.run(api_fixy, spec, scenes, None)
+            endpoint = backend._pool.endpoints[0]
+            # Kill the cached socket out from under the pool — what a
+            # worker restart looks like from the coordinator.
+            assert endpoint._cached_client is not None
+            endpoint._cached_client.close()
+            again = backend.run(api_fixy, spec, scenes, None)
+            assert signature(again) == signature(cold)
+            assert endpoint.healthy  # never retired
+            report = backend.provenance_extras()["workers"][0]
+            assert report["attempts"] == 2  # stale send + fresh retry
+        finally:
+            backend.close()
+
+
+class TestReprobe:
+    def test_reprobe_readmits_restarted_worker(self, api_fixy, tcp_workers):
+        """Elasticity: a retired endpoint whose worker answers hello
+        again (matching fingerprint) rejoins at the next dispatch —
+        no pool rebuild."""
+        pool = WorkerPool(tcp_workers)
+        pool.connect(expected_fingerprint=api_fixy.learned.fingerprint())
+        pool.endpoints[0].mark_failed("simulated death")
+        assert len(pool.healthy_workers()) == 1
+        readmitted = pool.reprobe()
+        assert readmitted == [tcp_workers[0]]
+        assert len(pool.healthy_workers()) == 2
+
+    def test_reprobe_skips_still_dead_worker(self, tcp_workers):
+        pool = WorkerPool([dead_address(), tcp_workers[0]])
+        pool.connect()
+        assert pool.reprobe() == []
+        assert [e.address for e in pool.healthy_workers()] == [tcp_workers[0]]
+        assert pool.endpoints[0].last_error
+
+    def test_reprobe_rejects_wrong_model(self, api_fixy, tcp_workers):
+        """A worker that comes back serving a different model stays
+        retired — re-admission must not break the one-model contract."""
+        pool = WorkerPool(tcp_workers)
+        pool.connect(expected_fingerprint=api_fixy.learned.fingerprint())
+        endpoint = pool.endpoints[0]
+        endpoint.mark_failed("simulated death")
+        pool._expected_fingerprint = "0000deadbeef0000"  # pool now expects another model
+        assert pool.reprobe() == []
+        assert not endpoint.healthy
+        assert "model" in endpoint.last_error
+
+    def test_audit_reprobes_at_dispatch(self, api_fixy, tcp_workers):
+        """An endpoint retired mid-life is healed by the next audit()
+        without touching the pool."""
+        spec = AuditSpec(kind="tracks", top_k=5)
+        scenes = [model_scene(f"rp-{i}", n_tracks=3) for i in range(4)]
+        backend = get_backend("remote", workers=list(tcp_workers))
+        try:
+            backend.run(api_fixy, spec, scenes, None)
+            backend._pool.endpoints[0].mark_failed("simulated death")
+            backend.run(api_fixy, spec, scenes, None)
+            reports = backend.provenance_extras()["workers"]
+            assert {r["worker"] for r in reports} == set(tcp_workers)
+        finally:
+            backend.close()
 
 
 class _DyingService(StreamingService):

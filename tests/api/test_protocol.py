@@ -43,9 +43,31 @@ class TestVersionNegotiation:
             assert response["ok"] is False
             assert response["v"] == protocol.PROTOCOL_VERSION
             assert response["error"]["code"] == "unsupported_version"
-            assert response["error"]["details"]["supported"] == [
-                protocol.PROTOCOL_VERSION
-            ]
+            assert response["error"]["details"]["supported"] == list(
+                protocol.SUPPORTED_VERSIONS
+            )
+
+    def test_v1_request_answered_in_v1(self, service):
+        """A v2 build answers a v1 peer in the v1 dialect — the
+        mixed-version pool precondition."""
+        response = service.handle({"v": 1, "op": "stats"})
+        assert response["ok"] is True
+        assert response["v"] == 1
+        error = service.handle({"v": 1, "op": "warp"})
+        assert error["ok"] is False and error["v"] == 1
+
+    def test_v1_only_service_rejects_v2(self, api_fixy):
+        """protocol_version=1 emulates a pre-frames worker."""
+        old = StreamingService(api_fixy, protocol_version=1)
+        assert not old.supports_frames
+        assert old.handle({"v": 1, "op": "stats"})["ok"] is True
+        rejected = old.handle({"v": 2, "op": "stats"})
+        assert rejected["ok"] is False
+        assert rejected["error"]["code"] == "unsupported_version"
+        assert rejected["error"]["details"]["supported"] == [1]
+        assert old.handle(protocol.make_request("hello", version=1))[
+            "wire_formats"
+        ] == ["json"]
 
     def test_legacy_request_works_with_deprecation_warning(self, service):
         scene = model_scene("legacy", n_tracks=2)

@@ -167,8 +167,9 @@ class TestAudit:
             (["--backend", "remote", "--workers", "nocolon"], "HOST:PORT"),
             (["--backend", "remote", "--workers", "host:nan"], "HOST:PORT"),
             (["--backend", "remote"], "--workers"),
-            # timeout is a remote-only knob
+            # timeout and wire are remote-only knobs
             (["--timeout", "5"], "--timeout applies"),
+            (["--wire", "v2"], "--wire applies"),
         ]
         for flags, needle in cases:
             code = main(["audit", "--profile", "internal"] + flags)
@@ -290,9 +291,13 @@ class TestServeListen:
     registration, and the remote backend end-to-end via the CLI."""
 
     def test_strict_rejects_v0_over_tcp(self, strict_worker):
+        from repro.api import protocol
+
         response = raw_request(strict_worker.address, {"op": "stats"})
         assert response["ok"] is False
-        assert response["v"] == 1
+        # A rejection that never negotiated is stamped with the
+        # server's own (current-build) version.
+        assert response["v"] == protocol.PROTOCOL_VERSION
         assert response["error"]["code"] == "unsupported_version"
 
     def test_strict_answers_v1_over_tcp(self, strict_worker):
@@ -316,9 +321,12 @@ class TestServeListen:
     ):
         from repro.api import AuditClient
 
+        from repro.api import protocol
+
         with AuditClient.connect(strict_worker.address, timeout=30) as client:
             hello = client.hello()
-        assert hello["protocol_version"] == 1
+        assert hello["protocol_version"] == protocol.PROTOCOL_VERSION
+        assert "frames" in hello["wire_formats"]
         assert hello["model_fingerprint"] == served_artifacts["fingerprint"]
         assert hello["capacity"] == 1
         with AuditClient.connect(legacy_worker.address, timeout=30) as client:
@@ -363,6 +371,29 @@ class TestServeListen:
         assert {w["worker"] for w in attribution} <= {
             strict_worker.address, legacy_worker.address,
         }
+        # Current serve subprocesses advertise frames: auto picked v2.
+        assert {w["wire"] for w in attribution} == {"v2"}
+
+    def test_cli_audit_remote_wire_v2_flag(
+        self, strict_worker, served_artifacts, capsys
+    ):
+        """`audit --wire v2` forces the framed wire end-to-end."""
+        code = main(
+            [
+                "audit",
+                "--paths", *served_artifacts["scene_paths"],
+                "--model", served_artifacts["model_path"],
+                "--top", "5",
+                "--backend", "remote",
+                "--workers", strict_worker.address,
+                "--wire", "v2",
+            ]
+        )
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        attribution = result["provenance"]["workers"]
+        assert {w["wire"] for w in attribution} == {"v2"}
+        assert result["provenance"]["backend_options"]["wire"] == "v2"
 
 
 class TestRank:
