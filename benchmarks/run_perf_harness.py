@@ -26,6 +26,7 @@ The JSON layout::
         "delta_vs_full": {...},   # repro.eval.serving_perf.delta_vs_full
         "sharding": {...},        # repro.eval.serving_perf.sharding_report
         "remote": {...},          # repro.eval.serving_perf.remote_report
+        "standing_audit": {...},  # repro.eval.serving_perf.standing_report
       },
       "pytest_benchmarks": [  # mean seconds per benchmark test
         {"name": ..., "mean_s": ..., "stddev_s": ...}, ...
@@ -118,6 +119,14 @@ def main(argv: list[str] | None = None) -> int:
         help="TCP worker counts to sweep in the remote-backend comparison",
     )
     parser.add_argument(
+        "--standing-tracks", type=int, default=100,
+        help="objects in the standing-audit scene (edits cycle its tracks)",
+    )
+    parser.add_argument(
+        "--standing-edits", type=int, default=40,
+        help="edits streamed through the standing-audit comparison",
+    )
+    parser.add_argument(
         "--wire", choices=["auto", "v1", "v2"], default="auto",
         help="wire format for the remote comparison: auto (negotiated), "
         "v1 (line-JSON), v2 (require binary frames + content-addressed "
@@ -137,6 +146,8 @@ def main(argv: list[str] | None = None) -> int:
         args.shard_scenes = 2
         args.shard_workers = [1]
         args.remote_workers = [2]
+        args.standing_tracks = 30
+        args.standing_edits = 10
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.eval.perf import ab_compile_rank, render_report
@@ -152,6 +163,7 @@ def main(argv: list[str] | None = None) -> int:
             remote_report,
             render_serving_report,
             sharding_report,
+            standing_report,
         )
 
         delta = delta_vs_full(
@@ -168,12 +180,16 @@ def main(argv: list[str] | None = None) -> int:
             repeats=max(1, args.repeats),
             wire=args.wire,
         )
+        standing = standing_report(
+            n_tracks=args.standing_tracks, n_edits=args.standing_edits
+        )
         report["serving"] = {
             "delta_vs_full": delta,
             "sharding": sharding,
             "remote": remote,
+            "standing_audit": standing,
         }
-        print(render_serving_report(delta, sharding, remote))
+        print(render_serving_report(delta, sharding, remote, standing))
 
     if not args.skip_pytest:
         report["pytest_benchmarks"] = run_pytest_benchmarks(

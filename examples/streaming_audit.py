@@ -1,14 +1,18 @@
-"""Streaming audit: frames arrive, the session updates, errors re-rank live.
+"""Streaming audit: frames arrive, a standing audit keeps top-k current.
 
 The batch workflow compiles a finished scene once and ranks it. A live
 labeling (or drive-log ingestion) pipeline doesn't have a finished
 scene — sensor frames arrive one at a time, tracks appear and grow, and
 the audit ranking should stay current without recompiling the world on
-every frame. That is exactly what the serving layer's
-:class:`~repro.serving.SceneSession` does: each arriving frame becomes
-scene edits (new tracks, new bundles), only the touched tracks are
-recompiled (delta recompilation), and the spliced compiled state ranks
-the top-k suspect missing labels immediately.
+every frame. The serving layer does this in two incremental stages:
+each arriving frame becomes scene edits against a
+:class:`~repro.serving.SceneSession` (only the touched tracks are
+recompiled — delta recompilation), and an
+:class:`~repro.api.AuditSpec` *subscribed* to the session as a
+standing audit rescores only those same touched tracks, re-heaping its
+bounded top-k in O(changed · log k) instead of re-ranking the whole
+scene per query. The maintained top-k is byte-identical to a full
+rescore — ``StandingAudit.verify()`` proves it at the end.
 
 Run:
     python examples/streaming_audit.py [warmup_frames]
@@ -17,6 +21,7 @@ Run:
 import sys
 import time
 
+from repro.api import AuditSpec, FilterSpec
 from repro.core import MissingTrackFinder, Scene
 from repro.datasets import SYNTHETIC_INTERNAL, build_dataset
 from repro.serving import InsertBundle, InsertTrack, SceneSession
@@ -75,11 +80,20 @@ print(
     f"{len(scene.tracks)} tracks, {len(scene.observations)} observations"
 )
 
+# The audit is declared once and *subscribed* — from here on the
+# session maintains its top-k incrementally on every edit.
+audit = session.subscribe(
+    AuditSpec(
+        kind="tracks",
+        top_k=5,
+        filters=FilterSpec(has_model=True, has_human=False),
+    ),
+    audit_id="missing-labels",
+)
+
 
 def report(frame):
-    ranked = session.rank_tracks(
-        lambda t: not t.has_human and t.has_model, top_k=5
-    )
+    ranked = audit.results()
     print(f"\nframe {frame:>3d}: top suspected missing labels")
     if not ranked:
         print("   (nothing rankable yet)")
@@ -101,6 +115,7 @@ report(warmup_frames - 1)
 streamed = 0
 edit_time = 0.0
 for frame in range(warmup_frames, last_frame + 1):
+    frame_rescored = 0
     for track, bundle in bundles_at(frame):
         t0 = time.perf_counter()
         if any(t.track_id == track.track_id for t in scene.tracks):
@@ -109,11 +124,17 @@ for frame in range(warmup_frames, last_frame + 1):
             fresh = type(track)(track_id=track.track_id, bundles=[bundle])
             session.apply(InsertTrack(fresh))
         edit_time += time.perf_counter() - t0
+        frame_rescored += audit.last_rescored
         streamed += 1
     if frame % 10 == 0 or frame == last_frame:
+        print(
+            f"\nframe {frame:>3d}: {frame_rescored} of "
+            f"{len(scene.tracks)} tracks rescored this frame"
+        )
         report(frame)
 
 stats = session.stats
+standing = audit.stats
 print(
     f"\nStreamed {streamed} bundle arrivals over "
     f"{last_frame + 1 - warmup_frames} frames: "
@@ -121,5 +142,13 @@ print(
     f"recompiles, {stats.splices} splices, "
     f"{1e3 * edit_time / max(streamed, 1):.2f} ms per edit"
 )
+print(
+    f"Standing audit: {standing.edits_seen} edits seen, "
+    f"{standing.tracks_rescored} track rescores "
+    f"({standing.tracks_rescored / max(standing.edits_seen, 1):.1f} per "
+    f"edit), {1e3 * standing.maintain_s / max(standing.edits_seen, 1):.3f} "
+    f"ms maintenance per edit"
+)
 session.verify()
-print("Final spliced state verified against a from-scratch compile ✓")
+audit.verify()
+print("Final spliced state and standing top-k verified against a full rescore ✓")

@@ -17,7 +17,9 @@ sharded    :class:`~repro.serving.sharded.ShardedRanker` process pool
            (``n_workers``/``cache_size``/``start_method`` options;
            filters must be picklable — FilterSpec compiles to one)
 session    one incremental :class:`~repro.serving.session.SceneSession`
-           per scene (the streaming layer's spliced columnar state)
+           per scene, served through a standing-audit subscription
+           (``standing`` option, default true; false = the spliced
+           full-rescore path)
 remote     :class:`~repro.api.pool.WorkerPool` over N TCP workers
            (``repro.cli serve --listen``; ``workers``/``timeout``/
            ``connect_timeout``/``check_model`` options; partitions
@@ -217,14 +219,34 @@ class ShardedBackend(ExecutionBackend):
 class SessionBackend(ExecutionBackend):
     """One streaming :class:`~repro.serving.session.SceneSession` per scene.
 
-    Exercises the exact serving-layer state (per-track segment compiles
-    spliced into scene-wide columnar arrays) a long-lived service
-    ranks from — the backend to pick when results must match what the
+    Exercises the exact serving-layer state a long-lived service ranks
+    from — the backend to pick when results must match what the
     streaming service will say. Requires a vectorized engine.
+
+    By default (``standing=True``) each scene is served through a
+    :class:`~repro.serving.standing.StandingAudit` subscription — the
+    incrementally maintained per-track top-k structure the streaming
+    service updates on every edit — so a batch run exercises the same
+    maintenance code the standing ``subscribe``/``edit`` ops use.
+    ``standing=False`` falls back to the spliced full-rescore path
+    (``session.rank``); both are byte-identical, and the per-block
+    top-k truncation the standing path applies is exact: any item in
+    the global top-k is necessarily within its own block's top-k, and
+    :func:`~repro.core.scoring.merge_rankings`'s stable sort preserves
+    the survivors' block order.
     """
 
+    def __init__(self, standing: bool = True):
+        self.standing = bool(standing)
+
     def run(self, fixy, spec, scenes, filt) -> list[ScoredItem]:
-        blocks = [
-            fixy.session(scene).rank(spec.kind, filt) for scene in scenes
-        ]
+        blocks = []
+        for scene in scenes:
+            session = fixy.session(scene)
+            if self.standing:
+                audit = session.subscribe(spec, filt=filt)
+                blocks.append(audit.results())
+                session.unsubscribe(audit.audit_id)
+            else:
+                blocks.append(session.rank(spec.kind, filt))
         return merge_rankings(blocks, spec.top_k)

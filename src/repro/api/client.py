@@ -381,14 +381,24 @@ class AuditClient:
             "session_id"
         ]
 
-    def edit(self, session_id: str, edit) -> dict:
+    def edit(self, session_id: str, edit, standing: bool | None = None) -> dict:
         """Apply a :class:`~repro.serving.edits.SceneEdit` (or its dict).
 
-        Returns ``{"changed": [track ids], "version": n}``.
+        Returns ``{"changed": [track ids], "version": n}`` — plus, when
+        the session has standing audits, ``"standing"``: each
+        subscription's incrementally maintained top-k as
+        ``{audit_id: {"kind", "rescored", "results"}}``. Pass
+        ``standing=False`` to suppress those payloads (the audits are
+        still maintained server-side, just not echoed).
         """
         payload = edit.to_dict() if hasattr(edit, "to_dict") else edit
-        response = self._call("edit", session_id=session_id, edit=payload)
-        return {"changed": response["changed"], "version": response["version"]}
+        response = self._call(
+            "edit", session_id=session_id, edit=payload, standing=standing
+        )
+        out = {"changed": response["changed"], "version": response["version"]}
+        if "standing" in response:
+            out["standing"] = response["standing"]
+        return out
 
     def rank(
         self,
@@ -425,6 +435,47 @@ class AuditClient:
             "audit", spec=payload, scenes=scene_payloads, session_id=session_id
         )
         return AuditResult.from_dict(response["result"])
+
+    def subscribe(
+        self,
+        session_id: str,
+        spec: AuditSpec | dict,
+        audit_id: str | None = None,
+    ) -> dict:
+        """Register ``spec`` as a standing audit on a live session.
+
+        Returns ``{"audit_id", "kind", "results"}`` — the initial
+        top-k; every subsequent :meth:`edit` response carries the
+        incrementally maintained update.
+        """
+        payload = spec.to_dict() if isinstance(spec, AuditSpec) else spec
+        response = self._call(
+            "subscribe", session_id=session_id, spec=payload, audit_id=audit_id
+        )
+        return {
+            "audit_id": response["audit_id"],
+            "kind": response["kind"],
+            "results": response["results"],
+        }
+
+    def unsubscribe(self, session_id: str, audit_id: str) -> bool:
+        """Drop a standing audit; returns whether it was subscribed."""
+        return self._call(
+            "unsubscribe", session_id=session_id, audit_id=audit_id
+        )["unsubscribed"]
+
+    def standing(self, session_id: str, audit_id: str) -> dict:
+        """Read a standing audit's maintained top-k without editing.
+
+        Returns ``{"audit_id", "kind", "results", "stats"}``; an
+        unknown id raises with the ``unknown_subscription`` code.
+        """
+        response = self._call(
+            "standing", session_id=session_id, audit_id=audit_id
+        )
+        return {
+            k: v for k, v in response.items() if k not in ("ok", "v")
+        }
 
     def close_session(self, session_id: str) -> bool:
         """Close a session; returns whether it was live."""

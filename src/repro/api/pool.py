@@ -185,6 +185,10 @@ class WorkerEndpoint:
         # endpoint alone — set after a *failed* probe so one blackholed
         # worker cannot add its connect timeout to every audit.
         self._next_probe_at = 0.0
+        # When the advertised capacity was last confirmed against the
+        # live worker (registration or a health probe) — what the
+        # pool's periodic capacity refresh keys off.
+        self._capacity_checked_at = 0.0
         # One persistent dispatch connection, reused across audits so
         # the warm path pays no TCP handshake. Guarded by a try-lock:
         # a second concurrent dispatch to the same worker (a requeued
@@ -347,10 +351,18 @@ class WorkerEndpoint:
         self._known_hashes.clear()
         self.healthy = True
         self.last_error = None
+        self._capacity_checked_at = time.monotonic()
         return info
 
     def health(self) -> dict:
-        """One ``health`` probe (marks the endpoint on failure)."""
+        """One ``health`` probe (marks the endpoint on failure).
+
+        A successful probe also folds the worker's *live* advertised
+        capacity into the registration info, so
+        :func:`partition_scenes` weighting tracks current load instead
+        of the snapshot frozen at registration — the elasticity half of
+        the pool's self-healing (reprobe is the liveness half).
+        """
         try:
             with self.client(probe=True) as client:
                 report = client.health()
@@ -358,6 +370,9 @@ class WorkerEndpoint:
             self.mark_failed(str(exc))
             raise
         self.healthy = True
+        if self.info is not None and "capacity" in report:
+            self.info["capacity"] = report["capacity"]
+        self._capacity_checked_at = time.monotonic()
         return report
 
     def mark_failed(self, reason: str) -> None:
@@ -430,6 +445,11 @@ class WorkerPool:
         reprobe_interval: Seconds a retired endpoint is left alone
             after a *failed* re-probe, so an endpoint that stays dead
             costs one connect timeout per interval, not per audit.
+        capacity_refresh: Seconds between ``health`` probes of a
+            healthy worker's advertised capacity (0 = re-check before
+            every audit; ``float("inf")`` = freeze registration-time
+            capacities). Keeps :func:`partition_scenes` weighting
+            tracking live load as workers scale up or down.
     """
 
     def __init__(
@@ -442,6 +462,7 @@ class WorkerPool:
         chunk_scenes: int = 8,
         pipeline: int = 2,
         reprobe_interval: float = 10.0,
+        capacity_refresh: float = 30.0,
     ):
         if wire not in WIRE_MODES:
             raise TypeError(
@@ -464,6 +485,7 @@ class WorkerPool:
         self.chunk_scenes = max(0, int(chunk_scenes))
         self.pipeline = max(1, int(pipeline))
         self.reprobe_interval = max(0.0, float(reprobe_interval))
+        self.capacity_refresh = max(0.0, float(capacity_refresh))
         self._payloads = _ScenePayloads()
         self._expected_fingerprint = ...
         self._lock = threading.Lock()
@@ -554,6 +576,37 @@ class WorkerPool:
                 readmitted.append(endpoint.address)
         return readmitted
 
+    def refresh_capacity(self) -> list[str]:
+        """Re-check healthy workers' advertised capacity when stale.
+
+        The elasticity half of the pool's self-healing: every
+        :meth:`audit` calls this (after :meth:`reprobe`), and any
+        healthy worker whose capacity was last confirmed more than
+        ``capacity_refresh`` seconds ago gets one ``health`` probe,
+        whose live capacity :meth:`WorkerEndpoint.health` folds into
+        the partition weighting. A probe that fails retires the
+        endpoint the same way any probe failure does (and
+        :meth:`reprobe` later re-admits it). Returns the addresses
+        whose capacity actually changed.
+        """
+        changed = []
+        if self.capacity_refresh == float("inf"):
+            return changed
+        now = time.monotonic()
+        for endpoint in self.endpoints:
+            if not endpoint.healthy or endpoint.info is None:
+                continue
+            if now - endpoint._capacity_checked_at < self.capacity_refresh:
+                continue
+            before = endpoint.capacity
+            try:
+                endpoint.health()
+            except protocol.TransportError:
+                continue  # retired by the probe; reprobe() may heal it
+            if endpoint.capacity != before:
+                changed.append(endpoint.address)
+        return changed
+
     def healthy_workers(self) -> list[WorkerEndpoint]:
         with self._lock:
             return [e for e in self.endpoints if e.healthy]
@@ -590,6 +643,7 @@ class WorkerPool:
         docstring for why the result stays byte-identical.
         """
         self.reprobe()
+        self.refresh_capacity()
         workers = self.healthy_workers()
         scenes = list(scenes)
         partitions = partition_scenes(scenes, workers)

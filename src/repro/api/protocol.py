@@ -60,6 +60,17 @@ Protocol version 2 adds the **binary framed wire** and
   ``unknown_scene_hash`` (a hash that can be neither resolved nor
   refilled).
 
+Additive v2 extension — **standing audits**: the ``subscribe`` /
+``unsubscribe`` / ``standing`` ops register an
+:class:`~repro.api.spec.AuditSpec` as a standing query on a live
+session (:class:`repro.serving.standing.StandingAudit`), after which an
+``edit`` response carries the incrementally maintained top-k of every
+subscription under ``"standing"`` (suppress with ``"standing": false``
+in the edit request). A subscription id the session does not hold is
+answered with the ``unknown_subscription`` code. Being additive, all of
+this rides the existing version: older peers simply never send the new
+ops, and ``hello``'s ``ops`` list advertises them.
+
 The v2 *JSON dialect* is otherwise identical to v1, and servers answer
 every request in the version it was asked in — a v1-only peer keeps
 working against a v2 build, which is how mixed-version worker pools
@@ -130,6 +141,7 @@ REQUEST_TIMEOUT = "request_timeout"
 FRAME_TOO_LARGE = "frame_too_large"
 FRAME_MALFORMED = "frame_malformed"
 UNKNOWN_SCENE_HASH = "unknown_scene_hash"
+UNKNOWN_SUBSCRIPTION = "unknown_subscription"
 
 ERROR_CODES = (
     UNSUPPORTED_VERSION,
@@ -147,6 +159,7 @@ ERROR_CODES = (
     FRAME_TOO_LARGE,
     FRAME_MALFORMED,
     UNKNOWN_SCENE_HASH,
+    UNKNOWN_SUBSCRIPTION,
 )
 
 
@@ -318,6 +331,8 @@ def classify_exception(exc: Exception) -> ProtocolError:
         message = exc.args[0] if exc.args else str(exc)
         if isinstance(message, str) and "no live session" in message:
             return ProtocolError(UNKNOWN_SESSION, message)
+        if isinstance(message, str) and "no standing audit" in message:
+            return ProtocolError(UNKNOWN_SUBSCRIPTION, message)
         return ProtocolError(
             BAD_REQUEST, f"missing request field: {message}"
         )

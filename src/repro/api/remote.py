@@ -64,7 +64,11 @@ class RemoteBackend(ExecutionBackend):
     - ``chunk_scenes``: scenes per dispatch request (default 8; 0 =
       one request per partition) — smaller chunks pipeline
       coordinator-side encoding against worker-side ranking;
-    - ``pipeline``: framed requests kept in flight per worker.
+    - ``pipeline``: framed requests kept in flight per worker;
+    - ``capacity_refresh``: seconds between ``health`` re-checks of a
+      healthy worker's advertised capacity (default 30; 0 re-checks
+      before every audit, ``inf`` freezes registration-time values) —
+      so partition weighting tracks live worker load.
 
     The pool registers lazily on first :meth:`run`, re-registers when
     the engine changes, and re-probes retired workers at the top of
@@ -90,6 +94,7 @@ class RemoteBackend(ExecutionBackend):
         wire: str = "auto",
         chunk_scenes: int = 8,
         pipeline: int = 2,
+        capacity_refresh: float = 30.0,
     ):
         from repro.api.pool import WIRE_MODES
 
@@ -109,6 +114,7 @@ class RemoteBackend(ExecutionBackend):
         self.wire = wire
         self.chunk_scenes = chunk_scenes
         self.pipeline = pipeline
+        self.capacity_refresh = capacity_refresh
         self._pool: WorkerPool | None = None
         self._fixy = None
         self._last_reports: list[dict] = []
@@ -136,6 +142,7 @@ class RemoteBackend(ExecutionBackend):
                 wire=self.wire,
                 chunk_scenes=self.chunk_scenes,
                 pipeline=self.pipeline,
+                capacity_refresh=self.capacity_refresh,
             )
             pool.connect(expected_fingerprint=self._expected_fingerprint(fixy))
             self._pool = pool

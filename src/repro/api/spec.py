@@ -470,6 +470,24 @@ class AuditSpec:
             self, backend=backend, backend_options=dict(backend_options)
         )
 
+    def standing_spec(self) -> "AuditSpec":
+        """This spec reduced to its standing-query fields.
+
+        A standing audit (:class:`repro.serving.standing.StandingAudit`)
+        ranks with the owning session's engine, so only ``kind``,
+        ``top_k``, ``filters``, and ``features`` are meaningful —
+        execution fields (model source, scene source, backend) are
+        normalized away. Two specs that differ only in execution detail
+        therefore hash to the same default subscription id.
+        """
+        return replace(
+            self,
+            model_path=None,
+            scenes=None,
+            backend="inline",
+            backend_options={},
+        )
+
     def compile_filter(self):
         """The spec's filter as a picklable callable (or ``None``)."""
         if self.filters is None:

@@ -209,6 +209,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="live scene sessions kept before LRU eviction",
     )
     serve.add_argument(
+        "--max-standing", type=int, default=16,
+        help="standing-audit subscriptions allowed per session (each is "
+        "incrementally maintained on every edit; default 16)",
+    )
+    serve.add_argument(
         "--strict", action="store_true",
         help="reject version-less (v0) protocol requests with a structured "
         "unsupported_version error instead of the deprecation shim",
@@ -529,13 +534,15 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
         accept_legacy=not args.strict,
         capacity=args.capacity,
         scene_cache=args.scene_cache,
+        max_standing=args.max_standing,
     )
     from repro.api.protocol import PROTOCOL_VERSION
 
     print(
         f"serving ({source}); protocol v{PROTOCOL_VERSION}"
         f"{' (strict)' if args.strict else ''}; "
-        "ops: open/edit/rank/audit/close/stats/hello/health; "
+        "ops: open/edit/rank/audit/subscribe/unsubscribe/standing/"
+        "close/stats/hello/health; "
         "one JSON request per line (or v2 binary frames over --listen)",
         file=sys.stderr,
     )

@@ -20,6 +20,12 @@ tracked:
   (:class:`repro.serving.TcpWorker`), recording distributed throughput
   vs the inline reference and checking byte-identity once more — the
   cross-machine analogue of the sharding comparison.
+- :func:`standing_report` — stream an edit sequence into a session
+  with a :class:`~repro.serving.standing.StandingAudit` subscribed and
+  compare the amortized per-edit top-k maintenance cost against the
+  spliced full rescore (``session.rank``) on the identical state,
+  byte-identity checked per edit. The ISSUE-6 floor (≥5× at ≥100
+  tracks) is asserted by ``benchmarks/bench_standing_audit.py``.
 
 Timings use best-of-``repeats`` like :mod:`repro.eval.perf`; model
 fitting and grid warmup are excluded (one-time offline preparation).
@@ -39,6 +45,7 @@ __all__ = [
     "delta_vs_full",
     "remote_report",
     "sharding_report",
+    "standing_report",
     "render_serving_report",
 ]
 
@@ -362,8 +369,124 @@ def remote_report(
 
 
 # ----------------------------------------------------------------------
+def standing_report(
+    n_tracks: int = 100,
+    n_edits: int = 40,
+    top_k: int = 10,
+    fixy=None,
+) -> dict:
+    """Incremental standing-audit top-k maintenance vs full rescore.
+
+    Opens one :class:`~repro.serving.session.SceneSession` over an
+    ``n_tracks`` scene, subscribes a top-``top_k`` standing audit, then
+    streams ``n_edits`` single-observation edits (jittered boxes,
+    cycling through the tracks). Per edit it records:
+
+    - the apply cost (delta recompile **plus** the standing audit's
+      incremental maintenance, which rescores only the edited track),
+    - the maintenance share alone (from
+      :class:`~repro.serving.standing.StandingStats`), and
+    - the full-rescore reference on the identical post-edit state
+      (``session.rank`` — splice, scorer rebuild, score + sort every
+      track), checked **byte-identical** against the standing top-k.
+
+    The ISSUE-6 acceptance floor (amortized per-edit maintenance ≥5×
+    faster than full rescore at ≥100 tracks, byte-identical results)
+    is asserted by ``benchmarks/bench_standing_audit.py`` on top of
+    this report. Timings are totals over all edits (amortized ms/edit),
+    not best-of: incremental maintenance is a steady-state claim, so
+    the whole edit stream is the measurement.
+    """
+    from repro.api import AuditSpec
+    from repro.core.model import Observation
+    from repro.serving import ReplaceObservation
+
+    fixy = fixy or _warm_finder()
+    scene = _build_scene(n_tracks, seed=n_tracks)
+    session = fixy.session(scene)
+    session.compiled  # initial splice out of the timed region
+
+    audit = session.subscribe(AuditSpec(kind="tracks", top_k=top_k))
+    audit.results()  # prime the cache; stats below measure edits only
+    maintain_base_s = audit.stats.maintain_s
+    rescored_base = audit.stats.tracks_rescored
+
+    total_apply = 0.0
+    total_query = 0.0
+    total_full = 0.0
+    identical = True
+    for i in range(n_edits):
+        target = scene.tracks[i % len(scene.tracks)]
+        old = target.observations[0]
+        replacement = Observation(
+            frame=old.frame,
+            box=type(old.box)(
+                x=old.box.x + 0.01 * (i + 1),
+                y=old.box.y,
+                z=old.box.z,
+                length=old.box.length,
+                width=old.box.width,
+                height=old.box.height,
+                yaw=old.box.yaw,
+            ),
+            object_class=old.object_class,
+            source=old.source,
+            confidence=old.confidence,
+        )
+        edit = ReplaceObservation(target.track_id, old.obs_id, replacement)
+
+        t0 = time.perf_counter()
+        session.apply(edit)
+        total_apply += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        incremental = audit.results()
+        total_query += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        full = session.rank("tracks", None, top_k=top_k)
+        total_full += time.perf_counter() - t0
+
+        identical &= (
+            _ranking_signature(incremental) == _ranking_signature(full)
+        )
+
+    audit.verify()  # standing top-k must still equal the reference
+    session.verify()
+    maintain_s = audit.stats.maintain_s - maintain_base_s
+    rescored = audit.stats.tracks_rescored - rescored_base
+    return {
+        "n_tracks": len(scene.tracks),
+        "n_observations": len(scene.observations),
+        "n_edits": n_edits,
+        "top_k": top_k,
+        "tracks_rescored_per_edit": round(rescored / n_edits, 2),
+        "apply_ms_per_edit": round(1e3 * total_apply / n_edits, 3),
+        "query_ms_per_edit": round(1e3 * total_query / n_edits, 4),
+        "maintain_ms_per_edit": round(1e3 * maintain_s / n_edits, 4),
+        "full_rescore_ms_per_edit": round(1e3 * total_full / n_edits, 3),
+        "speedup": (
+            round(total_full / maintain_s, 2) if maintain_s > 0 else None
+        ),
+        "end_to_end_speedup": (
+            round(
+                (total_apply + total_full) / (total_apply + total_query), 2
+            )
+            if total_apply + total_query > 0
+            else None
+        ),
+        "byte_identical": identical,
+        "heap_refills": audit.stats.heap_refills,
+        "heap_demotions": audit.stats.heap_demotions,
+    }
+
+
+# ----------------------------------------------------------------------
 def render_serving_report(
-    delta: dict | None, sharding: dict | None, remote: dict | None = None
+    delta: dict | None,
+    sharding: dict | None,
+    remote: dict | None = None,
+    standing: dict | None = None,
 ) -> str:
     """Human-readable rendering of the serving reports."""
     lines = ["Serving layer: delta recompilation and process sharding"]
@@ -411,4 +534,16 @@ def render_serving_report(
                     f"{case['scene_cache_misses']}m"
                 )
             lines.append(line)
+    if standing is not None:
+        lines.append(
+            f"  standing audit ({standing['n_edits']} edits over "
+            f"{standing['n_tracks']} tracks, top-{standing['top_k']}): "
+            f"maintain {standing['maintain_ms_per_edit']:.2f} ms/edit vs "
+            f"full rescore {standing['full_rescore_ms_per_edit']:.2f} "
+            f"ms/edit => {standing['speedup']:.1f}x "
+            f"(end-to-end {standing['end_to_end_speedup']:.1f}x, "
+            f"{standing['tracks_rescored_per_edit']:.1f} tracks "
+            f"rescored/edit), "
+            f"byte-identical={standing['byte_identical']}"
+        )
     return "\n".join(lines)

@@ -18,6 +18,11 @@ compile pipeline:
   :class:`~repro.core.compile.CompiledColumns` arrays
   (:func:`repro.core.compile.splice_compiled`); the from-scratch
   compile stays the executable reference (``SceneSession.verify``);
+- :class:`~repro.serving.standing.StandingAudit` — an
+  :class:`~repro.api.spec.AuditSpec` subscribed to a session as a
+  *standing query*: per-track scores plus a bounded heap+threshold
+  top-k, maintained in O(changed · log k) per edit and byte-identical
+  to the full-rescore reference (``StandingAudit.verify``);
 - :class:`~repro.serving.sharded.ShardedRanker` — fans ``rank_*`` over
   a ``ProcessPoolExecutor``; scenes travel as ``Scene.to_dict``
   payloads and each worker keeps its own model + compiled-scene LRU
@@ -54,6 +59,7 @@ from repro.serving.edits import (
 )
 from repro.serving.session import SceneSession, SessionStats
 from repro.serving.sharded import ShardedRanker
+from repro.serving.standing import StandingAudit, StandingStats
 from repro.serving.store import SessionStore
 from repro.serving.service import StreamingService
 from repro.serving.tcp import ProtocolTCPServer, TcpWorker, serve_tcp
@@ -74,6 +80,8 @@ __all__ = [
     "SessionStats",
     "SessionStore",
     "ShardedRanker",
+    "StandingAudit",
+    "StandingStats",
     "StreamingService",
     "edit_from_dict",
 ]

@@ -11,10 +11,19 @@ op       request fields → response fields
 ======== ==============================================================
 open     ``scene`` (Scene.to_dict), optional ``session_id`` →
          ``session_id``, ``n_tracks``, ``version``
-edit     ``session_id``, ``edit`` (SceneEdit.to_dict) → ``changed``,
-         ``version``
+edit     ``session_id``, ``edit`` (SceneEdit.to_dict), optional
+         ``standing`` (default true) → ``changed``, ``version``
+         [+ ``standing``: per-subscription incrementally maintained
+         top-k — ``{audit_id: {kind, rescored, results}}``]
 rank     ``session_id``, optional ``kind`` (tracks default),
          ``top_k`` → ``results`` (ScoredItem.to_dict items)
+subscribe ``session_id``, ``spec`` (AuditSpec.to_dict), optional
+         ``audit_id`` → ``audit_id``, ``kind``, ``results`` (the
+         initial top-k; maintained incrementally from then on)
+unsubscribe ``session_id``, ``audit_id`` → ``unsubscribed``
+standing ``session_id``, ``audit_id`` → ``audit_id``, ``kind``,
+         ``results``, ``stats`` (query a standing audit's maintained
+         top-k without editing)
 audit    ``spec`` (AuditSpec.to_dict) + ``session_id`` *or*
          ``scenes`` (list of Scene.to_dict) *or* v2
          ``scene_hashes`` (content hashes; bodies as frame blobs,
@@ -101,6 +110,8 @@ class StreamingService:
         fixy: A fitted engine; sessions and server-side audits use its
             features, AOFs, and learned model.
         max_sessions: Live scene sessions kept before LRU eviction.
+        max_standing: Standing-audit subscriptions allowed per session
+            (each one is maintained on every edit of that session).
         accept_legacy: Answer version-less (v0) requests in the v0
             dialect with a :class:`DeprecationWarning` (default). When
             false, such requests get ``unsupported_version``.
@@ -124,13 +135,16 @@ class StreamingService:
         capacity: int = 1,
         scene_cache: int = 256,
         protocol_version: int = protocol.PROTOCOL_VERSION,
+        max_standing: int = 16,
     ):
         if protocol_version not in protocol.SUPPORTED_VERSIONS:
             raise ValueError(
                 f"protocol_version must be one of "
                 f"{protocol.SUPPORTED_VERSIONS}, got {protocol_version!r}"
             )
-        self.store = SessionStore(fixy, max_sessions=max_sessions)
+        self.store = SessionStore(
+            fixy, max_sessions=max_sessions, max_standing=max_standing
+        )
         self.accept_legacy = accept_legacy
         self.capacity = int(capacity)
         self.protocol_version = protocol_version
@@ -142,6 +156,9 @@ class StreamingService:
             "edit": self._op_edit,
             "rank": self._op_rank,
             "audit": self._op_audit,
+            "subscribe": self._op_subscribe,
+            "unsubscribe": self._op_unsubscribe,
+            "standing": self._op_standing,
             "close": self._op_close,
             "stats": self._op_stats,
             "hello": self._op_hello,
@@ -332,7 +349,22 @@ class StreamingService:
         edit = edit_from_dict(request["edit"])
         session = self.store.get(request["session_id"])
         changed = session.apply(edit)
-        return {"changed": sorted(changed), "version": session.version}
+        payload = {"changed": sorted(changed), "version": session.version}
+        if request.get("standing", True):
+            audits = session.standing_audits()
+            if audits:
+                # The edit already maintained every subscription (the
+                # delta-rescore hook runs inside apply); this just
+                # reads the fresh top-k back out — no extra rescoring.
+                payload["standing"] = {
+                    audit.audit_id: {
+                        "kind": audit.kind,
+                        "rescored": audit.last_rescored,
+                        "results": audit.results_dicts(),
+                    }
+                    for audit in audits
+                }
+        return payload
 
     def _op_rank(self, request: dict) -> dict:
         kind = request.get("kind", "tracks")
@@ -425,6 +457,43 @@ class StreamingService:
                 scenes.append(scene)
                 hits += 1
         return scenes, {"hits": hits, "misses": misses}, missing
+
+    def _op_subscribe(self, request: dict) -> dict:
+        """Register an AuditSpec as a standing query on a live session."""
+        from repro.api import AuditSpec
+
+        spec = AuditSpec.from_dict(request["spec"])
+        try:
+            audit = self.store.subscribe(
+                request["session_id"], spec, audit_id=request.get("audit_id")
+            )
+        except RuntimeError as exc:
+            # The per-session subscription limit: the client asked for
+            # too much, not a server fault.
+            raise protocol.ProtocolError(protocol.BAD_REQUEST, str(exc))
+        return {
+            "audit_id": audit.audit_id,
+            "kind": audit.kind,
+            "results": audit.results_dicts(),
+        }
+
+    def _op_unsubscribe(self, request: dict) -> dict:
+        unsubscribed = self.store.unsubscribe(
+            request["session_id"], request["audit_id"]
+        )
+        return {"unsubscribed": unsubscribed}
+
+    def _op_standing(self, request: dict) -> dict:
+        """Read a standing audit's maintained top-k (no edit needed)."""
+        audit = self.store.standing(
+            request["session_id"], request["audit_id"]
+        )
+        return {
+            "audit_id": audit.audit_id,
+            "kind": audit.kind,
+            "results": audit.results_dicts(),
+            "stats": audit.stats.to_dict(),
+        }
 
     def _op_close(self, request: dict) -> dict:
         return {"closed": self.store.close(request["session_id"])}

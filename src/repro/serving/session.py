@@ -43,6 +43,7 @@ from repro.core.features import Feature, FeatureContext
 from repro.core.model import Scene, Track
 from repro.core.scoring import ScoredItem, Scorer
 from repro.serving.edits import SceneEdit
+from repro.serving.standing import SPEC_FILTER, StandingAudit
 
 __all__ = ["SceneSession", "SessionStats"]
 
@@ -88,6 +89,8 @@ class SceneSession:
         aofs: Optional per-feature AOFs.
         session_id: Identifier in a :class:`~repro.serving.store.SessionStore`;
             defaults to the scene id.
+        max_standing: Cap on concurrently subscribed standing audits
+            (each one pays O(changed · log k) on every edit).
         on_invalidate: Called (with no arguments) whenever an edit or
             :meth:`invalidate` changes the scene — the hook
             :meth:`repro.core.engine.Fixy.session` uses to evict the
@@ -110,6 +113,7 @@ class SceneSession:
         aofs: dict[str, AOF] | None = None,
         session_id: str | None = None,
         on_invalidate=None,
+        max_standing: int = 16,
     ):
         self.scene = scene
         self.session_id = session_id or scene.scene_id
@@ -135,6 +139,13 @@ class SceneSession:
         #: the next compiled-state access so the session cannot serve
         #: stale pre-edit state after an error response.
         self._dirty: set[str] = set()
+        #: standing audits maintained incrementally under edits, and
+        #: the track ids whose maintenance is still owed (only non-empty
+        #: transiently, or after a mid-edit failure — the same retry
+        #: discipline as ``_dirty``).
+        self.max_standing = max_standing
+        self._standing: dict[str, StandingAudit] = {}
+        self._standing_pending: set[str] = set()
         for track in scene.tracks:
             self._adopt_segment(track)
 
@@ -209,6 +220,10 @@ class SceneSession:
         if self._on_invalidate is not None:
             self._on_invalidate()
         self._dirty |= changed
+        # Owed to standing audits *before* recompiling: if a segment
+        # compile fails below, the pending set survives the exception
+        # and the retry path re-runs maintenance for these tracks.
+        self._standing_pending |= changed
         present = {t.track_id: t for t in self.scene.tracks}
         for track_id in changed:
             track = present.get(track_id)
@@ -219,6 +234,32 @@ class SceneSession:
                 self._dirty.discard(track_id)
             else:
                 self._adopt_segment(track)
+        self._notify_standing_locked()
+
+    def _notify_standing_locked(self) -> None:
+        """Deliver owed maintenance to every standing audit.
+
+        Rescoring is idempotent per track, so a failure partway through
+        leaves the pending set intact and the retry converges.
+        """
+        if not self._standing_pending:
+            return
+        if self._standing:
+            pending = set(self._standing_pending)
+            for audit in self._standing.values():
+                audit._rescore(pending)
+        self._standing_pending.clear()
+
+    def _ensure_clean_locked(self) -> None:
+        """Retry any failed recompiles and owed standing maintenance.
+
+        Queries call this first so an edit that errored mid-flight can
+        never leave stale pre-edit state being served.
+        """
+        if self._dirty:
+            self._invalidate_locked(set(self._dirty))
+        else:
+            self._notify_standing_locked()
 
     # ------------------------------------------------------------------
     # Compiled views
@@ -278,6 +319,60 @@ class SceneSession:
         return ranked[:top_k] if top_k is not None else ranked
 
     # ------------------------------------------------------------------
+    # Standing audits
+    # ------------------------------------------------------------------
+    def subscribe(
+        self, spec, audit_id: str | None = None, filt=SPEC_FILTER
+    ) -> StandingAudit:
+        """Register ``spec`` as a standing query over this session.
+
+        Scores every track once up front; from then on each
+        :meth:`apply`/:meth:`invalidate` rescores only the invalidated
+        tracks and re-heaps the audit's top-k in O(changed · log k).
+        Raises ``ValueError`` on a duplicate ``audit_id`` and
+        ``RuntimeError`` past :attr:`max_standing` subscriptions.
+        """
+        with self._lock:
+            self._ensure_clean_locked()
+            audit = StandingAudit(self, spec, audit_id=audit_id, filt=filt)
+            if audit.audit_id in self._standing:
+                raise ValueError(
+                    f"standing audit {audit.audit_id!r} already subscribed "
+                    f"to session {self.session_id!r}"
+                )
+            if len(self._standing) >= self.max_standing:
+                raise RuntimeError(
+                    f"session {self.session_id!r} is at its standing-audit "
+                    f"limit ({self.max_standing})"
+                )
+            audit._rescore(
+                {t.track_id for t in self.scene.tracks}, initial=True
+            )
+            self._standing[audit.audit_id] = audit
+            return audit
+
+    def unsubscribe(self, audit_id: str) -> bool:
+        """Drop a standing audit; True if it was subscribed."""
+        with self._lock:
+            return self._standing.pop(audit_id, None) is not None
+
+    def standing_audit(self, audit_id: str) -> StandingAudit:
+        """Look up a subscription (``KeyError`` if unknown)."""
+        with self._lock:
+            audit = self._standing.get(audit_id)
+            if audit is None:
+                raise KeyError(
+                    f"no standing audit {audit_id!r} in session "
+                    f"{self.session_id!r}"
+                )
+            return audit
+
+    def standing_audits(self) -> list[StandingAudit]:
+        """The live subscriptions, in subscription order."""
+        with self._lock:
+            return list(self._standing.values())
+
+    # ------------------------------------------------------------------
     # Reference equivalence
     # ------------------------------------------------------------------
     def full_compile(self) -> CompiledScene:
@@ -296,6 +391,8 @@ class SceneSession:
     def verify(self, tol: float = 1e-9) -> bool:
         """Check the spliced state against a from-scratch recompile.
 
+        Also re-verifies every subscribed standing audit against the
+        full-rescore reference (:meth:`StandingAudit.verify`).
         Raises ``AssertionError`` on any divergence: factor count,
         names, member observation rows, or potentials beyond ``tol``.
         Returns True otherwise. This is the property-test hook — and a
@@ -322,4 +419,6 @@ class SceneSession:
             assert np.array_equal(
                 spliced.member_rows(i), reference.member_rows(i)
             ), f"factor {i} member rows diverged"
+        for audit in self.standing_audits():
+            audit.verify()
         return True

@@ -29,9 +29,12 @@ class SessionStore:
         fixy: A fitted :class:`~repro.core.engine.Fixy` supplying the
             feature set, AOFs, and learned model every session uses.
         max_sessions: Live-session bound (≥ 1).
+        max_standing: Per-session standing-audit bound
+            (:class:`~repro.serving.session.SceneSession`'s
+            ``max_standing``).
     """
 
-    def __init__(self, fixy, max_sessions: int = 32):
+    def __init__(self, fixy, max_sessions: int = 32, max_standing: int = 16):
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
         fixy._require_fitted()
@@ -42,6 +45,7 @@ class SessionStore:
             )
         self.fixy = fixy
         self.max_sessions = int(max_sessions)
+        self.max_standing = int(max_standing)
         self._sessions: OrderedDict[str, SceneSession] = OrderedDict()
         self._lock = threading.Lock()
         self.sessions_opened = 0
@@ -63,6 +67,7 @@ class SessionStore:
             # Edits mutate the scene in place; keep the engine's
             # identity-keyed compile cache from serving stale state.
             on_invalidate=lambda: self.fixy._evict_scene(scene),
+            max_standing=self.max_standing,
         )
         with self._lock:
             self._sessions[session.session_id] = session
@@ -103,6 +108,19 @@ class SessionStore:
         return self.get(session_id).rank(kind, filt, top_k=top_k)
 
     # ------------------------------------------------------------------
+    def subscribe(self, session_id: str, spec, audit_id: str | None = None):
+        """Subscribe a standing audit on a live session."""
+        return self.get(session_id).subscribe(spec, audit_id=audit_id)
+
+    def unsubscribe(self, session_id: str, audit_id: str) -> bool:
+        """Drop a session's standing audit; whether it was subscribed."""
+        return self.get(session_id).unsubscribe(audit_id)
+
+    def standing(self, session_id: str, audit_id: str):
+        """Look up a live session's standing audit."""
+        return self.get(session_id).standing_audit(audit_id)
+
+    # ------------------------------------------------------------------
     @property
     def session_ids(self) -> list[str]:
         with self._lock:
@@ -126,4 +144,10 @@ class SessionStore:
             "sessions_evicted": self.sessions_evicted,
             "edits_applied": sum(s.stats.edits_applied for s in sessions),
             "tracks_recompiled": sum(s.stats.tracks_recompiled for s in sessions),
+            "standing_audits": sum(len(s.standing_audits()) for s in sessions),
+            "standing_tracks_rescored": sum(
+                a.stats.tracks_rescored
+                for s in sessions
+                for a in s.standing_audits()
+            ),
         }

@@ -484,6 +484,60 @@ class TestReprobe:
             backend.close()
 
 
+class TestCapacityElasticity:
+    def test_refresh_capacity_folds_health_into_weighting(self, api_fixy):
+        """A worker whose advertised capacity grows between audits gets
+        a proportionally bigger partition after the next health probe."""
+        with TcpWorker(api_fixy) as a, TcpWorker(api_fixy) as b:
+            pool = WorkerPool([a.address, b.address], capacity_refresh=0.0)
+            pool.connect()
+            assert [e.capacity for e in pool.endpoints] == [1, 1]
+            a.service.capacity = 3  # worker gains headroom live
+            assert pool.refresh_capacity() == [a.address]
+            assert [e.capacity for e in pool.endpoints] == [3, 1]
+            parts = partition_scenes(list(range(8)), pool.healthy_workers())
+            assert [len(chunk) for _, chunk in parts] == [6, 2]
+
+    def test_refresh_capacity_respects_interval(self, api_fixy):
+        """Within the refresh window the registration-time capacity is
+        trusted — no health probe per audit."""
+        with TcpWorker(api_fixy) as worker:
+            pool = WorkerPool([worker.address], capacity_refresh=3600.0)
+            pool.connect()
+            worker.service.capacity = 5
+            assert pool.refresh_capacity() == []  # checked at register
+            assert pool.endpoints[0].capacity == 1
+
+    def test_audit_rebalances_when_capacity_changes(self, api_fixy):
+        """Acceptance: the remote backend re-weights partitions across
+        audits as a worker's advertised capacity changes."""
+        with TcpWorker(api_fixy) as a, TcpWorker(api_fixy) as b:
+            spec = AuditSpec(kind="tracks", top_k=10)
+            scenes = [model_scene(f"cap-{i}", n_tracks=2) for i in range(8)]
+            backend = get_backend(
+                "remote",
+                workers=[a.address, b.address],
+                capacity_refresh=0.0,
+            )
+            try:
+                first = backend.run(api_fixy, spec, scenes, None)
+                split = {
+                    r["worker"]: r["n_scenes"]
+                    for r in backend.provenance_extras()["workers"]
+                }
+                assert split == {a.address: 4, b.address: 4}
+                b.service.capacity = 3
+                second = backend.run(api_fixy, spec, scenes, None)
+                split = {
+                    r["worker"]: r["n_scenes"]
+                    for r in backend.provenance_extras()["workers"]
+                }
+                assert split == {a.address: 2, b.address: 6}
+                assert signature(second) == signature(first)
+            finally:
+                backend.close()
+
+
 class _DyingService(StreamingService):
     """Accepts hello/health but drops the connection on the first
     ``audit`` — a worker that dies mid-audit, as the client sees it."""
