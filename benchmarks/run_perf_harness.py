@@ -30,8 +30,22 @@ The JSON layout::
       },
       "pytest_benchmarks": [  # mean seconds per benchmark test
         {"name": ..., "mean_s": ..., "stddev_s": ...}, ...
-      ]
+      ],
+      "observability": {
+        "registry_deltas": {...},  # counter totals advanced by this run
+        "overhead": {...},         # measured vs committed warm remote
+      }
     }
+
+The ``observability`` section is the instrumentation-overhead check:
+the harness snapshots the process metrics registry before and after
+the measurements (the deltas prove the counters actually advance under
+load) and compares the freshly-measured warm remote throughput against
+the committed ``BENCH_scaling.json`` baseline — which predates the
+instrumentation, so a regression past ``--max-overhead`` (default 5%)
+means the metrics/tracing layer costs too much. Advisory by default
+(wall-clock on shared runners is noisy); ``--enforce-overhead`` turns
+it into a non-zero exit.
 """
 
 from __future__ import annotations
@@ -133,6 +147,16 @@ def main(argv: list[str] | None = None) -> int:
         "scenes — what CI smokes)",
     )
     parser.add_argument(
+        "--max-overhead", type=float, default=0.05,
+        help="tolerated fractional slowdown of warm remote throughput "
+        "vs the committed BENCH_scaling.json baseline (default 0.05)",
+    )
+    parser.add_argument(
+        "--enforce-overhead", action="store_true",
+        help="exit non-zero when the overhead check fails (advisory "
+        "otherwise — shared-runner wall-clock is noisy)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="fast sanity mode: tiny sizes, one repeat, no pytest run "
         "(used by the tier-1 smoke test)",
@@ -151,6 +175,17 @@ def main(argv: list[str] | None = None) -> int:
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.eval.perf import ab_compile_rank, render_report
+    from repro.obs.metrics import get_registry
+
+    # The committed baseline predates this run — read it before --out
+    # overwrites it, so the overhead check compares against history.
+    baseline_path = REPO_ROOT / "BENCH_scaling.json"
+    baseline = (
+        json.loads(baseline_path.read_text())
+        if baseline_path.exists()
+        else None
+    )
+    counters_before = get_registry().summary()
 
     report: dict = {"generated_at": time.time()}
     ab = ab_compile_rank(densities=tuple(args.densities), repeats=args.repeats)
@@ -198,9 +233,91 @@ def main(argv: list[str] | None = None) -> int:
         for bench in report["pytest_benchmarks"]:
             print(f"  {bench['name']}: {bench['mean_s']*1e3:.1f} ms mean")
 
+    overhead_ok = True
+    report["observability"] = observability_section(
+        counters_before=counters_before,
+        counters_after=get_registry().summary(),
+        baseline=baseline,
+        measured=report.get("serving", {}).get("remote"),
+        max_overhead=args.max_overhead,
+    )
+    deltas = report["observability"]["registry_deltas"]
+    print(f"registry: {len(deltas)} counters advanced during the run")
+    for name in sorted(deltas)[:8]:
+        print(f"  {name}: +{deltas[name]:g}")
+    overhead = report["observability"]["overhead"]
+    if overhead is not None:
+        overhead_ok = overhead["within_budget"]
+        print(
+            "instrumentation overhead (warm remote, vs committed "
+            f"{overhead['baseline_scenes_per_s']:.0f} scenes/s): "
+            f"{overhead['measured_scenes_per_s']:.0f} scenes/s "
+            f"({overhead['slowdown'] * 100:+.1f}% — budget "
+            f"{args.max_overhead * 100:.0f}%) "
+            f"{'OK' if overhead_ok else 'OVER BUDGET'}"
+        )
+
     Path(args.out).write_text(json.dumps(report, indent=2), encoding="utf-8")
     print(f"wrote {args.out}")
+    if args.enforce_overhead and not overhead_ok:
+        return 1
     return 0
+
+
+def observability_section(
+    counters_before: dict,
+    counters_after: dict,
+    baseline: dict | None,
+    measured: dict | None,
+    max_overhead: float,
+) -> dict:
+    """Registry counter deltas + the ≤5% instrumentation-overhead check.
+
+    The check pits this run's warm remote throughput (measured with the
+    metrics/tracing layer live) against the committed baseline's; it
+    compares the best worker case from each side so partition-count
+    differences don't masquerade as instrumentation cost. Returns
+    ``overhead=None`` when either side lacks a remote measurement or
+    the workloads differ (e.g. ``--smoke`` vs a full baseline) — a
+    throughput ratio across different scene counts measures the
+    workload, not the instrumentation.
+    """
+    deltas = {
+        name: total - counters_before.get(name, 0.0)
+        for name, total in counters_after.items()
+        if total - counters_before.get(name, 0.0) > 0
+    }
+
+    def best_warm(remote_report: dict | None) -> float | None:
+        if not remote_report:
+            return None
+        rates = [
+            case["scenes_per_s"]
+            for case in remote_report.get("worker_cases", [])
+            if case.get("scenes_per_s")
+        ]
+        return max(rates) if rates else None
+
+    baseline_remote = (baseline or {}).get("serving", {}).get("remote")
+    comparable = bool(
+        baseline_remote
+        and measured
+        and baseline_remote.get("n_scenes") == measured.get("n_scenes")
+        and baseline_remote.get("n_objects") == measured.get("n_objects")
+    )
+    baseline_rate = best_warm(baseline_remote) if comparable else None
+    measured_rate = best_warm(measured)
+    overhead = None
+    if baseline_rate and measured_rate:
+        slowdown = (baseline_rate - measured_rate) / baseline_rate
+        overhead = {
+            "baseline_scenes_per_s": baseline_rate,
+            "measured_scenes_per_s": measured_rate,
+            "slowdown": slowdown,
+            "budget": max_overhead,
+            "within_budget": slowdown <= max_overhead,
+        }
+    return {"registry_deltas": deltas, "overhead": overhead}
 
 
 if __name__ == "__main__":

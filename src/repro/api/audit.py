@@ -25,11 +25,13 @@ registered backend and returns a typed
 
 from __future__ import annotations
 
+import contextlib
 import time
 
 from repro.api.backends import get_backend
 from repro.api.result import AuditProvenance, AuditResult
 from repro.api.spec import AuditSpec, build_feature_set
+from repro.obs import trace as obs_trace
 
 __all__ = ["API_VERSION", "Audit", "AuditError", "run_audit"]
 
@@ -103,6 +105,7 @@ class Audit:
         self,
         scenes=None,
         backend: str | None = None,
+        trace=None,
         **backend_options,
     ) -> AuditResult:
         """Execute the audit and return a typed result.
@@ -111,37 +114,65 @@ class Audit:
             scenes: Live scenes to rank; ``None`` resolves the spec's
                 declarative scene source.
             backend: Override the spec's backend for this run.
+            trace: ``True`` records this run into a fresh
+                :class:`~repro.obs.trace.Trace` (or pass an existing
+                one) and attaches the stitched span tree — including
+                any remote workers' piggybacked spans — to
+                ``result.provenance.trace``. The default ``None``
+                records into the ambient trace when one is active
+                (e.g. a worker serving a traced request) without
+                attaching anything: the caller that *owns* the trace
+                attaches it exactly once.
             **backend_options: Override/extend the spec's
                 ``backend_options`` for this run.
         """
+        own: obs_trace.Trace | None = None
+        if trace is True:
+            own = obs_trace.Trace()
+        elif isinstance(trace, obs_trace.Trace):
+            own = trace
+
         t_start = time.perf_counter()
         timings: dict[str, float] = {}
-        if scenes is None:
-            if self.spec.scenes is None:
-                raise AuditError(
-                    "no scenes to audit: the spec has no scene source and "
-                    "none were passed to run()"
-                )
-            t0 = time.perf_counter()
-            scenes = self.spec.scenes.resolve()
-            timings["resolve_scenes_s"] = time.perf_counter() - t0
-        elif hasattr(scenes, "scene_id"):  # a single live Scene
-            scenes = [scenes]
-        else:
-            scenes = list(scenes)
+        with contextlib.ExitStack() as stack:
+            if own is not None:
+                stack.enter_context(obs_trace.activate(own))
+            root = stack.enter_context(obs_trace.span("audit"))
 
-        backend_name = backend if backend is not None else self.spec.backend
-        # The spec's options belong to the spec's backend; when a run
-        # overrides the backend, only the per-run options apply.
-        options = dict(
-            self.spec.backend_options if backend_name == self.spec.backend else {}
-        )
-        options.update(backend_options)
-        executor = self._executor(backend_name, options)
-        t0 = time.perf_counter()
-        items = executor.run(self.fixy, self.spec, scenes, self._filter)
-        timings["rank_s"] = time.perf_counter() - t0
-        timings["total_s"] = time.perf_counter() - t_start
+            if scenes is None:
+                if self.spec.scenes is None:
+                    raise AuditError(
+                        "no scenes to audit: the spec has no scene source and "
+                        "none were passed to run()"
+                    )
+                with obs_trace.span("resolve_scenes"):
+                    t0 = time.perf_counter()
+                    scenes = self.spec.scenes.resolve()
+                    timings["resolve_scenes_s"] = time.perf_counter() - t0
+            elif hasattr(scenes, "scene_id"):  # a single live Scene
+                scenes = [scenes]
+            else:
+                scenes = list(scenes)
+
+            backend_name = backend if backend is not None else self.spec.backend
+            # The spec's options belong to the spec's backend; when a run
+            # overrides the backend, only the per-run options apply.
+            options = dict(
+                self.spec.backend_options
+                if backend_name == self.spec.backend
+                else {}
+            )
+            options.update(backend_options)
+            executor = self._executor(backend_name, options)
+            root.attrs["backend"] = backend_name
+            root.attrs["n_scenes"] = len(scenes)
+            with obs_trace.span(
+                "rank", attrs={"backend": backend_name, "n_scenes": len(scenes)}
+            ):
+                t0 = time.perf_counter()
+                items = executor.run(self.fixy, self.spec, scenes, self._filter)
+                timings["rank_s"] = time.perf_counter() - t0
+            timings["total_s"] = time.perf_counter() - t_start
 
         extras = executor.provenance_extras()
         learned = self.fixy.learned
@@ -154,6 +185,7 @@ class Audit:
             timings=timings,
             backend_options=options,
             workers=extras.get("workers"),
+            trace=own.to_dict() if own is not None else None,
         )
         return AuditResult(items=items, spec=self.spec, provenance=provenance)
 

@@ -305,6 +305,17 @@ class AuditClient:
         )
         return self._check(response)
 
+    def request(self, op: str, **fields) -> dict:
+        """Send one op and return the full *checked* response envelope.
+
+        Unlike the typed convenience methods below, the envelope keeps
+        every additive field the server attached — ``spans`` (the
+        worker's piggybacked trace spans), ``scene_cache``, whatever a
+        later protocol version adds. ``None``-valued fields are
+        dropped before sending, same as every other call.
+        """
+        return self._call(op, **fields)
+
     def _check(self, response) -> dict:
         """Validate one response envelope (version, ok flag, errors)."""
         if not isinstance(response, dict):
@@ -500,6 +511,16 @@ class AuditClient:
         """Liveness + serving stats (``status``, ``uptime_s``,
         ``requests_handled``, session-store counters)."""
         response = self._call("health")
+        return {k: v for k, v in response.items() if k not in ("ok", "v")}
+
+    def metrics(self, text: bool = False) -> dict:
+        """The worker's metrics snapshot (protocol v2+).
+
+        Returns ``{"metrics": <registry snapshot>}``, plus ``"text"``
+        (the Prometheus exposition) when ``text=True``. A v1
+        connection gets a typed ``unsupported_version`` rejection.
+        """
+        response = self._call("metrics", text=True if text else None)
         return {k: v for k, v in response.items() if k not in ("ok", "v")}
 
     # ------------------------------------------------------------------

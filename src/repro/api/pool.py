@@ -75,8 +75,56 @@ from repro.api import frames, protocol
 from repro.api.client import AuditClient, parse_address
 from repro.api.result import AuditResult
 from repro.core.scoring import ScoredItem, merge_rankings
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import Stopwatch
 
 __all__ = ["WorkerEndpoint", "WorkerPool", "partition_scenes"]
+
+# Coordinator-side dispatch metrics (names are API — docs/API.md,
+# "Observability"). The per-partition report dicts in
+# ``provenance.workers`` stay as per-audit attribution; these series
+# are the *cumulative* live view an operator scrapes.
+_DISPATCH_SECONDS = obs_metrics.histogram(
+    "repro_pool_dispatch_seconds",
+    "Seconds per successful partition dispatch, by wire format",
+    labelnames=("wire",),
+)
+_ENCODE_SECONDS = obs_metrics.counter(
+    "repro_pool_encode_seconds_total",
+    "Cumulative seconds spent encoding scene payloads for dispatch",
+)
+_BYTES_SENT = obs_metrics.counter(
+    "repro_pool_bytes_sent_total",
+    "Bytes written to workers, by wire format",
+    labelnames=("wire",),
+)
+_BYTES_RECEIVED = obs_metrics.counter(
+    "repro_pool_bytes_received_total",
+    "Bytes read back from workers, by wire format",
+    labelnames=("wire",),
+)
+_CHUNKS = obs_metrics.counter(
+    "repro_pool_chunks_total",
+    "Scene chunks dispatched, by wire format",
+    labelnames=("wire",),
+)
+_CACHE_HITS = obs_metrics.counter(
+    "repro_pool_scene_cache_hits_total",
+    "Worker scene-cache hits reported on v2 audit responses",
+)
+_CACHE_MISSES = obs_metrics.counter(
+    "repro_pool_scene_cache_misses_total",
+    "Worker scene-cache misses reported on v2 audit responses",
+)
+_REQUEUES = obs_metrics.counter(
+    "repro_pool_requeues_total",
+    "Partitions requeued onto a replacement after a worker death",
+)
+_REFILLS = obs_metrics.counter(
+    "repro_pool_refills_total",
+    "Chunk body refills after a worker answered `need`",
+)
 
 #: Wire preferences a pool accepts: negotiate per worker ("auto"),
 #: force classic line-JSON ("v1"), or require the framed wire ("v2").
@@ -641,7 +689,18 @@ class WorkerPool:
         request, as bodies or content hashes). Failure of a worker
         mid-audit requeues its unfinished chunks; see the module
         docstring for why the result stays byte-identical.
+
+        When the calling thread has an ambient trace
+        (:func:`repro.obs.trace.current_trace`), every dispatch
+        attempt records a ``pool.dispatch`` span parented under the
+        caller's current span, requests carry the trace id, and each
+        worker's piggybacked spans are stitched under its dispatch
+        span — one end-to-end trace per audit. The (trace, parent) is
+        captured *here* because dispatch runs on executor threads,
+        where contextvars don't follow.
         """
+        trace = obs_trace.current_trace()
+        trace_parent = obs_trace.current_span_id()
         self.reprobe()
         self.refresh_capacity()
         workers = self.healthy_workers()
@@ -682,13 +741,33 @@ class WorkerPool:
             remaining = chunk_jobs
             while True:
                 attempts += 1
-                t0 = time.perf_counter()
+                watch = Stopwatch()
                 try:
-                    stats = self._dispatch(
-                        worker, spec_payload, remaining, blocks
-                    )
+                    # One span per dispatch *attempt*: a requeued
+                    # partition shows up as two pool.dispatch spans
+                    # with distinct worker/attempt attrs (the failed
+                    # one carrying an "error" attr).
+                    with obs_trace.span(
+                        "pool.dispatch",
+                        trace=trace,
+                        parent=trace_parent,
+                        attrs={
+                            "worker": worker.address,
+                            "partition": slot,
+                            "attempt": attempts,
+                        },
+                    ) as dispatch_span:
+                        stats = self._dispatch(
+                            worker,
+                            spec_payload,
+                            remaining,
+                            blocks,
+                            trace=trace,
+                            parent_span=dispatch_span.span_id,
+                        )
+                        dispatch_span.attrs["wire"] = stats["wire"]
                 except protocol.TransportError as exc:
-                    elapsed = time.perf_counter() - t0
+                    elapsed = watch.s
                     if (
                         getattr(exc, "reused_connection", False)
                         and worker.address not in fresh_retried
@@ -735,13 +814,15 @@ class WorkerPool:
                             f"partition {slot} ({n_left} scenes) failed "
                             f"on every worker; last error: {exc}",
                         ) from exc
+                    _REQUEUES.inc()
                     continue
+                _DISPATCH_SECONDS.observe(watch.s, wire=stats["wire"])
                 reports[slot].append(
                     {
                         "worker": worker.address,
                         "partition": slot,
                         "n_scenes": sum(len(c) for _, c in remaining),
-                        "rank_s": time.perf_counter() - t0,
+                        "rank_s": watch.s,
                         "attempts": attempts,
                         **stats,
                     }
@@ -777,14 +858,31 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Per-worker dispatch (one attempt over one dedicated connection)
     # ------------------------------------------------------------------
-    def _dispatch(self, worker, spec_payload, chunk_jobs, blocks) -> dict:
+    def _dispatch(
+        self, worker, spec_payload, chunk_jobs, blocks,
+        trace=None, parent_span=None,
+    ) -> dict:
         if worker.supports_frames and self.wire != "v1":
             return self._dispatch_framed(
-                worker, spec_payload, chunk_jobs, blocks
+                worker, spec_payload, chunk_jobs, blocks,
+                trace=trace, parent_span=parent_span,
             )
-        return self._dispatch_json(worker, spec_payload, chunk_jobs, blocks)
+        return self._dispatch_json(
+            worker, spec_payload, chunk_jobs, blocks,
+            trace=trace, parent_span=parent_span,
+        )
 
-    def _dispatch_json(self, worker, spec_payload, chunk_jobs, blocks) -> dict:
+    @staticmethod
+    def _stitch_spans(trace, parent_span, response) -> None:
+        """Merge a worker's piggybacked spans under the dispatch span."""
+        spans = response.get("spans")
+        if trace is not None and spans:
+            trace.extend_dicts(spans, reparent_roots_to=parent_span)
+
+    def _dispatch_json(
+        self, worker, spec_payload, chunk_jobs, blocks,
+        trace=None, parent_span=None,
+    ) -> dict:
         """v1 line-JSON: one ``audit`` request per chunk, serially."""
         stats = {
             "wire": "v1",
@@ -794,14 +892,30 @@ class WorkerPool:
             "scene_cache_misses": 0,
         }
         client, leased, reused = worker.lease(wire="json")
+        # Trace fields are additive and v2-only: a v1-negotiated worker
+        # would ignore them anyway, so don't widen its requests.
+        trace_id = (
+            trace.trace_id
+            if trace is not None and client.version >= 2
+            else None
+        )
         bytes_before = client.bytes_sent
+        received_before = client.bytes_received
         ok = False
         try:
             for block_slot, chunk in chunk_jobs:
-                t0 = time.perf_counter()
+                encode = Stopwatch()
                 payloads = [self._payloads.dict_for(s) for s in chunk]
-                stats["encode_s"] += time.perf_counter() - t0
-                result = client.audit(spec_payload, scenes=payloads)
+                stats["encode_s"] += encode.s
+                response = client.request(
+                    "audit",
+                    spec=spec_payload,
+                    scenes=payloads,
+                    trace_id=trace_id,
+                    parent_span=parent_span if trace_id else None,
+                )
+                self._stitch_spans(trace, parent_span, response)
+                result = AuditResult.from_dict(response["result"])
                 blocks[block_slot] = result.items
             stats["bytes_sent"] = client.bytes_sent - bytes_before
             ok = True
@@ -810,6 +924,12 @@ class WorkerPool:
             raise
         finally:
             worker.release(client, leased, ok)
+        _ENCODE_SECONDS.inc(stats["encode_s"])
+        _CHUNKS.inc(stats["n_chunks"], wire="v1")
+        _BYTES_SENT.inc(stats["bytes_sent"], wire="v1")
+        _BYTES_RECEIVED.inc(
+            client.bytes_received - received_before, wire="v1"
+        )
         return stats
 
     #: Times one chunk may be answered with ``need`` before the pool
@@ -818,7 +938,8 @@ class WorkerPool:
     MAX_REFILLS = 3
 
     def _dispatch_framed(
-        self, worker, spec_payload, chunk_jobs, blocks
+        self, worker, spec_payload, chunk_jobs, blocks,
+        trace=None, parent_span=None,
     ) -> dict:
         """v2 frames: content-addressed chunks, pipelined on one socket."""
         stats = {
@@ -829,7 +950,14 @@ class WorkerPool:
             "scene_cache_misses": 0,
         }
         client, leased, reused = worker.lease(wire="frames")
+        trace_id = trace.trace_id if trace is not None else None
+        trace_fields = (
+            {"trace_id": trace_id, "parent_span": parent_span}
+            if trace_id
+            else {}
+        )
         bytes_before = client.bytes_sent
+        received_before = client.bytes_received
         ok = False
         try:
             queue = deque(chunk_jobs)
@@ -839,7 +967,7 @@ class WorkerPool:
                 # the worker ranks earlier chunks.
                 while queue and len(in_flight) < self.pipeline:
                     block_slot, chunk = queue.popleft()
-                    t0 = time.perf_counter()
+                    encode = Stopwatch()
                     hashes, by_hash = [], {}
                     for scene in chunk:
                         packed, fingerprint = self._payloads.packed_for(scene)
@@ -852,16 +980,18 @@ class WorkerPool:
                         for fingerprint in unknown:
                             worker.remember(fingerprint)
                     blobs = tuple(by_hash[h] for h in unknown)
-                    stats["encode_s"] += time.perf_counter() - t0
+                    stats["encode_s"] += encode.s
                     client.send_request(
                         "audit",
                         blobs=blobs,
                         spec=spec_payload,
                         scene_hashes=hashes,
+                        **trace_fields,
                     )
                     in_flight.append((block_slot, hashes, by_hash, 0))
                 block_slot, hashes, by_hash, refills = in_flight.popleft()
                 response = client.recv_response()
+                self._stitch_spans(trace, parent_span, response)
                 need = response.get("need")
                 if need:
                     # The worker evicted (or never had) some bodies.
@@ -886,10 +1016,12 @@ class WorkerPool:
                         blobs=tuple(by_hash.values()),
                         spec=spec_payload,
                         scene_hashes=hashes,
+                        **trace_fields,
                     )
                     with self._lock:
                         for fingerprint in by_hash:
                             worker.remember(fingerprint)
+                    _REFILLS.inc()
                     in_flight.append((block_slot, hashes, by_hash, refills + 1))
                     continue
                 result = AuditResult.from_dict(response["result"])
@@ -904,6 +1036,14 @@ class WorkerPool:
             raise
         finally:
             worker.release(client, leased, ok)
+        _ENCODE_SECONDS.inc(stats["encode_s"])
+        _CHUNKS.inc(stats["n_chunks"], wire="v2")
+        _BYTES_SENT.inc(stats["bytes_sent"], wire="v2")
+        _BYTES_RECEIVED.inc(
+            client.bytes_received - received_before, wire="v2"
+        )
+        _CACHE_HITS.inc(stats["scene_cache_hits"])
+        _CACHE_MISSES.inc(stats["scene_cache_misses"])
         return stats
 
     def _replacement(self, tried: set[str]) -> WorkerEndpoint | None:

@@ -42,6 +42,10 @@ class AuditProvenance:
             partition with ``worker`` (address), ``partition`` index,
             ``n_scenes``, ``rank_s``, and ``attempts`` (>1 means the
             partition was requeued off a dead worker).
+        trace: The run's stitched span trace
+            (:meth:`repro.obs.trace.Trace.to_dict` — ``trace_id`` plus
+            a flat span list) when the run was traced, else ``None``.
+            Additive: pre-observability results round-trip unchanged.
     """
 
     backend: str
@@ -52,6 +56,7 @@ class AuditProvenance:
     timings: dict = field(default_factory=dict)
     backend_options: dict = field(default_factory=dict)
     workers: list | None = None
+    trace: dict | None = None
 
     def to_dict(self) -> dict:
         out = {
@@ -65,11 +70,17 @@ class AuditProvenance:
         }
         if self.workers is not None:
             out["workers"] = [dict(w) for w in self.workers]
+        if self.trace is not None:
+            out["trace"] = {
+                "trace_id": self.trace.get("trace_id"),
+                "spans": [dict(s) for s in self.trace.get("spans", [])],
+            }
         return out
 
     @staticmethod
     def from_dict(data: Mapping) -> "AuditProvenance":
         workers = data.get("workers")
+        trace = data.get("trace")
         return AuditProvenance(
             backend=data["backend"],
             spec_hash=data["spec_hash"],
@@ -79,6 +90,7 @@ class AuditProvenance:
             timings=dict(data.get("timings", {})),
             backend_options=dict(data.get("backend_options", {})),
             workers=[dict(w) for w in workers] if workers is not None else None,
+            trace=dict(trace) if trace is not None else None,
         )
 
 
@@ -120,3 +132,22 @@ class AuditResult:
     @staticmethod
     def from_json(text: str) -> "AuditResult":
         return AuditResult.from_dict(json.loads(text))
+
+    def dump_trace(self, path) -> int:
+        """Write the run's stitched trace as JSONL (one span per line).
+
+        Returns the number of spans written. Raises ``ValueError`` when
+        the result has no trace — traces are opt-in
+        (``Audit.run(trace=True)`` or ``cli audit --trace PATH``).
+        """
+        trace = self.provenance.trace
+        if trace is None:
+            raise ValueError(
+                "this result carries no trace; run the audit with "
+                "trace=True (or `cli audit --trace PATH`)"
+            )
+        spans = trace.get("spans", [])
+        with open(path, "w", encoding="utf-8") as fh:
+            for span in spans:
+                fh.write(json.dumps(span, sort_keys=True) + "\n")
+        return len(spans)

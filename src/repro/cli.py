@@ -152,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="also write the AuditResult JSON to this path",
     )
+    audit.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span trace of the run (stitched across remote "
+        "workers) and write it to PATH as JSONL, one span per line",
+    )
 
     rank = sub.add_parser(
         "rank", help="(deprecated: use `audit`) rank potential missing labels"
@@ -235,6 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="decoded scenes kept by content hash for the v2 "
         "content-addressed transport (bounded LRU; advertised in "
         "hello; default 256)",
+    )
+    serve.add_argument(
+        "--metrics-addr", default=None, metavar="HOST:PORT",
+        help="also serve the Prometheus text exposition of the process "
+        "metrics registry over HTTP at this address (port 0 picks a "
+        "free port, announced on stderr as 'metrics on HOST:PORT')",
     )
 
     return parser
@@ -405,7 +416,7 @@ def _cmd_audit(args) -> int:
                 backend=args.backend,
                 backend_options=backend_options,
             )
-        result = Audit(spec).run()
+        result = Audit(spec).run(trace=True if args.trace else None)
     except (
         SpecValidationError,
         UnknownRankKindError,
@@ -425,6 +436,9 @@ def _cmd_audit(args) -> int:
     if args.out:
         Path(args.out).write_text(text + "\n", encoding="utf-8")
         print(f"wrote {args.out}", file=sys.stderr)
+    if args.trace:
+        n_spans = result.dump_trace(args.trace)
+        print(f"wrote {n_spans} spans to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -513,6 +527,15 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
             # Fail before the (slow) model load / fit.
             print(f"invalid --listen address: {exc}", file=sys.stderr)
             return 2
+    metrics_address = None
+    if args.metrics_addr is not None:
+        from repro.api.client import parse_address
+
+        try:
+            metrics_address = parse_address(args.metrics_addr)
+        except ValueError as exc:
+            print(f"invalid --metrics-addr address: {exc}", file=sys.stderr)
+            return 2
 
     features = (
         default_features() if args.features == "default" else model_error_features()
@@ -542,33 +565,56 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
         f"serving ({source}); protocol v{PROTOCOL_VERSION}"
         f"{' (strict)' if args.strict else ''}; "
         "ops: open/edit/rank/audit/subscribe/unsubscribe/standing/"
-        "close/stats/hello/health; "
+        "close/stats/hello/health/metrics; "
         "one JSON request per line (or v2 binary frames over --listen)",
         file=sys.stderr,
     )
-    if listen_address is not None:
-        from repro.serving.tcp import serve_tcp
+    metrics_server = None
+    if metrics_address is not None:
+        from repro.obs.http import serve_metrics
 
-        host, port = listen_address
+        m_host, m_port = metrics_address
         try:
-            server = serve_tcp(service, host=host, port=port)
-        except OSError as exc:  # port busy, address not bindable, ...
-            print(f"cannot listen on {args.listen}: {exc}", file=sys.stderr)
+            metrics_server = serve_metrics(host=m_host, port=m_port)
+        except OSError as exc:
+            print(
+                f"cannot serve metrics on {args.metrics_addr}: {exc}",
+                file=sys.stderr,
+            )
             return 2
-        print(f"listening on {server.address}", file=sys.stderr, flush=True)
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            pass
-        finally:
-            server.server_close()
-        print(
-            f"served {service.requests_handled} requests", file=sys.stderr
-        )
+        m_host, m_port = metrics_server.address
+        print(f"metrics on {m_host}:{m_port}", file=sys.stderr, flush=True)
+    try:
+        if listen_address is not None:
+            from repro.serving.tcp import serve_tcp
+
+            host, port = listen_address
+            try:
+                server = serve_tcp(service, host=host, port=port)
+            except OSError as exc:  # port busy, address not bindable, ...
+                print(
+                    f"cannot listen on {args.listen}: {exc}", file=sys.stderr
+                )
+                return 2
+            print(
+                f"listening on {server.address}", file=sys.stderr, flush=True
+            )
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.server_close()
+            print(
+                f"served {service.requests_handled} requests", file=sys.stderr
+            )
+            return 0
+        handled = service.serve(stdin or sys.stdin, stdout or sys.stdout)
+        print(f"served {handled} requests", file=sys.stderr)
         return 0
-    handled = service.serve(stdin or sys.stdin, stdout or sys.stdout)
-    print(f"served {handled} requests", file=sys.stderr)
-    return 0
+    finally:
+        if metrics_server is not None:
+            metrics_server.stop()
 
 
 def main(argv: list[str] | None = None) -> int:

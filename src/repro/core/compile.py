@@ -263,13 +263,70 @@ def compile_scene(
         The compiled scene with one variable node per observation and one
         factor node per applicable (feature, item) pair.
     """
+    from repro.obs import trace as obs_trace
+    from repro.obs.metrics import Stopwatch
+
     ctx = context or FeatureContext.from_scene(scene)
     aof_map = dict(aofs or {})
     identity = IdentityAOF()
 
-    if vectorized:
-        return _compile_columnar(scene, features, learned, aof_map, identity, ctx)
-    return _compile_scalar(scene, features, learned, aof_map, identity, ctx)
+    watch = Stopwatch()
+    traced = obs_trace.current_trace() is not None  # cheap gate: one get()
+    if traced:
+        with obs_trace.span(
+            "compile",
+            attrs={
+                "scene": scene.scene_id,
+                "tracks": len(scene.tracks),
+                "vectorized": vectorized,
+            },
+        ) as record:
+            compiled = (
+                _compile_columnar(
+                    scene, features, learned, aof_map, identity, ctx
+                )
+                if vectorized
+                else _compile_scalar(
+                    scene, features, learned, aof_map, identity, ctx
+                )
+            )
+            if compiled.columns is not None:
+                record.attrs["rows"] = len(compiled.columns.table.row_of)
+    elif vectorized:
+        compiled = _compile_columnar(
+            scene, features, learned, aof_map, identity, ctx
+        )
+    else:
+        compiled = _compile_scalar(
+            scene, features, learned, aof_map, identity, ctx
+        )
+    _COMPILE_SECONDS.observe(watch.s)
+    _COMPILE_SCENES.inc()
+    if compiled.columns is not None:
+        _COMPILE_ROWS.inc(len(compiled.columns.table.row_of))
+    return compiled
+
+
+# Compile metrics (module-level so the first compile doesn't pay
+# registration; see docs/API.md "Observability" for the catalogue).
+def _compile_metrics():
+    from repro.obs import metrics as obs_metrics
+
+    return (
+        obs_metrics.counter(
+            "repro_compile_scenes_total", "Scenes compiled"
+        ),
+        obs_metrics.histogram(
+            "repro_compile_seconds", "Seconds per compile_scene call"
+        ),
+        obs_metrics.counter(
+            "repro_compile_rows_total",
+            "Observation rows materialized by columnar compiles",
+        ),
+    )
+
+
+_COMPILE_SCENES, _COMPILE_SECONDS, _COMPILE_ROWS = _compile_metrics()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,55 @@
+"""Observability: metrics registry, span tracing, text exposition.
+
+The layers under :mod:`repro.api` and :mod:`repro.serving` record into
+the process-wide :data:`~repro.obs.metrics.REGISTRY` and — when a trace
+is active — into ambient :mod:`~repro.obs.trace` spans. This package
+owns the primitives; the metric *names* and span *taxonomy* are
+documented in ``docs/API.md`` ("Observability") and are a stable API.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    Stopwatch,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+)
+from repro.obs.trace import (
+    Span,
+    Trace,
+    activate,
+    current_span_id,
+    current_trace,
+    new_id,
+    span,
+)
+from repro.obs.http import MetricsServer, serve_metrics
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "REGISTRY",
+    "Span",
+    "Stopwatch",
+    "Trace",
+    "activate",
+    "counter",
+    "current_span_id",
+    "current_trace",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "new_id",
+    "serve_metrics",
+    "span",
+]

@@ -1,0 +1,88 @@
+"""A trivial HTTP exposition endpoint for the metrics registry.
+
+``cli serve --metrics-addr HOST:PORT`` calls :func:`serve_metrics`,
+which answers every GET with the Prometheus text exposition of the
+default registry. Deliberately minimal — no routing, no keep-alive, no
+dependency on ``http.server``'s per-request logging — because scrapes
+are rare (every 15–60 s) and the serving hot path must not share
+threads with them.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["MetricsServer", "serve_metrics"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self):
+        # Consume request line + headers (ignored) up to the blank line.
+        try:
+            line = self.rfile.readline(8192)
+            while line not in (b"", b"\r\n", b"\n"):
+                line = self.rfile.readline(8192)
+        except OSError:
+            return
+        body = self.server.registry.render().encode("utf-8")
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        try:
+            self.wfile.write(head + body)
+        except OSError:
+            pass
+
+
+class MetricsServer(socketserver.ThreadingTCPServer):
+    """Owns the listening socket and its daemon accept thread."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, registry: MetricsRegistry):
+        super().__init__(address, _Handler)
+        self.registry = registry
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server_address[:2]
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+def serve_metrics(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: MetricsRegistry | None = None,
+) -> MetricsServer:
+    """Start serving the text exposition; returns the running server.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.address``. Call ``server.stop()`` to shut down.
+    """
+    if registry is None:
+        registry = get_registry()
+    return MetricsServer((host, port), registry).start()

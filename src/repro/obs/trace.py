@@ -1,0 +1,274 @@
+"""Span-based tracing: where one request's time actually went.
+
+A :class:`Trace` is a flat, thread-safe collection of :class:`Span`
+records for one logical request (one audit, one protocol request).
+Spans form a tree through ``parent_id``; the tree is assembled by
+readers, not maintained live, so recording a span is an append under a
+lock and nothing more.
+
+The instrumented layers never hold a trace by hand — they call the
+:func:`span` context manager, which records into the *ambient* trace
+(a :class:`contextvars.ContextVar`) when one is active and costs a
+single falsy check when none is. That keeps tracing strictly opt-in:
+an un-traced audit pays one ``ContextVar.get()`` per would-be span.
+
+Cross-machine stitching works by value, not by context: protocol v2
+requests carry additive ``trace_id`` + ``parent_span`` fields, the
+worker runs its handler under a fresh local :class:`Trace` with the
+same id, and ships its span dicts back piggybacked on the response
+(``spans`` field). The coordinator re-parents the worker's root spans
+under its own dispatch span and merges them — one stitched trace per
+audit, exported as JSONL via ``AuditResult.dump_trace()``.
+
+Thread boundaries (the pool's dispatch executor) are crossed
+explicitly: capture ``(current_trace(), current_span_id())`` before
+submitting, pass both into :func:`span` via ``trace=`` / ``parent=``.
+ContextVars do not propagate into pool threads and we don't pretend
+they do.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import os
+import threading
+import time
+
+__all__ = [
+    "Span",
+    "Trace",
+    "activate",
+    "current_span_id",
+    "current_trace",
+    "new_id",
+    "span",
+]
+
+
+def new_id() -> str:
+    """A 16-hex-char random id (64 bits; collision-safe per process)."""
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One timed operation: name, wall-clock start, duration, attrs.
+
+    ``start_s`` is epoch wall-clock (for cross-machine alignment and
+    human-readable export); ``dur_s`` is measured with ``perf_counter``
+    (monotonic, so durations are exact even if NTP steps the clock
+    mid-span).
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "start_s", "dur_s",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str | None = None,
+        parent_id: str | None = None,
+        start_s: float = 0.0,
+        dur_s: float = 0.0,
+        attrs: dict | None = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id if span_id is not None else new_id()
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.dur_s = dur_s
+        self.attrs = attrs if attrs is not None else {}
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "dur_s": self.dur_s,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            trace_id=data["trace_id"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start_s=float(data.get("start_s", 0.0)),
+            dur_s=float(data.get("dur_s", 0.0)),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, dur_s={self.dur_s:.6f}, "
+            f"span={self.span_id}, parent={self.parent_id})"
+        )
+
+
+class Trace:
+    """A thread-safe flat span collection for one logical request."""
+
+    def __init__(self, trace_id: str | None = None):
+        self.trace_id = trace_id if trace_id is not None else new_id()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+
+    def add(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def extend_dicts(
+        self, span_dicts, reparent_roots_to: str | None = None
+    ) -> None:
+        """Merge foreign span dicts (a worker's piggyback) into this
+        trace. Roots among them — spans whose parent isn't in the batch
+        — are re-parented under ``reparent_roots_to`` so the stitched
+        tree hangs off the coordinator's dispatch span even if a worker
+        predates (or dropped) the ``parent_span`` request field."""
+        spans = [Span.from_dict(d) for d in span_dicts]
+        local_ids = {s.span_id for s in spans}
+        for s in spans:
+            s.trace_id = self.trace_id
+            if reparent_roots_to is not None and s.parent_id not in local_ids:
+                s.parent_id = reparent_roots_to
+        with self._lock:
+            self._spans.extend(spans)
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def span_dicts(self) -> list[dict]:
+        return [s.to_dict() for s in self.spans()]
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "spans": self.span_dicts()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        trace = cls(trace_id=data["trace_id"])
+        for d in data.get("spans", []):
+            trace.add(Span.from_dict(d))
+        return trace
+
+    def to_jsonl(self) -> str:
+        """One span dict per line — the ``dump_trace()`` export format."""
+        return "".join(
+            json.dumps(d, sort_keys=True) + "\n" for d in self.span_dicts()
+        )
+
+    def __len__(self):
+        with self._lock:
+            return len(self._spans)
+
+
+# The ambient (trace, active span id) for this execution context, or
+# None when tracing is off — the common case, kept one cheap get() away.
+_CURRENT: contextvars.ContextVar[tuple[Trace, str | None] | None] = (
+    contextvars.ContextVar("repro_obs_trace", default=None)
+)
+
+
+def current_trace() -> Trace | None:
+    state = _CURRENT.get()
+    return state[0] if state is not None else None
+
+
+def current_span_id() -> str | None:
+    state = _CURRENT.get()
+    return state[1] if state is not None else None
+
+
+@contextlib.contextmanager
+def activate(trace: Trace, span_id: str | None = None):
+    """Make ``trace`` ambient for the block (worker request handling,
+    coordinator audit bodies). Nesting restores the outer state."""
+    token = _CURRENT.set((trace, span_id))
+    try:
+        yield trace
+    finally:
+        _CURRENT.reset(token)
+
+
+class _NoopSpan:
+    """What :func:`span` yields when no trace is active: attribute
+    writes land in a throwaway dict, ``span_id`` is None."""
+
+    __slots__ = ("attrs",)
+    span_id = None
+
+    def __init__(self):
+        self.attrs = {}
+
+
+_UNSET = object()
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    attrs: dict | None = None,
+    trace: Trace | None = None,
+    parent=_UNSET,
+):
+    """Record a timed span.
+
+    - ``trace=None`` (default): record into the ambient trace; if none
+      is active this is a near-free no-op.
+    - ``trace=<Trace>``: record into that trace explicitly (how the
+      pool spans from executor threads, where contextvars don't reach).
+    - ``parent``: explicit parent span id. Default: the ambient span id
+      when recording into the ambient trace (normal nesting), else
+      ``None`` (an explicitly-passed foreign trace doesn't inherit
+      another trace's ambient parent).
+
+    The yielded span object exposes ``.attrs`` (mutable until exit) and
+    ``.span_id``. On exception the span records
+    ``attrs["error"] = <exception type name>`` and re-raises.
+    """
+    ambient = _CURRENT.get()
+    target = trace if trace is not None else (
+        ambient[0] if ambient is not None else None
+    )
+    if target is None:
+        yield _NoopSpan()
+        return
+
+    if parent is _UNSET:
+        parent_id = (
+            ambient[1]
+            if ambient is not None and ambient[0] is target
+            else None
+        )
+    else:
+        parent_id = parent
+
+    record = Span(
+        name,
+        trace_id=target.trace_id,
+        parent_id=parent_id,
+        start_s=time.time(),
+        attrs=dict(attrs) if attrs else {},
+    )
+    token = _CURRENT.set((target, record.span_id))
+    t0 = time.perf_counter()
+    try:
+        yield record
+    except BaseException as exc:
+        record.attrs.setdefault("error", type(exc).__name__)
+        raise
+    finally:
+        record.dur_s = time.perf_counter() - t0
+        _CURRENT.reset(token)
+        target.add(record)

@@ -34,9 +34,19 @@ stats    → store counters
 hello    → ``protocol_version``, ``model_fingerprint``, ``capacity``,
          ``features``, ``ops`` (worker registration — what a
          :class:`~repro.api.pool.WorkerPool` checks before dispatch)
-health   → ``status``, ``uptime_s``, ``requests_handled`` + store
-         counters (liveness probe)
+health   → ``status``, ``uptime_s``, ``requests_handled``,
+         ``metrics`` (compact counter totals) + store counters
+         (liveness probe)
+metrics  v2+ → ``metrics`` (full registry snapshot), optional
+         ``text`` (Prometheus exposition) when requested
 ======== ==============================================================
+
+Observability (protocol v2, all additive): every request is metered
+into the process metrics registry (:mod:`repro.obs.metrics`), and a
+request carrying ``trace_id`` (+ optional ``parent_span``) has its
+handler spans returned on the response's ``spans`` field so the
+coordinator can stitch one end-to-end trace per audit
+(:mod:`repro.obs.trace`).
 
 Every versioned request and response carries ``"v"``, and the service
 answers in the version it was asked in (a v1 client keeps getting v1
@@ -68,10 +78,32 @@ import warnings
 from repro.api import frames, protocol
 from repro.core.model import Scene
 from repro.core.scoring import ScoredItem
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import Stopwatch
 from repro.serving.edits import edit_from_dict
 from repro.serving.store import SessionStore
 
 __all__ = ["StreamingService", "scored_item_to_dict"]
+
+# Per-op serving metrics (names are API — see docs/API.md,
+# "Observability"). Unknown ops collapse into the "unknown" label so a
+# misbehaving client cannot mint unbounded series.
+_REQUESTS = obs_metrics.counter(
+    "repro_service_requests_total",
+    "Protocol requests handled, by op",
+    labelnames=("op",),
+)
+_ERRORS = obs_metrics.counter(
+    "repro_service_errors_total",
+    "Protocol error responses, by op and typed error code",
+    labelnames=("op", "code"),
+)
+_REQUEST_SECONDS = obs_metrics.histogram(
+    "repro_service_request_seconds",
+    "Request handling latency, by op",
+    labelnames=("op",),
+)
 
 
 def _sanitize_wire_request(request) -> dict:
@@ -150,7 +182,9 @@ class StreamingService:
         self.protocol_version = protocol_version
         self.scene_cache = frames.SceneCache(maxsize=scene_cache)
         self.requests_handled = 0
-        self._started = time.time()
+        # Monotonic, deliberately: wall-clock (time.time) steps under
+        # NTP, which produced negative / jumping uptime_s.
+        self._started = time.monotonic()
         self._ops = {
             "open": self._op_open,
             "edit": self._op_edit,
@@ -164,6 +198,10 @@ class StreamingService:
             "hello": self._op_hello,
             "health": self._op_health,
         }
+        if self.protocol_version >= 2:
+            # Additive v2 op; a protocol_version=1 service emulates a
+            # pre-observability worker and must not advertise it.
+            self._ops["metrics"] = self._op_metrics
 
     # ------------------------------------------------------------------
     @property
@@ -184,9 +222,31 @@ class StreamingService:
 
         The response is stamped in the request's own version — a v1
         request gets a v1 response even from a v2 service, which is
-        what keeps mixed-version worker pools interoperable.
+        what keeps mixed-version worker pools interoperable. Every
+        request is metered (count, latency, error code by op) into the
+        process metrics registry, and a v2 request carrying a
+        ``trace_id`` gets its handler spans piggybacked back on the
+        response's additive ``spans`` field.
         """
         self.requests_handled += 1
+        op = request.get("op") if isinstance(request, dict) else None
+        op_label = op if op in self._ops else "unknown"
+        watch = Stopwatch()
+        response = self._dispatch_request(request)
+        _REQUEST_SECONDS.observe(watch.s, op=op_label)
+        _REQUESTS.inc(op=op_label)
+        if not response.get("ok"):
+            error = response.get("error")
+            code = (
+                error.get("code", protocol.INTERNAL_ERROR)
+                if isinstance(error, dict)
+                else "legacy"  # v0 dialect: a bare string error
+            )
+            _ERRORS.inc(op=op_label, code=code)
+        return response
+
+    def _dispatch_request(self, request: dict) -> dict:
+        """Negotiate, dispatch, and classify one request (unmetered)."""
         try:
             version = protocol.negotiate_version(
                 request, self.accept_legacy, supported=self.supported_versions
@@ -207,7 +267,7 @@ class StreamingService:
                     f"unknown op {op!r}; expected one of "
                     f"{', '.join(sorted(self._ops))}",
                 )
-            payload = handler(request)
+            payload = self._run_traced(op, handler, request, version)
         except Exception as exc:  # protocol boundary: report, don't die
             error = protocol.classify_exception(exc)
             if version == protocol.LEGACY_VERSION:
@@ -220,6 +280,31 @@ class StreamingService:
         if version == protocol.LEGACY_VERSION:
             return {"ok": True, **payload}
         return protocol.ok_response(payload, version=version)
+
+    def _run_traced(self, op, handler, request: dict, version: int) -> dict:
+        """Run a handler, honoring the request's additive trace fields.
+
+        A v2 request carrying ``trace_id`` runs under a local
+        ``worker.<op>`` root span — parented on the coordinator's
+        ``parent_span`` when given — and its recorded spans ride back
+        on the response payload's ``spans`` field, where the
+        coordinator stitches them into the audit's trace. Requests
+        without a trace id (and all v1 traffic) dispatch untouched.
+        """
+        trace_id = request.get("trace_id")
+        if version < 2 or not isinstance(trace_id, str) or not trace_id:
+            return handler(request)
+        local = obs_trace.Trace(trace_id)
+        parent = request.get("parent_span")
+        with obs_trace.activate(local):
+            with obs_trace.span(
+                f"worker.{op}",
+                parent=parent if isinstance(parent, str) else None,
+            ):
+                payload = handler(request)
+        payload = dict(payload)
+        payload["spans"] = local.span_dicts()
+        return payload
 
     def serve(self, lines, out) -> int:
         """Line-delimited JSON loop: one request per input line.
@@ -389,11 +474,14 @@ class StreamingService:
             # Rank the live session's already-spliced state directly —
             # the session *is* the session backend, minus a recompile.
             session = self.store.get(session_id)
-            t0 = time.perf_counter()
-            items = session.rank(
-                spec.kind, spec.compile_filter(), top_k=spec.top_k
-            )
-            rank_s = time.perf_counter() - t0
+            with obs_trace.span(
+                "rank", attrs={"backend": "session"}
+            ):
+                watch = Stopwatch()
+                items = session.rank(
+                    spec.kind, spec.compile_filter(), top_k=spec.top_k
+                )
+                rank_s = watch.s
             learned = self.store.fixy.learned
             result = AuditResult(
                 items=items,
@@ -537,12 +625,41 @@ class StreamingService:
         }
 
     def _op_health(self, request: dict) -> dict:
-        """Liveness + stats: cheap enough to poll between audits."""
+        """Liveness + stats: cheap enough to poll between audits.
+
+        ``metrics`` is the compact counter-totals summary of the
+        process registry — additive, so pre-observability pools that
+        only read ``capacity``/``status`` keep working untouched.
+        """
         return {
             "status": "ok",
-            "uptime_s": time.time() - self._started,
+            "uptime_s": time.monotonic() - self._started,
             "requests_handled": self.requests_handled,
             "capacity": self.capacity,
             "scene_cache": self.scene_cache.stats(),
+            "metrics": obs_metrics.get_registry().summary(),
             **self.store.stats(),
         }
+
+    def _op_metrics(self, request: dict) -> dict:
+        """The full metrics snapshot (protocol v2+; additive op).
+
+        A v1 *client* asking for it gets a typed
+        ``unsupported_version`` — distinguishable from the
+        ``unknown_op`` a pre-observability worker answers, so callers
+        can tell "too old to speak v2" from "too old to have metrics".
+        Pass ``text`` truthy for the Prometheus exposition alongside
+        the structured snapshot.
+        """
+        version = request.get("v")
+        if not isinstance(version, int) or version < 2:
+            raise protocol.ProtocolError(
+                protocol.UNSUPPORTED_VERSION,
+                "the metrics op needs protocol v2; this request is "
+                f"v{version!r}",
+            )
+        registry = obs_metrics.get_registry()
+        payload = {"metrics": registry.snapshot()}
+        if request.get("text"):
+            payload["text"] = registry.render()
+        return payload

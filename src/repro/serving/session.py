@@ -42,10 +42,32 @@ from repro.core.compile import CompiledScene, compile_scene, splice_compiled
 from repro.core.features import Feature, FeatureContext
 from repro.core.model import Scene, Track
 from repro.core.scoring import ScoredItem, Scorer
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import Stopwatch
 from repro.serving.edits import SceneEdit
 from repro.serving.standing import SPEC_FILTER, StandingAudit
 
 __all__ = ["SceneSession", "SessionStats"]
+
+# Process-wide session metrics (summed over every live session; the
+# per-session SessionStats below stay the per-object view the `stats`
+# protocol op reports). Names are API — docs/API.md, "Observability".
+_EDITS = obs_metrics.counter(
+    "repro_session_edits_total", "Scene edits applied across all sessions"
+)
+_EDIT_SECONDS = obs_metrics.histogram(
+    "repro_session_edit_seconds",
+    "Seconds per applied edit (segment recompile + standing maintenance)",
+)
+_SPLICES = obs_metrics.counter(
+    "repro_session_splices_total",
+    "Compiled-scene splices (lazy merge after edits)",
+)
+_TRACKS_RECOMPILED = obs_metrics.counter(
+    "repro_session_tracks_recompiled_total",
+    "Track segments recompiled by session edits",
+)
 
 
 @dataclass
@@ -168,6 +190,7 @@ class SceneSession:
             vectorized=True,
         )
         self.stats.tracks_recompiled += 1
+        _TRACKS_RECOMPILED.inc()
         return _Segment(track=track, compiled=compiled)
 
     def _adopt_segment(self, track: Track) -> None:
@@ -195,9 +218,16 @@ class SceneSession:
         (or dropped). Only those tracks' rows, adjacent transitions, and
         track-level factors are re-evaluated."""
         with self._lock:
-            changed = edit.apply(self.scene)
-            self.stats.edits_applied += 1
-            self._invalidate_locked(changed)
+            watch = Stopwatch()
+            with obs_trace.span(
+                "session.edit", attrs={"session": self.session_id}
+            ) as record:
+                changed = edit.apply(self.scene)
+                self.stats.edits_applied += 1
+                self._invalidate_locked(changed)
+                record.attrs["changed"] = len(changed)
+            _EDITS.inc()
+            _EDIT_SECONDS.observe(watch.s)
             return changed
 
     def invalidate(self, track_ids) -> None:
@@ -287,6 +317,7 @@ class SceneSession:
                     self.scene, segments, context=self.context
                 )
                 self.stats.splices += 1
+                _SPLICES.inc()
             return self._merged
 
     @property

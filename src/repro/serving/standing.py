@@ -62,8 +62,38 @@ import time
 from dataclasses import dataclass
 
 from repro.core.scoring import ScoredItem, Scorer, normalize_rank_kind
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["StandingAudit", "StandingStats"]
+
+# Process-wide standing-audit maintenance metrics: the per-audit
+# StandingStats folded into the registry as batched deltas per
+# maintenance delivery (one lock round-trip per counter per edit, not
+# per item). Names are API — docs/API.md, "Observability".
+_EDITS_SEEN = obs_metrics.counter(
+    "repro_standing_edits_total",
+    "Maintenance deliveries (edits seen) across all standing audits",
+)
+_TRACKS_RESCORED = obs_metrics.counter(
+    "repro_standing_tracks_rescored_total",
+    "Tracks rescored by standing-audit maintenance",
+)
+_ITEMS_RESCORED = obs_metrics.counter(
+    "repro_standing_items_rescored_total",
+    "Scored items produced by standing-audit rescores",
+)
+_HEAP_REFILLS = obs_metrics.counter(
+    "repro_standing_heap_refills_total",
+    "Candidate-set refills from the below-threshold heap",
+)
+_HEAP_DEMOTIONS = obs_metrics.counter(
+    "repro_standing_heap_demotions_total",
+    "Candidates demoted back below the top-k threshold",
+)
+_MAINTAIN_SECONDS = obs_metrics.counter(
+    "repro_standing_maintain_seconds_total",
+    "Cumulative seconds spent maintaining standing top-k structures",
+)
 
 #: Sentinel: "compile the filter from the spec" (so an explicit
 #: ``filt=None`` can still mean "no filter").
@@ -169,6 +199,11 @@ class StandingAudit:
         scores are reused bit-for-bit.
         """
         t0 = time.perf_counter()
+        stats_before = (
+            self.stats.items_rescored,
+            self.stats.heap_refills,
+            self.stats.heap_demotions,
+        )
         changed = set(changed)
         session = self.session
         # Arrival order follows scene order (edits append new tracks),
@@ -212,7 +247,23 @@ class StandingAudit:
         self.stats.tracks_rescored += rescored
         if not initial:
             self.stats.edits_seen += 1
-        self.stats.maintain_s += time.perf_counter() - t0
+            _EDITS_SEEN.inc()
+        elapsed = time.perf_counter() - t0
+        self.stats.maintain_s += elapsed
+        # Fold this delivery into the registry as batched deltas — one
+        # lock round-trip per counter per edit, not per item.
+        if rescored:
+            _TRACKS_RESCORED.inc(rescored)
+        items = self.stats.items_rescored - stats_before[0]
+        refills = self.stats.heap_refills - stats_before[1]
+        demotions = self.stats.heap_demotions - stats_before[2]
+        if items:
+            _ITEMS_RESCORED.inc(items)
+        if refills:
+            _HEAP_REFILLS.inc(refills)
+        if demotions:
+            _HEAP_DEMOTIONS.inc(demotions)
+        _MAINTAIN_SECONDS.inc(elapsed)
         return rescored
 
     def _evict_track(self, track_id: str) -> None:

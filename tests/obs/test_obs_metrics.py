@@ -1,0 +1,231 @@
+"""Unit tests for the dependency-free metrics registry: counter and
+gauge semantics, histogram bucketing, thread-safety under concurrent
+increments, and the Prometheus text exposition format."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    Stopwatch,
+    get_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("req_total", "requests")
+        assert c.value() == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+        assert c.total() == 3.5
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("req_total", "requests")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_series_are_independent(self, registry):
+        c = registry.counter("ops_total", "ops", labelnames=("op",))
+        c.inc(op="audit")
+        c.inc(3, op="rank")
+        assert c.value(op="audit") == 1
+        assert c.value(op="rank") == 3
+        assert c.total() == 4
+
+    def test_label_mismatch_rejected(self, registry):
+        c = registry.counter("ops_total", "ops", labelnames=("op",))
+        with pytest.raises(ValueError):
+            c.inc(wrong="x")
+        with pytest.raises(ValueError):
+            c.inc()  # missing the required label
+
+    def test_concurrent_increments_lose_nothing(self, registry):
+        c = registry.counter("hits_total", "hits", labelnames=("worker",))
+        n_threads, per_thread = 8, 2_000
+
+        def hammer(i):
+            label = f"w{i % 2}"
+            for _ in range(per_thread):
+                c.inc(worker=label)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.total() == n_threads * per_thread
+        assert c.value(worker="w0") == c.value(worker="w1")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("inflight", "in-flight requests")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative(self, registry):
+        h = registry.histogram(
+            "lat_seconds", "latency", buckets=(0.01, 0.1, 1.0)
+        )
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        series = h.series()[0]
+        assert series["buckets"]["0.01"] == 1
+        assert series["buckets"]["0.1"] == 2
+        assert series["buckets"]["1.0"] == 3
+        assert series["buckets"]["+Inf"] == 4
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(5.555)
+
+    def test_boundary_lands_in_its_bucket(self, registry):
+        # Prometheus buckets are upper-inclusive: le="0.1" counts 0.1.
+        h = registry.histogram("b_seconds", "b", buckets=(0.1, 1.0))
+        h.observe(0.1)
+        series = h.series()[0]
+        assert series["buckets"]["0.1"] == 1
+
+    def test_default_buckets_cover_latency_range(self, registry):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 5.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_timer_context_manager_observes(self, registry):
+        h = registry.histogram("t_seconds", "t")
+        with h.time() as timer:
+            pass
+        assert timer.s >= 0
+        assert h.series()[0]["count"] == 1
+
+    def test_concurrent_observations(self, registry):
+        h = registry.histogram("c_seconds", "c", buckets=(0.5,))
+
+        def hammer():
+            for _ in range(1_000):
+                h.observe(0.25)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        series = h.series()[0]
+        assert series["count"] == 4_000
+        assert series["buckets"]["0.5"] == 4_000
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        a = registry.counter("x_total", "x")
+        b = registry.counter("x_total", "x")
+        assert a is b
+
+    def test_type_conflict_rejected(self, registry):
+        registry.counter("x_total", "x")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "x")
+
+    def test_labelname_conflict_rejected(self, registry):
+        registry.counter("x_total", "x", labelnames=("op",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "x", labelnames=("kind",))
+
+    def test_invalid_metric_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("2bad", "help")
+        with pytest.raises(ValueError):
+            registry.counter("bad-name", "help")
+
+    def test_snapshot_round_trips_as_plain_data(self, registry):
+        import json
+
+        registry.counter("a_total", "a").inc(2)
+        registry.histogram("b_seconds", "b", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["a_total"]["type"] == "counter"
+        assert snap["b_seconds"]["type"] == "histogram"
+
+    def test_summary_is_counter_totals(self, registry):
+        registry.counter("a_total", "a").inc(3)
+        registry.gauge("g", "g").set(7)
+        summary = registry.summary()
+        assert summary["a_total"] == 3
+        assert "g" not in summary
+
+    def test_reset_drops_metrics(self, registry):
+        registry.counter("a_total", "a").inc(5)
+        registry.reset()
+        assert registry.names() == []
+        # Re-registering after a reset starts from scratch.
+        assert registry.counter("a_total", "a").total() == 0
+
+
+class TestExposition:
+    def test_render_format(self, registry):
+        c = registry.counter("req_total", "requests served", ("op",))
+        c.inc(2, op="audit")
+        text = registry.render()
+        assert "# HELP req_total requests served" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{op="audit"} 2' in text
+        assert text.endswith("\n")
+
+    def test_render_histogram_samples(self, registry):
+        h = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        text = registry.render()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+        assert "lat_seconds_sum 0.55" in text
+
+    def test_render_escapes_label_values(self, registry):
+        c = registry.counter("e_total", 'has "quotes" and \\ slash', ("p",))
+        c.inc(p='a"b\\c\nd')
+        text = registry.render()
+        assert 'p="a\\"b\\\\c\\nd"' in text
+        assert '# HELP e_total has "quotes" and \\\\ slash' in text
+
+    def test_render_parses_line_by_line(self, registry):
+        # Every non-comment line must be `name{labels} value` or
+        # `name value` — the contract a scraper relies on.
+        registry.counter("a_total", "a").inc()
+        registry.gauge("g", "g", ("k",)).set(1.5, k="v")
+        registry.histogram("h_seconds", "h", buckets=(1.0,)).observe(2.0)
+        for line in registry.render().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            assert name_part[0].isalpha() or name_part[0] == "_"
+
+
+class TestStopwatch:
+    def test_elapsed_and_restart(self):
+        watch = Stopwatch()
+        first = watch.s
+        assert first >= 0
+        watch.restart()
+        assert watch.s <= watch.s  # monotone within the same watch
+
+
+def test_module_registry_is_shared():
+    assert get_registry() is get_registry()

@@ -1,0 +1,147 @@
+"""Unit tests for span-based tracing: nesting and parentage, ambient
+(contextvar) vs explicit traces, cross-process stitching via
+``extend_dicts``, and the JSON round-trip."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import Span, Trace, activate, current_trace, span
+
+
+class TestSpanRecord:
+    def test_to_dict_omits_empty_attrs(self):
+        s = Span(
+            name="x", trace_id="t", span_id="s", parent_id=None,
+            start_s=1.0, dur_s=0.5,
+        )
+        d = s.to_dict()
+        assert "attrs" not in d
+        s.attrs["k"] = "v"
+        assert s.to_dict()["attrs"] == {"k": "v"}
+
+    def test_round_trip(self):
+        s = Span(
+            name="x", trace_id="t", span_id="s", parent_id="p",
+            start_s=1.0, dur_s=0.5, attrs={"a": 1},
+        )
+        assert Span.from_dict(s.to_dict()).to_dict() == s.to_dict()
+
+
+class TestAmbientSpans:
+    def test_no_ambient_trace_is_a_noop(self):
+        assert current_trace() is None
+        with span("orphan") as record:
+            record.attrs["ignored"] = True  # must not raise
+        assert current_trace() is None
+
+    def test_nesting_sets_parentage(self):
+        trace = Trace()
+        with span("outer", trace=trace) as outer:
+            with span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        spans = {s.name: s for s in trace.spans()}
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner"].trace_id == trace.trace_id
+
+    def test_activate_makes_trace_ambient(self):
+        trace = Trace()
+        with activate(trace):
+            assert current_trace() is trace
+            with span("child"):
+                pass
+        assert current_trace() is None
+        assert [s.name for s in trace.spans()] == ["child"]
+
+    def test_explicit_trace_ignores_foreign_ambient_parent(self):
+        # A span given an explicit trace must not inherit a parent id
+        # from a *different* ambient trace — ids are trace-local.
+        ambient, explicit = Trace(), Trace()
+        with span("ambient_root", trace=ambient):
+            with span("cross", trace=explicit) as record:
+                assert record.parent_id is None
+
+    def test_explicit_parent_override(self):
+        trace = Trace()
+        with span("a", trace=trace, parent="ffff000011112222") as record:
+            assert record.parent_id == "ffff000011112222"
+
+    def test_exception_marks_span_and_propagates(self):
+        trace = Trace()
+        with pytest.raises(RuntimeError):
+            with span("boom", trace=trace):
+                raise RuntimeError("x")
+        (record,) = trace.spans()
+        assert record.attrs["error"] == "RuntimeError"
+        assert record.dur_s >= 0
+
+    def test_duration_recorded(self):
+        trace = Trace()
+        with span("timed", trace=trace):
+            pass
+        (record,) = trace.spans()
+        assert record.dur_s >= 0
+        assert record.start_s > 0
+
+
+class TestTrace:
+    def test_ids_unique(self):
+        ids = {Trace().trace_id for _ in range(64)}
+        assert len(ids) == 64
+
+    def test_concurrent_adds(self):
+        trace = Trace()
+
+        def hammer():
+            for _ in range(500):
+                with span("t", trace=trace):
+                    pass
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(trace) == 2_000
+
+    def test_extend_dicts_reparents_foreign_roots(self):
+        # Worker spans arrive with their own trace_id and a root whose
+        # parent is unset; stitching adopts them under the dispatch span.
+        coordinator = Trace()
+        with span("dispatch", trace=coordinator) as dispatch:
+            pass
+        worker = Trace()
+        with span("worker.audit", trace=worker):
+            with span("compile"):
+                pass
+        coordinator.extend_dicts(
+            worker.span_dicts(), reparent_roots_to=dispatch.span_id
+        )
+        spans = {s.name: s for s in coordinator.spans()}
+        assert spans["worker.audit"].parent_id == dispatch.span_id
+        assert spans["compile"].parent_id == spans["worker.audit"].span_id
+        assert all(
+            s.trace_id == coordinator.trace_id for s in coordinator.spans()
+        )
+
+    def test_to_dict_round_trip(self):
+        trace = Trace()
+        with span("a", trace=trace, attrs={"k": 1}):
+            with span("b"):
+                pass
+        restored = Trace.from_dict(trace.to_dict())
+        assert restored.trace_id == trace.trace_id
+        assert restored.to_dict() == trace.to_dict()
+
+    def test_jsonl_one_span_per_line(self):
+        trace = Trace()
+        with span("a", trace=trace):
+            with span("b"):
+                pass
+        lines = trace.to_jsonl().strip().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert {p["name"] for p in parsed} == {"a", "b"}
+        assert all(p["trace_id"] == trace.trace_id for p in parsed)
