@@ -1,0 +1,34 @@
+"""Warehouse benchmarks: out-of-core residency + warm sidecars (ISSUE 8).
+
+Asserts the scene-warehouse acceptance floors:
+
+- a corpus **≥4×** the resident-batch budget audits with
+  ``peak_resident_scenes ≤ batch`` (the out-of-core bound, measured
+  with weakrefs inside the streaming executor);
+- the warm rerun restores **≥90%** of compiled scenes from the
+  compiled-columns sidecar and is measurably faster than the cold run;
+- cold, warm, and the all-in-memory reference audit are
+  **byte-identical**.
+
+Run standalone::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_warehouse.py --benchmark-only -s
+"""
+
+from repro.eval.warehouse_perf import render_warehouse_report, warehouse_report
+
+
+def test_warehouse_out_of_core_and_warm_sidecars(benchmark):
+    report = benchmark.pedantic(
+        warehouse_report,
+        kwargs={"corpus_scenes": 16, "batch": 4, "n_objects": 25},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_warehouse_report(report))
+    assert report["corpus_scenes"] >= 4 * report["batch"]
+    assert report["out_of_core_bound"], report
+    assert report["peak_resident_scenes"] <= report["batch"]
+    assert report["byte_identical"], report
+    assert report["warm_skip_ratio"] >= 0.9, report
+    assert report["warm_s"] < report["cold_s"], report

@@ -28,6 +28,7 @@ The JSON layout::
         "remote": {...},          # repro.eval.serving_perf.remote_report
         "standing_audit": {...},  # repro.eval.serving_perf.standing_report
       },
+      "warehouse": {...},     # repro.eval.warehouse_perf.warehouse_report
       "pytest_benchmarks": [  # mean seconds per benchmark test
         {"name": ..., "mean_s": ..., "stddev_s": ...}, ...
       ],
@@ -141,6 +142,19 @@ def main(argv: list[str] | None = None) -> int:
         help="edits streamed through the standing-audit comparison",
     )
     parser.add_argument(
+        "--warehouse-scenes", type=int, default=16,
+        help="corpus size for the out-of-core warehouse audit "
+        "(floored at 4x the batch budget)",
+    )
+    parser.add_argument(
+        "--warehouse-batch", type=int, default=4,
+        help="resident-scene budget for the out-of-core warehouse audit",
+    )
+    parser.add_argument(
+        "--skip-warehouse", action="store_true",
+        help="skip the out-of-core warehouse measurement",
+    )
+    parser.add_argument(
         "--wire", choices=["auto", "v1", "v2"], default="auto",
         help="wire format for the remote comparison: auto (negotiated), "
         "v1 (line-JSON), v2 (require binary frames + content-addressed "
@@ -172,6 +186,8 @@ def main(argv: list[str] | None = None) -> int:
         args.remote_workers = [2]
         args.standing_tracks = 30
         args.standing_edits = 10
+        args.warehouse_scenes = 8
+        args.warehouse_batch = 2
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.eval.perf import ab_compile_rank, render_report
@@ -225,6 +241,20 @@ def main(argv: list[str] | None = None) -> int:
             "standing_audit": standing,
         }
         print(render_serving_report(delta, sharding, remote, standing))
+
+    if not args.skip_warehouse:
+        from repro.eval.warehouse_perf import (
+            render_warehouse_report,
+            warehouse_report,
+        )
+
+        warehouse = warehouse_report(
+            corpus_scenes=args.warehouse_scenes,
+            batch=args.warehouse_batch,
+            n_objects=args.densities[0] if args.smoke else 25,
+        )
+        report["warehouse"] = warehouse
+        print(render_warehouse_report(warehouse))
 
     if not args.skip_pytest:
         report["pytest_benchmarks"] = run_pytest_benchmarks(

@@ -139,16 +139,23 @@ class Audit:
                 stack.enter_context(obs_trace.activate(own))
             root = stack.enter_context(obs_trace.span("audit"))
 
+            source = None
             if scenes is None:
                 if self.spec.scenes is None:
                     raise AuditError(
                         "no scenes to audit: the spec has no scene source and "
                         "none were passed to run()"
                     )
-                with obs_trace.span("resolve_scenes"):
-                    t0 = time.perf_counter()
-                    scenes = self.spec.scenes.resolve()
-                    timings["resolve_scenes_s"] = time.perf_counter() - t0
+                if self.spec.scenes.is_out_of_core:
+                    # Warehouse sources stay lazy: the backend streams
+                    # fingerprint batches instead of materializing the
+                    # corpus here.
+                    source = self.spec.scenes
+                else:
+                    with obs_trace.span("resolve_scenes"):
+                        t0 = time.perf_counter()
+                        scenes = self.spec.scenes.resolve()
+                        timings["resolve_scenes_s"] = time.perf_counter() - t0
             elif hasattr(scenes, "scene_id"):  # a single live Scene
                 scenes = [scenes]
             else:
@@ -165,13 +172,30 @@ class Audit:
             options.update(backend_options)
             executor = self._executor(backend_name, options)
             root.attrs["backend"] = backend_name
-            root.attrs["n_scenes"] = len(scenes)
-            with obs_trace.span(
-                "rank", attrs={"backend": backend_name, "n_scenes": len(scenes)}
-            ):
-                t0 = time.perf_counter()
-                items = executor.run(self.fixy, self.spec, scenes, self._filter)
-                timings["rank_s"] = time.perf_counter() - t0
+            stream_stats = None
+            if source is not None:
+                with obs_trace.span(
+                    "rank", attrs={"backend": backend_name, "out_of_core": True}
+                ):
+                    t0 = time.perf_counter()
+                    items, stream_stats = executor.run_stream(
+                        self.fixy, self.spec, source, self._filter
+                    )
+                    timings["rank_s"] = time.perf_counter() - t0
+                n_scenes = stream_stats["n_scenes"]
+                root.attrs["n_scenes"] = n_scenes
+            else:
+                n_scenes = len(scenes)
+                root.attrs["n_scenes"] = n_scenes
+                with obs_trace.span(
+                    "rank",
+                    attrs={"backend": backend_name, "n_scenes": n_scenes},
+                ):
+                    t0 = time.perf_counter()
+                    items = executor.run(
+                        self.fixy, self.spec, scenes, self._filter
+                    )
+                    timings["rank_s"] = time.perf_counter() - t0
             timings["total_s"] = time.perf_counter() - t_start
 
         extras = executor.provenance_extras()
@@ -180,12 +204,13 @@ class Audit:
             backend=backend_name,
             spec_hash=self.spec.spec_hash(),
             model_fingerprint=learned.fingerprint() if learned is not None else None,
-            n_scenes=len(scenes),
+            n_scenes=n_scenes,
             api_version=API_VERSION,
             timings=timings,
             backend_options=options,
             workers=extras.get("workers"),
             trace=own.to_dict() if own is not None else None,
+            stream=stream_stats,
         )
         return AuditResult(items=items, spec=self.spec, provenance=provenance)
 

@@ -123,6 +123,20 @@ class ExecutionBackend:
     def run(self, fixy, spec, scenes, filt) -> list[ScoredItem]:
         raise NotImplementedError
 
+    def run_stream(self, fixy, spec, source, filt):
+        """Run against a :class:`~repro.api.spec.SceneSource` directly.
+
+        Returns ``(items, stream_stats)``. The default materializes the
+        source and delegates to :meth:`run` — correct for every
+        backend, out-of-core for none. Backends that can consume a
+        lazy source (inline, remote) override this to fetch scenes in
+        bounded batches; the stats dict lands in
+        ``AuditProvenance.stream``.
+        """
+        scenes = source.resolve()
+        items = self.run(fixy, spec, scenes, filt)
+        return items, {"n_scenes": len(scenes), "out_of_core": False}
+
     def provenance_extras(self) -> dict:
         """Backend-specific provenance from the most recent :meth:`run`.
 
@@ -150,6 +164,75 @@ class InlineBackend(ExecutionBackend):
     def run(self, fixy, spec, scenes, filt) -> list[ScoredItem]:
         blocks = [fixy.scorer(scene).rank(spec.kind, filt) for scene in scenes]
         return merge_rankings(blocks, spec.top_k)
+
+    def run_stream(self, fixy, spec, source, filt):
+        """Out-of-core execution for warehouse sources.
+
+        Scenes stream through in ``source.effective_batch``-bounded
+        chunks: each batch is fetched, scored (through the warehouse's
+        compiled-columns sidecar when the model fingerprint matches —
+        skipping ``compile_scene``), merged into the running ranking,
+        evicted from the engine's compile cache, and dropped. The
+        progressive merge is exact: ``merge_rankings`` is a stable
+        descending sort over concatenated blocks, so re-merging the
+        already-merged prefix as block 0 with each batch's blocks
+        yields byte-identical results to one global merge (the same
+        truncation-exactness argument as :class:`SessionBackend`).
+
+        Peak residency is measured, not assumed: every fetched scene is
+        weakly referenced and the live count sampled at each batch
+        boundary lands in ``stream_stats["peak_resident_scenes"]`` —
+        what ``benchmarks/bench_warehouse.py`` asserts stays ≤ batch.
+        """
+        if not source.is_out_of_core:
+            return super().run_stream(fixy, spec, source, filt)
+        import weakref
+
+        from repro.warehouse.store import warehouse_scorer
+
+        source.validate()
+        merged: list[ScoredItem] = []
+        refs: list = []
+        n_scenes = compile_cold = compile_warm = 0
+        batches = peak_resident = 0
+        with source.open_warehouse() as warehouse:
+            corpus = len(warehouse)
+            fingerprints = source.warehouse_fingerprints(warehouse)
+            for batch in warehouse.fetch_batches(
+                fingerprints, source.effective_batch
+            ):
+                batches += 1
+                refs = [r for r in refs if r() is not None]
+                refs.extend(weakref.ref(scene) for _, scene in batch)
+                blocks = []
+                for fingerprint, scene in batch:
+                    scorer, from_sidecar = warehouse_scorer(
+                        warehouse, fixy, fingerprint, scene
+                    )
+                    if from_sidecar:
+                        compile_warm += 1
+                    else:
+                        compile_cold += 1
+                    blocks.append(scorer.rank(spec.kind, filt))
+                    fixy._evict_scene(scene)
+                n_scenes += len(batch)
+                merged = merge_rankings([merged, *blocks], spec.top_k)
+                del blocks, scorer, scene
+                peak_resident = max(
+                    peak_resident, sum(1 for r in refs if r() is not None)
+                )
+        return merged, {
+            "n_scenes": n_scenes,
+            "out_of_core": True,
+            "corpus_scenes": corpus,
+            "selected_scenes": len(fingerprints),
+            "pruned_scenes": corpus - len(fingerprints),
+            "batch": source.effective_batch,
+            "batches": batches,
+            "peak_resident_scenes": peak_resident,
+            "compile_cold": compile_cold,
+            "compile_warm": compile_warm,
+        }
 
 
 @register_backend("threaded")

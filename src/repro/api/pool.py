@@ -265,6 +265,15 @@ class WorkerEndpoint:
         """Whether dispatch may use the v2 framed wire on this worker."""
         return self.protocol_version >= 2 and "frames" in self.wire_formats
 
+    @property
+    def has_warehouse(self) -> bool:
+        """Whether the worker resolves scene hashes from a shared
+        warehouse (its ``hello`` advertises ``warehouse: true``).
+        Warehouse dispatches then ship hashes with no bodies at all —
+        the worker fetches blobs locally; the ``need``-refill protocol
+        remains the fallback when its warehouse misses."""
+        return bool(self.info and self.info.get("warehouse"))
+
     # -- coordinator-side mirror of the worker's scene cache ----------
     def knows(self, fingerprint: str) -> bool:
         return fingerprint in self._known_hashes
@@ -699,13 +708,40 @@ class WorkerPool:
         captured *here* because dispatch runs on executor threads,
         where contextvars don't follow.
         """
+        return self._run_chunked(spec, list(scenes))
+
+    def audit_warehouse(
+        self, spec, warehouse, fingerprints
+    ) -> tuple[list[ScoredItem], list[dict]]:
+        """Run ``spec`` over warehouse ``fingerprints`` out-of-core.
+
+        Same contract as :meth:`audit` but the coordinator never
+        materializes the corpus: partitions carry fingerprint chunks,
+        and blob bodies are fetched from ``warehouse`` one chunk at a
+        time only for workers that cannot resolve the hash themselves —
+        workers sharing the warehouse path (``hello`` advertises it)
+        receive hashes alone and fetch locally, making the coordinator
+        a pure control plane. The ``need``-refill protocol is the
+        fallback either way, so the merged result is byte-identical to
+        :meth:`audit` over the same scenes in the same order.
+        """
+        return self._run_chunked(spec, list(fingerprints), warehouse=warehouse)
+
+    def _run_chunked(
+        self, spec, items: list, warehouse=None
+    ) -> tuple[list[ScoredItem], list[dict]]:
+        """Shared partition → dispatch → requeue → merge machinery.
+
+        ``items`` are live scenes (``warehouse=None``) or fingerprint
+        strings (warehouse dispatch); everything below chunk encoding
+        is identical, including the failure/requeue path.
+        """
         trace = obs_trace.current_trace()
         trace_parent = obs_trace.current_span_id()
         self.reprobe()
         self.refresh_capacity()
         workers = self.healthy_workers()
-        scenes = list(scenes)
-        partitions = partition_scenes(scenes, workers)
+        partitions = partition_scenes(items, workers)
         if not partitions:  # no scenes: nothing to dispatch
             return [], []
         # What the worker executes: same declaration, inline strategy,
@@ -764,6 +800,7 @@ class WorkerPool:
                             blocks,
                             trace=trace,
                             parent_span=dispatch_span.span_id,
+                            warehouse=warehouse,
                         )
                         dispatch_span.attrs["wire"] = stats["wire"]
                 except protocol.TransportError as exc:
@@ -860,16 +897,16 @@ class WorkerPool:
     # ------------------------------------------------------------------
     def _dispatch(
         self, worker, spec_payload, chunk_jobs, blocks,
-        trace=None, parent_span=None,
+        trace=None, parent_span=None, warehouse=None,
     ) -> dict:
         if worker.supports_frames and self.wire != "v1":
             return self._dispatch_framed(
                 worker, spec_payload, chunk_jobs, blocks,
-                trace=trace, parent_span=parent_span,
+                trace=trace, parent_span=parent_span, warehouse=warehouse,
             )
         return self._dispatch_json(
             worker, spec_payload, chunk_jobs, blocks,
-            trace=trace, parent_span=parent_span,
+            trace=trace, parent_span=parent_span, warehouse=warehouse,
         )
 
     @staticmethod
@@ -881,9 +918,14 @@ class WorkerPool:
 
     def _dispatch_json(
         self, worker, spec_payload, chunk_jobs, blocks,
-        trace=None, parent_span=None,
+        trace=None, parent_span=None, warehouse=None,
     ) -> dict:
-        """v1 line-JSON: one ``audit`` request per chunk, serially."""
+        """v1 line-JSON: one ``audit`` request per chunk, serially.
+
+        With ``warehouse``, chunk items are fingerprints: each chunk's
+        scenes are fetched, shipped, and dropped before the next — the
+        v1 fallback stays within the out-of-core residency budget.
+        """
         stats = {
             "wire": "v1",
             "n_chunks": len(chunk_jobs),
@@ -905,7 +947,10 @@ class WorkerPool:
         try:
             for block_slot, chunk in chunk_jobs:
                 encode = Stopwatch()
-                payloads = [self._payloads.dict_for(s) for s in chunk]
+                if warehouse is not None:
+                    payloads = [warehouse.get(fp).to_dict() for fp in chunk]
+                else:
+                    payloads = [self._payloads.dict_for(s) for s in chunk]
                 stats["encode_s"] += encode.s
                 response = client.request(
                     "audit",
@@ -939,9 +984,18 @@ class WorkerPool:
 
     def _dispatch_framed(
         self, worker, spec_payload, chunk_jobs, blocks,
-        trace=None, parent_span=None,
+        trace=None, parent_span=None, warehouse=None,
     ) -> dict:
-        """v2 frames: content-addressed chunks, pipelined on one socket."""
+        """v2 frames: content-addressed chunks, pipelined on one socket.
+
+        With ``warehouse``, chunk items are fingerprints and no scene
+        is ever decoded coordinator-side: workers sharing the warehouse
+        get hashes alone (zero bodies on the wire); others get blobs
+        read straight out of the store for hashes the mirror says they
+        lack. In-flight chunks hold only their hash list — refills
+        re-read the store — so coordinator residency stays O(1 chunk)
+        regardless of pipeline depth.
+        """
         stats = {
             "wire": "v2",
             "n_chunks": len(chunk_jobs),
@@ -968,18 +1022,35 @@ class WorkerPool:
                 while queue and len(in_flight) < self.pipeline:
                     block_slot, chunk = queue.popleft()
                     encode = Stopwatch()
-                    hashes, by_hash = [], {}
-                    for scene in chunk:
-                        packed, fingerprint = self._payloads.packed_for(scene)
-                        hashes.append(fingerprint)
-                        by_hash[fingerprint] = packed
-                    with self._lock:
-                        unknown = [
-                            h for h in by_hash if not worker.knows(h)
-                        ]
-                        for fingerprint in unknown:
-                            worker.remember(fingerprint)
-                    blobs = tuple(by_hash[h] for h in unknown)
+                    if warehouse is not None:
+                        hashes, by_hash = list(chunk), None
+                        if worker.has_warehouse:
+                            unknown = []  # worker fetches locally by hash
+                        else:
+                            with self._lock:
+                                unknown = [
+                                    h for h in hashes if not worker.knows(h)
+                                ]
+                                for fingerprint in unknown:
+                                    worker.remember(fingerprint)
+                        blobs = tuple(
+                            warehouse.get_blob(h) for h in unknown
+                        )
+                    else:
+                        hashes, by_hash = [], {}
+                        for scene in chunk:
+                            packed, fingerprint = self._payloads.packed_for(
+                                scene
+                            )
+                            hashes.append(fingerprint)
+                            by_hash[fingerprint] = packed
+                        with self._lock:
+                            unknown = [
+                                h for h in by_hash if not worker.knows(h)
+                            ]
+                            for fingerprint in unknown:
+                                worker.remember(fingerprint)
+                        blobs = tuple(by_hash[h] for h in unknown)
                     stats["encode_s"] += encode.s
                     client.send_request(
                         "audit",
@@ -1003,7 +1074,7 @@ class WorkerPool:
                     # ping-pong forever (each refill's ingests evicting
                     # the chunk's other scenes).
                     if refills >= self.MAX_REFILLS or not set(need) <= set(
-                        by_hash
+                        hashes
                     ):
                         raise protocol.ProtocolError(
                             protocol.UNKNOWN_SCENE_HASH,
@@ -1011,15 +1082,21 @@ class WorkerPool:
                             f"hashes it was sent: {sorted(need)[:3]}...",
                             details={"worker": worker.address},
                         )
+                    refill_bodies = (
+                        tuple(warehouse.get_blob(h) for h in hashes)
+                        if by_hash is None
+                        else tuple(by_hash.values())
+                    )
                     client.send_request(
                         "audit",
-                        blobs=tuple(by_hash.values()),
+                        blobs=refill_bodies,
                         spec=spec_payload,
                         scene_hashes=hashes,
                         **trace_fields,
                     )
+                    del refill_bodies
                     with self._lock:
-                        for fingerprint in by_hash:
+                        for fingerprint in hashes:
                             worker.remember(fingerprint)
                     _REFILLS.inc()
                     in_flight.append((block_slot, hashes, by_hash, refills + 1))

@@ -158,6 +158,42 @@ class RemoteBackend(ExecutionBackend):
         items, self._last_reports = pool.audit(spec, scenes)
         return items
 
+    def run_stream(self, fixy, spec, source, filt):
+        """Out-of-core distributed execution for warehouse sources.
+
+        The coordinator resolves the predicate to a fingerprint list
+        (an index scan — no blob is read) and dispatches fingerprint
+        chunks through :meth:`WorkerPool.audit_warehouse`: workers
+        sharing the warehouse path fetch blobs locally by hash, others
+        are fed bodies one chunk at a time from the store. The corpus
+        is never materialized coordinator-side, so
+        ``peak_resident_scenes`` is 0 here by construction.
+        """
+        if not source.is_out_of_core:
+            return super().run_stream(fixy, spec, source, filt)
+        source.validate()
+        pool = self._bind_pool(fixy)
+        if not pool.healthy_workers():
+            pool.connect(expected_fingerprint=self._expected_fingerprint(fixy))
+        with source.open_warehouse() as warehouse:
+            corpus = len(warehouse)
+            fingerprints = source.warehouse_fingerprints(warehouse)
+            items, self._last_reports = pool.audit_warehouse(
+                spec, warehouse, fingerprints
+            )
+        return items, {
+            "n_scenes": len(fingerprints),
+            "out_of_core": True,
+            "corpus_scenes": corpus,
+            "selected_scenes": len(fingerprints),
+            "pruned_scenes": corpus - len(fingerprints),
+            "batch": source.effective_batch,
+            "peak_resident_scenes": 0,
+            "warehouse_workers": sum(
+                1 for w in pool.healthy_workers() if w.has_warehouse
+            ),
+        }
+
     def provenance_extras(self) -> dict:
         """Worker attribution for the most recent run."""
         if not self._last_reports:

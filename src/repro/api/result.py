@@ -46,6 +46,13 @@ class AuditProvenance:
             (:meth:`repro.obs.trace.Trace.to_dict` — ``trace_id`` plus
             a flat span list) when the run was traced, else ``None``.
             Additive: pre-observability results round-trip unchanged.
+        stream: Out-of-core resolution stats when the audit streamed a
+            warehouse source (``None`` for materialized runs):
+            ``corpus_scenes``/``selected_scenes``/``pruned_scenes``
+            from indexed predicate pruning, ``batch``/``batches``/
+            ``peak_resident_scenes`` for the residency bound, and
+            ``compile_cold``/``compile_warm`` for sidecar
+            effectiveness. Additive like ``workers``/``trace``.
     """
 
     backend: str
@@ -57,6 +64,7 @@ class AuditProvenance:
     backend_options: dict = field(default_factory=dict)
     workers: list | None = None
     trace: dict | None = None
+    stream: dict | None = None
 
     def to_dict(self) -> dict:
         out = {
@@ -75,12 +83,15 @@ class AuditProvenance:
                 "trace_id": self.trace.get("trace_id"),
                 "spans": [dict(s) for s in self.trace.get("spans", [])],
             }
+        if self.stream is not None:
+            out["stream"] = dict(self.stream)
         return out
 
     @staticmethod
     def from_dict(data: Mapping) -> "AuditProvenance":
         workers = data.get("workers")
         trace = data.get("trace")
+        stream = data.get("stream")
         return AuditProvenance(
             backend=data["backend"],
             spec_hash=data["spec_hash"],
@@ -91,6 +102,7 @@ class AuditProvenance:
             backend_options=dict(data.get("backend_options", {})),
             workers=[dict(w) for w in workers] if workers is not None else None,
             trace=dict(trace) if trace is not None else None,
+            stream=dict(stream) if stream is not None else None,
         )
 
 

@@ -268,14 +268,20 @@ class CompiledFilter:
 class SceneSource:
     """Where an audit's scenes come from, as data.
 
-    Exactly one of ``profile`` (a synthetic dataset profile name) or
+    Exactly one of ``profile`` (a synthetic dataset profile name),
     ``paths`` (scene-JSON files written by ``Scene.save`` /
-    ``repro.cli generate``) must be set. With ``profile``, ``split``
-    selects training or validation scenes and ``n_train``/``n_val``
-    size the build (rejected with ``paths``, where ``split`` is
-    irrelevant and ignored). ``indices`` picks specific scenes out of
-    whichever list the source resolves to, profile split or path list
-    alike.
+    ``repro.cli generate``), or ``warehouse`` (a
+    :class:`~repro.warehouse.SceneWarehouse` database path) must be
+    set. With ``profile``, ``split`` selects training or validation
+    scenes and ``n_train``/``n_val`` size the build (rejected
+    elsewhere, where ``split`` is irrelevant and ignored). With
+    ``warehouse``, ``predicate`` (a
+    :class:`~repro.warehouse.ScenePredicate` or its dict form) prunes
+    the corpus on the metadata indexes and ``batch`` bounds how many
+    decoded scenes an out-of-core audit keeps resident at once.
+    ``indices`` picks specific scenes out of whatever ordered list the
+    source resolves to — profile split, path list, or the warehouse's
+    canonical fingerprint order alike.
     """
 
     profile: str | None = None
@@ -284,17 +290,50 @@ class SceneSource:
     n_val: int | None = None
     indices: tuple[int, ...] | None = None
     paths: tuple[str, ...] | None = None
+    warehouse: str | None = None
+    predicate: object = None
+    batch: int | None = None
 
     def __post_init__(self):
         if self.indices is not None:
             object.__setattr__(self, "indices", tuple(self.indices))
         if self.paths is not None:
             object.__setattr__(self, "paths", tuple(str(p) for p in self.paths))
+        if self.warehouse is not None:
+            object.__setattr__(self, "warehouse", str(self.warehouse))
+        if self.predicate is not None:
+            from repro.warehouse.index import ScenePredicate
+
+            if not isinstance(self.predicate, ScenePredicate):
+                object.__setattr__(
+                    self, "predicate", ScenePredicate.from_dict(self.predicate)
+                )
+
+    @property
+    def is_out_of_core(self) -> bool:
+        """True when this source can resolve lazily from a warehouse —
+        backends should prefer :meth:`resolve_iter` over materializing."""
+        return self.warehouse is not None
+
+    @property
+    def effective_batch(self) -> int:
+        """The resident-batch budget for out-of-core resolution."""
+        if self.batch is not None:
+            return self.batch
+        from repro.warehouse.store import DEFAULT_BATCH
+
+        return DEFAULT_BATCH
 
     def validate(self) -> None:
-        if (self.profile is None) == (self.paths is None):
+        set_sources = [
+            name
+            for name in ("profile", "paths", "warehouse")
+            if getattr(self, name) is not None
+        ]
+        if len(set_sources) != 1:
             raise SpecValidationError(
-                "scene source needs exactly one of profile= or paths="
+                "scene source needs exactly one of profile=, paths=, or "
+                "warehouse="
             )
         if self.profile is not None:
             from repro.datasets import PROFILES
@@ -314,10 +353,10 @@ class SceneSource:
                 raise SpecValidationError(
                     f"{name} must be a positive integer, got {value!r}"
                 )
-            if value is not None and self.paths is not None:
+            if value is not None and self.profile is None:
                 raise SpecValidationError(
                     f"{name} sizes a profile build and does not apply to a "
-                    "paths= scene source"
+                    f"{set_sources[0]}= scene source"
                 )
         if self.indices is not None and not all(
             isinstance(i, int) and i >= 0 for i in self.indices
@@ -325,39 +364,87 @@ class SceneSource:
             raise SpecValidationError(
                 f"indices must be non-negative integers, got {self.indices!r}"
             )
+        for name in ("predicate", "batch"):
+            if getattr(self, name) is not None and self.warehouse is None:
+                raise SpecValidationError(
+                    f"{name}= prunes a warehouse corpus and does not apply "
+                    f"to a {set_sources[0]}= scene source"
+                )
+        if self.batch is not None and (
+            not isinstance(self.batch, int) or self.batch < 1
+        ):
+            raise SpecValidationError(
+                f"batch must be a positive integer, got {self.batch!r}"
+            )
 
     def resolve(self):
         """Materialize the audit scenes (list of live ``Scene``)."""
+        return list(self.resolve_iter())
+
+    def resolve_iter(self):
+        """Yield the audit scenes lazily, in the source's order.
+
+        ``paths=`` sources load one file at a time and ``warehouse=``
+        sources fetch blobs in ``effective_batch``-bounded chunks, so a
+        streaming consumer never holds the whole corpus; ``profile``
+        sources still build the dataset up front (synthesis is not
+        incremental).
+        """
         self.validate()
         if self.paths is not None:
             from repro.core.model import Scene
 
-            scenes = [Scene.load(path) for path in self.paths]
-            described = "path list"
+            paths = self._select(list(self.paths), "path list")
+            for path in paths:
+                yield Scene.load(path)
+        elif self.warehouse is not None:
+            with self.open_warehouse() as warehouse:
+                fingerprints = self.warehouse_fingerprints(warehouse)
+                for batch in warehouse.fetch_batches(
+                    fingerprints, self.effective_batch
+                ):
+                    for _, scene in batch:
+                        yield scene
         else:
             dataset = self._dataset()
             if self.split == "train":
                 scenes = list(dataset.train_scenes)
             else:
                 scenes = [ls.scene for ls in dataset.val_scenes]
-            described = f"split {self.split!r}"
-        if self.indices is not None:
-            for i in self.indices:
-                if i >= len(scenes):
-                    raise SpecValidationError(
-                        f"scene index {i} out of range ({described} has "
-                        f"{len(scenes)} scenes)"
-                    )
-            scenes = [scenes[i] for i in self.indices]
-        return scenes
+            yield from self._select(scenes, f"split {self.split!r}")
+
+    def open_warehouse(self):
+        """The source's :class:`~repro.warehouse.SceneWarehouse`
+        (existing databases only — a typo'd path fails loudly)."""
+        from repro.warehouse import SceneWarehouse
+
+        return SceneWarehouse(self.warehouse, create=False)
+
+    def warehouse_fingerprints(self, warehouse) -> list[str]:
+        """The pruned fingerprint list, in canonical (fingerprint)
+        order, with ``indices`` applied."""
+        fingerprints = warehouse.query(self.predicate)
+        return self._select(fingerprints, "warehouse selection")
+
+    def _select(self, items: list, described: str) -> list:
+        if self.indices is None:
+            return items
+        for i in self.indices:
+            if i >= len(items):
+                raise SpecValidationError(
+                    f"scene index {i} out of range ({described} has "
+                    f"{len(items)} scenes)"
+                )
+        return [items[i] for i in self.indices]
 
     def resolve_training_scenes(self):
         """The profile's training split (the default model source)."""
         self.validate()
         if self.profile is None:
             raise SpecValidationError(
-                "a paths= scene source carries no training split; give the "
-                "spec a model_path or pass a fitted engine / training scenes"
+                f"a {'paths' if self.paths is not None else 'warehouse'}= "
+                "scene source carries no training split; give the spec a "
+                "model_path or pass a fitted engine / training scenes"
             )
         return list(self._dataset().train_scenes)
 
@@ -375,7 +462,14 @@ class SceneSource:
         for f in fields(self):
             value = getattr(self, f.name)
             if f.name == "split":
-                out["split"] = self.split
+                # Only profile sources consult split; emitting it for
+                # paths/warehouse sources made equivalent sources hash
+                # to different spec_hash() values.
+                if self.profile is not None:
+                    out["split"] = self.split
+            elif f.name == "predicate":
+                if value is not None:
+                    out["predicate"] = value.to_dict()
             elif value is not None:
                 out[f.name] = list(value) if isinstance(value, tuple) else value
         return out

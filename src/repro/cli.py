@@ -20,7 +20,13 @@ Subcommands (also exposed as ``python -m repro.cli``):
                   TCP listener, which makes the process a worker for
                   the distributed ``remote`` backend
                   (open/edit/rank/audit/close/stats/hello/health over
-                  live scene sessions; see :mod:`repro.api.protocol`).
+                  live scene sessions; see :mod:`repro.api.protocol`);
+- ``warehouse``   manage a persistent content-addressed scene corpus
+                  (:mod:`repro.warehouse`): ``ingest`` scene files or
+                  a profile split, ``query`` fingerprints by indexed
+                  predicate, ``stats`` for corpus counters. Audit a
+                  warehouse out-of-core with
+                  ``audit --warehouse PATH [--where JSON]``.
 
 Examples::
 
@@ -34,6 +40,11 @@ Examples::
     python -m repro.cli serve --model model.json --listen 0.0.0.0:7500 --strict
     python -m repro.cli audit --paths scene.json --model model.json \
         --backend remote --workers host1:7500 host2:7500
+    python -m repro.cli warehouse ingest --db corpus.db --paths *.labels.json
+    python -m repro.cli warehouse query --db corpus.db \
+        --where '{"range": {"field": "n_tracks", "low": 10}}'
+    python -m repro.cli audit --warehouse corpus.db --model model.json \
+        --where '{"tag": "nightly"}' --batch 32
 
 The ``audit`` and ``serve`` commands are thin clients of
 :mod:`repro.api`; everything they do is equally available in-process.
@@ -105,6 +116,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--paths", nargs="+", default=None,
         help="scene JSON files (Scene.save / `generate` output) to audit "
         "instead of a profile split",
+    )
+    audit.add_argument(
+        "--warehouse", default=None, metavar="PATH",
+        help="scene warehouse database to audit out-of-core instead of a "
+        "profile split or path list (see the `warehouse` subcommand)",
+    )
+    audit.add_argument(
+        "--where", default=None, metavar="JSON",
+        help="ScenePredicate JSON pruning the warehouse corpus on its "
+        "metadata indexes, e.g. '{\"range\": {\"field\": \"n_tracks\", "
+        "\"low\": 10}}' (needs --warehouse)",
+    )
+    audit.add_argument(
+        "--batch", type=int, default=None,
+        help="resident-scene budget for out-of-core resolution (scenes "
+        "fetched and held per step; needs --warehouse)",
     )
     audit.add_argument(
         "--model", default=None,
@@ -247,6 +274,59 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics registry over HTTP at this address (port 0 picks a "
         "free port, announced on stderr as 'metrics on HOST:PORT')",
     )
+    serve.add_argument(
+        "--warehouse", default=None, metavar="PATH",
+        help="shared scene warehouse database: scene hashes that miss "
+        "the in-memory cache are fetched from it locally, and hello "
+        "advertises the capability so out-of-core coordinators send "
+        "hashes with no scene bodies",
+    )
+
+    wh = sub.add_parser(
+        "warehouse",
+        help="manage a persistent content-addressed scene corpus",
+    )
+    wh_sub = wh.add_subparsers(dest="warehouse_command", required=True)
+
+    wh_ingest = wh_sub.add_parser(
+        "ingest", help="pack + store scenes by content fingerprint"
+    )
+    wh_ingest.add_argument("--db", required=True, help="warehouse database path")
+    wh_ingest.add_argument(
+        "--paths", nargs="+", default=None,
+        help="scene JSON files (Scene.save / `generate` output) to ingest",
+    )
+    wh_ingest.add_argument(
+        "--profile", choices=sorted(_PROFILES), default=None,
+        help="synthesize a profile and ingest its scenes instead of files",
+    )
+    wh_ingest.add_argument(
+        "--split", choices=["train", "val", "all"], default="val",
+        help="which profile split(s) to ingest (default val)",
+    )
+    wh_ingest.add_argument("--train", type=int, default=None)
+    wh_ingest.add_argument("--val", type=int, default=None)
+    wh_ingest.add_argument(
+        "--tags", nargs="+", default=(),
+        help="user tags attached to every ingested scene (queryable "
+        "with the `tag` predicate)",
+    )
+
+    wh_query = wh_sub.add_parser(
+        "query", help="prune the corpus on its metadata indexes"
+    )
+    wh_query.add_argument("--db", required=True, help="warehouse database path")
+    wh_query.add_argument(
+        "--where", default=None, metavar="JSON",
+        help="ScenePredicate JSON (omit to list the whole corpus)",
+    )
+    wh_query.add_argument(
+        "--count", action="store_true",
+        help="print only the match count, not the fingerprint list",
+    )
+
+    wh_stats = wh_sub.add_parser("stats", help="corpus-level counters")
+    wh_stats.add_argument("--db", required=True, help="warehouse database path")
 
     return parser
 
@@ -327,22 +407,45 @@ def _cmd_audit(args) -> int:
         or args.split != "val" or args.workers is not None
         or args.jobs is not None or args.model_only
         or args.timeout is not None or args.wire is not None
+        or args.warehouse is not None or args.where is not None
+        or args.batch is not None
     )
     try:
         if args.spec is not None:
             if declarative_flags:
                 raise SpecValidationError(
                     "--spec carries the full declaration; combining it with "
-                    "other audit flags (--profile/--paths/--scene/--model/"
-                    "--kind/--top/--backend/...) is ambiguous — edit the "
-                    "spec file instead"
+                    "other audit flags (--profile/--paths/--warehouse/"
+                    "--scene/--model/--kind/--top/--backend/...) is "
+                    "ambiguous — edit the spec file instead"
                 )
             spec = AuditSpec.from_json(Path(args.spec).read_text(encoding="utf-8"))
         else:
-            if args.profile is None and args.paths is None:
+            if (
+                args.profile is None
+                and args.paths is None
+                and args.warehouse is None
+            ):
                 raise SpecValidationError(
-                    "audit needs a scene source: --profile, --paths, or --spec"
+                    "audit needs a scene source: --profile, --paths, "
+                    "--warehouse, or --spec"
                 )
+            predicate = None
+            if args.where is not None:
+                from repro.warehouse import PredicateError, ScenePredicate
+
+                try:
+                    predicate = ScenePredicate.from_dict(
+                        json.loads(args.where)
+                    )
+                except json.JSONDecodeError as exc:
+                    raise SpecValidationError(
+                        f"--where is not valid JSON: {exc}"
+                    ) from None
+                except PredicateError as exc:
+                    raise SpecValidationError(
+                        f"--where is not a valid predicate: {exc}"
+                    ) from None
             backend_options = {}
             if args.workers is not None:
                 if args.backend == "sharded":
@@ -412,6 +515,9 @@ def _cmd_audit(args) -> int:
                     n_val=args.val,
                     indices=tuple(args.scene) if args.scene else None,
                     paths=tuple(args.paths) if args.paths else None,
+                    warehouse=args.warehouse,
+                    predicate=predicate,
+                    batch=args.batch,
                 ),
                 backend=args.backend,
                 backend_options=backend_options,
@@ -508,6 +614,93 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_warehouse(args) -> int:
+    """Corpus management: ingest / query / stats on a SceneWarehouse."""
+    import json
+
+    from repro.warehouse import (
+        PredicateError,
+        ScenePredicate,
+        SceneWarehouse,
+        WarehouseError,
+    )
+
+    if args.warehouse_command == "ingest":
+        if (args.paths is None) == (args.profile is None):
+            print(
+                "warehouse ingest needs exactly one of --paths or --profile",
+                file=sys.stderr,
+            )
+            return 2
+        tags = tuple(args.tags)
+        with SceneWarehouse(args.db) as warehouse:
+            if args.paths is not None:
+                from repro.core.model import Scene
+
+                fingerprints = [
+                    warehouse.ingest(Scene.load(path), tags=tags)
+                    for path in args.paths
+                ]
+            else:
+                dataset = build_dataset(
+                    _PROFILES[args.profile],
+                    n_train_scenes=args.train,
+                    n_val_scenes=args.val,
+                )
+                scenes = []
+                if args.split in ("train", "all"):
+                    scenes += list(dataset.train_scenes)
+                if args.split in ("val", "all"):
+                    scenes += [ls.scene for ls in dataset.val_scenes]
+                fingerprints = [
+                    warehouse.ingest(scene, tags=tags) for scene in scenes
+                ]
+            stats = warehouse.stats()
+        for fingerprint in fingerprints:
+            print(fingerprint)
+        print(
+            f"ingested {len(fingerprints)} scenes into {args.db} "
+            f"(corpus now {stats['scenes']} scenes, "
+            f"{stats['blob_bytes']} blob bytes)",
+            file=sys.stderr,
+        )
+        return 0
+
+    try:
+        warehouse = SceneWarehouse(args.db, create=False)
+    except WarehouseError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    with warehouse:
+        if args.warehouse_command == "stats":
+            print(json.dumps(warehouse.stats(), indent=2))
+            return 0
+        # query
+        predicate = None
+        if args.where is not None:
+            try:
+                predicate = ScenePredicate.from_dict(json.loads(args.where))
+            except json.JSONDecodeError as exc:
+                print(f"--where is not valid JSON: {exc}", file=sys.stderr)
+                return 2
+            except PredicateError as exc:
+                print(
+                    f"--where is not a valid predicate: {exc}", file=sys.stderr
+                )
+                return 2
+        if args.count:
+            print(warehouse.count(predicate))
+            return 0
+        fingerprints = warehouse.query(predicate)
+        for fingerprint in fingerprints:
+            print(fingerprint)
+        print(
+            f"{len(fingerprints)} of {len(warehouse)} scenes match",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_serve(args, stdin=None, stdout=None) -> int:
     """Run the streaming service over line-delimited JSON stdio.
 
@@ -558,6 +751,7 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
         capacity=args.capacity,
         scene_cache=args.scene_cache,
         max_standing=args.max_standing,
+        warehouse=args.warehouse,
     )
     from repro.api.protocol import PROTOCOL_VERSION
 
@@ -629,6 +823,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "warehouse":
+        return _cmd_warehouse(args)
     return _cmd_rank(args)
 
 

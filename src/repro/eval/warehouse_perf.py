@@ -1,0 +1,152 @@
+"""Warehouse perf measurements: out-of-core residency + warm sidecars.
+
+The acceptance floors ISSUE 8 commits the warehouse to, measured in one
+report (``benchmarks/bench_warehouse.py`` asserts them, the perf harness
+persists them to ``BENCH_scaling.json``):
+
+- **out-of-core bound**: auditing a corpus ≥4× the resident-batch
+  budget must never hold more than ``batch`` unpacked scenes alive at
+  once (``peak_resident_scenes``, measured with weakrefs inside the
+  inline streaming executor);
+- **warm sidecars pay**: a second audit of the same corpus with the
+  same model must restore ≥90% of its compiled scenes from the
+  compiled-columns sidecar (``warm_skip_ratio``) and finish measurably
+  faster than the cold run;
+- **byte identity**: cold, warm, and the all-in-memory reference audit
+  produce bit-identical rankings.
+
+Run via the harness (``python benchmarks/run_perf_harness.py``) or
+standalone::
+
+    PYTHONPATH=src python -c "
+    from repro.eval.warehouse_perf import render_warehouse_report, warehouse_report
+    print(render_warehouse_report(warehouse_report()))"
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.eval.serving_perf import _ranking_signature, _warm_finder
+
+__all__ = ["build_corpus_scene", "render_warehouse_report", "warehouse_report"]
+
+
+def build_corpus_scene(n_objects: int, index: int):
+    """One synthetic corpus scene with a distinct scene_id per index."""
+    from repro.datagen import SceneConfig, SceneGenerator
+    from repro.datasets import SYNTHETIC_INTERNAL, build_labeled_scene
+
+    config = SceneConfig(n_objects_range=(n_objects, n_objects))
+    world = SceneGenerator(config).generate(f"wh-{index:03d}", seed=index)
+    labeled = build_labeled_scene(
+        world, SYNTHETIC_INTERNAL.vendor, SYNTHETIC_INTERNAL.detector, seed=1
+    )
+    return labeled.scene
+
+
+def warehouse_report(
+    corpus_scenes: int = 16,
+    batch: int = 4,
+    n_objects: int = 12,
+    top_k: int = 10,
+    fixy=None,
+    db_dir: str | None = None,
+) -> dict:
+    """Ingest a corpus, audit it out-of-core cold then warm, check bounds.
+
+    The corpus is ``corpus_scenes`` synthetic scenes (floored at 4× the
+    ``batch`` budget so the out-of-core claim is non-trivial), ingested
+    into a throwaway warehouse. Three audits run: cold (empty sidecar
+    table — every scene compiles), warm (sidecars restore), and the
+    in-memory reference (all scenes resident, the plain inline backend).
+    Returns a JSON-ready dict; see the module docstring for the floors.
+    """
+    from repro.api import Audit, AuditSpec, SceneSource
+    from repro.warehouse import SceneWarehouse
+
+    corpus_scenes = max(corpus_scenes, 4 * batch)
+    fixy = fixy or _warm_finder()
+    scenes = [build_corpus_scene(n_objects, i) for i in range(corpus_scenes)]
+
+    with tempfile.TemporaryDirectory(dir=db_dir) as tmp:
+        db = str(Path(tmp) / "bench.db")
+        t0 = time.perf_counter()
+        with SceneWarehouse(db) as warehouse:
+            for scene in scenes:
+                warehouse.ingest(scene, tags=("bench",))
+            blob_bytes = warehouse.stats()["blob_bytes"]
+        ingest_s = time.perf_counter() - t0
+
+        spec = AuditSpec(
+            kind="tracks",
+            top_k=top_k,
+            scenes=SceneSource(warehouse=db, batch=batch),
+        )
+
+        def timed_run():
+            start = time.perf_counter()
+            result = Audit(spec, fixy=fixy).run()
+            return result, time.perf_counter() - start
+
+        cold, cold_s = timed_run()
+        warm, warm_s = timed_run()
+
+    reference = Audit(
+        AuditSpec(kind="tracks", top_k=top_k), fixy=fixy
+    ).run(scenes=scenes)
+
+    cold_stream = cold.provenance.stream
+    warm_stream = warm.provenance.stream
+    reference_signature = _ranking_signature(reference.items)
+    warm_compiles = warm_stream["compile_warm"]
+    warm_total = warm_compiles + warm_stream["compile_cold"]
+    return {
+        "corpus_scenes": corpus_scenes,
+        "n_objects": n_objects,
+        "batch": batch,
+        "top_k": top_k,
+        "blob_bytes": blob_bytes,
+        "ingest_s": round(ingest_s, 4),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+        "peak_resident_scenes": cold_stream["peak_resident_scenes"],
+        "peak_resident_warm": warm_stream["peak_resident_scenes"],
+        "compile_cold": cold_stream["compile_cold"],
+        "compile_warm": warm_compiles,
+        "warm_skip_ratio": (
+            round(warm_compiles / warm_total, 3) if warm_total else None
+        ),
+        "out_of_core_bound": (
+            cold_stream["peak_resident_scenes"] <= batch
+            and warm_stream["peak_resident_scenes"] <= batch
+        ),
+        "byte_identical": (
+            _ranking_signature(cold.items) == reference_signature
+            and _ranking_signature(warm.items) == reference_signature
+        ),
+    }
+
+
+def render_warehouse_report(report: dict) -> str:
+    lines = [
+        "warehouse out-of-core audit "
+        f"({report['corpus_scenes']} scenes × {report['n_objects']} objects, "
+        f"batch budget {report['batch']}):",
+        f"  ingest: {report['ingest_s']*1e3:.0f} ms "
+        f"({report['blob_bytes']/1e6:.2f} MB of blobs)",
+        f"  cold audit: {report['cold_s']*1e3:.0f} ms "
+        f"({report['compile_cold']} compiles)",
+        f"  warm audit: {report['warm_s']*1e3:.0f} ms "
+        f"({report['compile_warm']} sidecar restores, "
+        f"skip ratio {report['warm_skip_ratio']}, "
+        f"speedup {report['warm_speedup']}x)",
+        f"  peak resident scenes: {report['peak_resident_scenes']} "
+        f"(budget {report['batch']}) "
+        f"{'OK' if report['out_of_core_bound'] else 'OVER BUDGET'}",
+        f"  byte-identical to in-memory: {report['byte_identical']}",
+    ]
+    return "\n".join(lines)

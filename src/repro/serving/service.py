@@ -157,6 +157,13 @@ class StreamingService:
             the build's). Pass ``1`` to emulate a v1-only worker —
             no framed wire, v2 requests rejected — which is how the
             mixed-version pool tests stand up "old" workers.
+        warehouse: Path to (or instance of) a shared
+            :class:`~repro.warehouse.SceneWarehouse`. When set, scene
+            hashes that miss the in-memory cache are fetched from the
+            warehouse by fingerprint before answering ``need`` — and
+            ``hello`` advertises ``warehouse: true`` so coordinators
+            dispatching out-of-core audits send hashes with no bodies
+            at all.
     """
 
     def __init__(
@@ -168,12 +175,23 @@ class StreamingService:
         scene_cache: int = 256,
         protocol_version: int = protocol.PROTOCOL_VERSION,
         max_standing: int = 16,
+        warehouse=None,
     ):
         if protocol_version not in protocol.SUPPORTED_VERSIONS:
             raise ValueError(
                 f"protocol_version must be one of "
                 f"{protocol.SUPPORTED_VERSIONS}, got {protocol_version!r}"
             )
+        self.warehouse = None
+        if warehouse is not None:
+            from repro.warehouse import SceneWarehouse
+
+            if isinstance(warehouse, SceneWarehouse):
+                self.warehouse = warehouse
+            else:
+                # create=True: a worker may come up before the first
+                # ingest lands; an empty store just answers `need`.
+                self.warehouse = SceneWarehouse(warehouse)
         self.store = SessionStore(
             fixy, max_sessions=max_sessions, max_standing=max_standing
         )
@@ -517,11 +535,16 @@ class StreamingService:
         return {"result": result.to_dict()}
 
     def _resolve_scene_hashes(self, hashes, ingested):
-        """Resolve content hashes against the scene cache.
+        """Resolve content hashes against the scene cache (+ warehouse).
 
         Returns ``(scenes, {"hits", "misses"}, missing_hashes)`` —
         a *hit* is a hash served from cache without a body this
-        request, a *miss* one whose body just arrived as a blob.
+        request, a *miss* one whose body just arrived as a blob. With a
+        shared warehouse configured, cache misses fetch the blob by
+        fingerprint locally (counted as hits, plus an additive
+        ``warehouse`` sub-count) before falling back to ``need``; a
+        corrupt or absent warehouse entry degrades to ``need`` — the
+        coordinator reships the body.
         """
         if self.protocol_version < 2:
             raise protocol.ProtocolError(
@@ -531,7 +554,7 @@ class StreamingService:
             )
         ingested = dict(ingested or {})
         scenes, missing = [], []
-        hits = misses = 0
+        hits = misses = warehouse_fetches = 0
         for fingerprint in hashes:
             scene = ingested.get(fingerprint)
             if scene is not None:
@@ -539,12 +562,28 @@ class StreamingService:
                 misses += 1  # body shipped with this request
                 continue
             scene = self.scene_cache.get(fingerprint)
-            if scene is None:
-                missing.append(fingerprint)
-            else:
+            if scene is not None:
                 scenes.append(scene)
                 hits += 1
-        return scenes, {"hits": hits, "misses": misses}, missing
+                continue
+            if self.warehouse is not None:
+                from repro.warehouse import WarehouseError
+
+                try:
+                    blob = self.warehouse.get_blob(fingerprint)
+                except WarehouseError:
+                    blob = None
+                if blob is not None:
+                    _, scene = self.scene_cache.ingest(blob)
+                    scenes.append(scene)
+                    hits += 1
+                    warehouse_fetches += 1
+                    continue
+            missing.append(fingerprint)
+        stats = {"hits": hits, "misses": misses}
+        if self.warehouse is not None:
+            stats["warehouse"] = warehouse_fetches
+        return scenes, stats, missing
 
     def _op_subscribe(self, request: dict) -> dict:
         """Register an AuditSpec as a standing query on a live session."""
@@ -622,6 +661,7 @@ class StreamingService:
             "scene_cache": (
                 self.scene_cache.maxsize if self.supports_frames else 0
             ),
+            "warehouse": self.warehouse is not None,
         }
 
     def _op_health(self, request: dict) -> dict:

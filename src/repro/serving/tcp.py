@@ -113,7 +113,9 @@ class TcpWorker:
     daemon thread, so a test or benchmark can stand up N workers that
     are byte-for-byte the same surface ``repro.cli serve --listen``
     exposes. Pass a prebuilt ``service`` or a fitted ``fixy`` (plus
-    ``StreamingService`` keyword options).
+    ``StreamingService`` keyword options — e.g. ``warehouse=PATH``
+    points the worker at a shared scene warehouse so out-of-core
+    audits reach it as hashes with no bodies on the wire).
     """
 
     def __init__(

@@ -1,0 +1,46 @@
+"""Persistent content-addressed scene corpus store with indexed pruning.
+
+Public surface:
+
+- :class:`SceneWarehouse` — the SQLite-backed store mapping
+  ``scene_fingerprint → packed scene blob`` plus the compiled-columns
+  sidecar for warm audits;
+- :class:`ScenePredicate` — the JSON-round-trippable pruning algebra
+  (``eq``/``range``/``tag``/``and``/``or``) over :data:`INDEXED_FIELDS`;
+- the typed error family rooted at :class:`WarehouseError`.
+
+Nothing here imports the engine at module load — the store is usable
+from tooling (ingest, query, stats) without paying for NumPy-heavy
+compile machinery until a sidecar restore actually needs it.
+"""
+
+from repro.warehouse.errors import (
+    PredicateError,
+    UnknownFingerprintError,
+    WarehouseCorruptionError,
+    WarehouseError,
+)
+from repro.warehouse.index import INDEXED_FIELDS, ScenePredicate
+from repro.warehouse.store import (
+    DEFAULT_BATCH,
+    SceneWarehouse,
+    pack_compiled,
+    restore_compiled,
+    scene_metadata,
+    warehouse_scorer,
+)
+
+__all__ = [
+    "DEFAULT_BATCH",
+    "INDEXED_FIELDS",
+    "PredicateError",
+    "ScenePredicate",
+    "SceneWarehouse",
+    "UnknownFingerprintError",
+    "WarehouseCorruptionError",
+    "WarehouseError",
+    "pack_compiled",
+    "restore_compiled",
+    "scene_metadata",
+    "warehouse_scorer",
+]

@@ -1,0 +1,61 @@
+"""Typed failure vocabulary for the scene warehouse.
+
+Mirrors the serving protocol's philosophy (:mod:`repro.api.protocol`):
+callers branch on *types*, not message strings. Every warehouse error
+derives from :class:`WarehouseError`, so ``except WarehouseError``
+catches the whole family without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "WarehouseError",
+    "WarehouseCorruptionError",
+    "UnknownFingerprintError",
+    "PredicateError",
+]
+
+
+class WarehouseError(RuntimeError):
+    """Base class for every scene-warehouse failure."""
+
+
+class WarehouseCorruptionError(WarehouseError):
+    """Stored bytes failed an integrity check on read.
+
+    Raised when a scene blob re-hashes to a different fingerprint than
+    its primary key (bit rot, a partial write, or an external edit),
+    when a blob no longer unpacks, or when a compiled-columns sidecar
+    fails its checksum. The row is *not* deleted — the operator decides
+    whether to re-ingest or investigate.
+    """
+
+    def __init__(self, fingerprint: str, reason: str):
+        self.fingerprint = fingerprint
+        self.reason = reason
+        super().__init__(
+            f"warehouse entry {fingerprint[:12]}… is corrupt: {reason}"
+        )
+
+
+class UnknownFingerprintError(WarehouseError, KeyError):
+    """A fingerprint the warehouse has never ingested.
+
+    Also a :class:`KeyError` so mapping-style callers
+    (``except KeyError``) behave as expected.
+    """
+
+    def __init__(self, fingerprint: str):
+        self.fingerprint = fingerprint
+        # Bypass KeyError's repr-the-single-arg formatting.
+        RuntimeError.__init__(
+            self, f"unknown scene fingerprint {fingerprint[:12]}…"
+        )
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message
+        return RuntimeError.__str__(self)
+
+
+class PredicateError(WarehouseError, ValueError):
+    """A scene predicate that does not validate (unknown field, bad
+    bounds, malformed JSON shape)."""

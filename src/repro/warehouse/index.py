@@ -1,0 +1,281 @@
+"""ScenePredicate: the warehouse's indexed pruning algebra.
+
+A predicate describes *which* scenes an audit wants without touching a
+single blob: it compiles to a SQL ``WHERE`` clause over the warehouse's
+secondary metadata indexes (:meth:`ScenePredicate.to_sql`), so pruning
+is an index scan returning a fingerprint list. The same predicate also
+evaluates in pure Python against a metadata dict
+(:meth:`ScenePredicate.matches`) — which is how the property suite
+asserts the indexed plan never drops a matching scene (SQL result ==
+full scan, for randomized corpora and predicates).
+
+The algebra is deliberately small and closed under JSON:
+
+====== ====================================================== =========
+op     meaning                                                JSON
+====== ====================================================== =========
+eq     ``field == value``                                     ``{"eq": {"field": f, "value": v}}``
+range  ``low <= field <= high`` (inclusive; either bound      ``{"range": {"field": f, "low": l, "high": h}}``
+       may be omitted)
+tag    scene carries the user tag                             ``{"tag": "nightly"}``
+and    every child matches                                    ``{"and": [p, ...]}``
+or     any child matches                                      ``{"or": [p, ...]}``
+====== ====================================================== =========
+
+Fields are whitelisted (:data:`INDEXED_FIELDS`) — a predicate can only
+name columns the warehouse actually indexes, so every compiled query is
+index-supported by construction (the access-pattern discipline of the
+free-access-pattern literature applied to scene metadata). Unknown
+fields raise :class:`~repro.warehouse.errors.PredicateError` at
+construction, not at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.warehouse.errors import PredicateError
+
+__all__ = ["INDEXED_FIELDS", "ScenePredicate"]
+
+#: Metadata columns a predicate may name, with the Python type stored.
+#: Each has a secondary index in the warehouse schema
+#: (:class:`~repro.warehouse.store.SceneWarehouse`).
+INDEXED_FIELDS: dict[str, type] = {
+    "scene_id": str,
+    "n_tracks": int,
+    "n_observations": int,
+    "n_frames": int,
+    "duration_s": float,
+    "dt": float,
+    "ingested_at": float,
+}
+
+_OPS = ("eq", "range", "tag", "and", "or")
+
+
+def _check_scalar(op: str, fname: str, value) -> None:
+    if fname not in INDEXED_FIELDS:
+        raise PredicateError(
+            f"{op} predicate names unindexed field {fname!r}; indexed "
+            f"fields are {sorted(INDEXED_FIELDS)}"
+        )
+    expected = INDEXED_FIELDS[fname]
+    if expected is str:
+        if not isinstance(value, str):
+            raise PredicateError(
+                f"{op} on {fname!r} needs a string, got {value!r}"
+            )
+    elif not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise PredicateError(
+            f"{op} on {fname!r} needs a number, got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ScenePredicate:
+    """One node of the predicate algebra (use the classmethod builders).
+
+    Instances are immutable value objects: hashable, comparable, and
+    JSON-round-trippable (``to_dict``/``from_dict``), so a predicate
+    embeds in a :class:`~repro.api.spec.SceneSource` and participates
+    in ``spec_hash()`` like any other declarative field.
+    """
+
+    op: str
+    field: str | None = None
+    value: object = None
+    low: float | None = None
+    high: float | None = None
+    children: tuple["ScenePredicate", ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "children", tuple(self.children))
+        if self.op not in _OPS:
+            raise PredicateError(
+                f"unknown predicate op {self.op!r}; expected one of {_OPS}"
+            )
+        if self.op == "eq":
+            _check_scalar("eq", self.field, self.value)
+        elif self.op == "range":
+            if self.field not in INDEXED_FIELDS:
+                raise PredicateError(
+                    f"range predicate names unindexed field {self.field!r}; "
+                    f"indexed fields are {sorted(INDEXED_FIELDS)}"
+                )
+            if INDEXED_FIELDS[self.field] is str:
+                raise PredicateError(
+                    f"range does not apply to string field {self.field!r}"
+                )
+            if self.low is None and self.high is None:
+                raise PredicateError(
+                    f"range on {self.field!r} needs at least one of low=/high="
+                )
+            for name, bound in (("low", self.low), ("high", self.high)):
+                if bound is not None and (
+                    not isinstance(bound, (int, float))
+                    or isinstance(bound, bool)
+                ):
+                    raise PredicateError(
+                        f"range {name} must be a number, got {bound!r}"
+                    )
+            if (
+                self.low is not None
+                and self.high is not None
+                and self.low > self.high
+            ):
+                raise PredicateError(
+                    f"empty range on {self.field!r}: low {self.low!r} > "
+                    f"high {self.high!r}"
+                )
+        elif self.op == "tag":
+            if not isinstance(self.value, str) or not self.value:
+                raise PredicateError(
+                    f"tag predicate needs a non-empty tag name, got "
+                    f"{self.value!r}"
+                )
+        else:  # and / or
+            if not self.children:
+                raise PredicateError(
+                    f"{self.op} predicate needs at least one child"
+                )
+            for child in self.children:
+                if not isinstance(child, ScenePredicate):
+                    raise PredicateError(
+                        f"{self.op} children must be ScenePredicates, got "
+                        f"{type(child).__name__}"
+                    )
+
+    # -- builders ------------------------------------------------------
+    @classmethod
+    def eq(cls, field: str, value) -> "ScenePredicate":
+        return cls(op="eq", field=field, value=value)
+
+    @classmethod
+    def range(
+        cls, field: str, low: float | None = None, high: float | None = None
+    ) -> "ScenePredicate":
+        return cls(op="range", field=field, low=low, high=high)
+
+    @classmethod
+    def tag(cls, name: str) -> "ScenePredicate":
+        return cls(op="tag", value=name)
+
+    @classmethod
+    def all_of(cls, *children: "ScenePredicate") -> "ScenePredicate":
+        return cls(op="and", children=tuple(children))
+
+    @classmethod
+    def any_of(cls, *children: "ScenePredicate") -> "ScenePredicate":
+        return cls(op="or", children=tuple(children))
+
+    # -- SQL compilation ----------------------------------------------
+    def to_sql(self) -> tuple[str, list]:
+        """``(parenthesized WHERE fragment, bind parameters)``.
+
+        Column references are unqualified (the warehouse queries the
+        ``scenes`` table directly); tags compile to an ``EXISTS``
+        subquery against the ``(tag, fingerprint)`` index. Every
+        identifier comes from :data:`INDEXED_FIELDS`, so the fragment
+        is injection-free by construction.
+        """
+        if self.op == "eq":
+            return f"({self.field} = ?)", [self.value]
+        if self.op == "range":
+            parts, params = [], []
+            if self.low is not None:
+                parts.append(f"{self.field} >= ?")
+                params.append(self.low)
+            if self.high is not None:
+                parts.append(f"{self.field} <= ?")
+                params.append(self.high)
+            return "(" + " AND ".join(parts) + ")", params
+        if self.op == "tag":
+            return (
+                "(EXISTS (SELECT 1 FROM tags WHERE "
+                "tags.fingerprint = scenes.fingerprint AND tags.tag = ?))",
+                [self.value],
+            )
+        joiner = " AND " if self.op == "and" else " OR "
+        fragments, params = [], []
+        for child in self.children:
+            fragment, child_params = child.to_sql()
+            fragments.append(fragment)
+            params.extend(child_params)
+        return "(" + joiner.join(fragments) + ")", params
+
+    # -- pure-Python evaluation (the full-scan reference) -------------
+    def matches(self, meta: Mapping, tags: set[str] | frozenset[str]) -> bool:
+        """Evaluate against one scene's metadata dict + tag set.
+
+        The executable specification :meth:`to_sql` is property-tested
+        against: for any corpus, the indexed query must return exactly
+        the fingerprints this returns ``True`` for.
+        """
+        if self.op == "eq":
+            return meta[self.field] == self.value
+        if self.op == "range":
+            value = meta[self.field]
+            if self.low is not None and value < self.low:
+                return False
+            if self.high is not None and value > self.high:
+                return False
+            return True
+        if self.op == "tag":
+            return self.value in tags
+        if self.op == "and":
+            return all(c.matches(meta, tags) for c in self.children)
+        return any(c.matches(meta, tags) for c in self.children)
+
+    # -- JSON round-trip ----------------------------------------------
+    def to_dict(self) -> dict:
+        if self.op == "eq":
+            return {"eq": {"field": self.field, "value": self.value}}
+        if self.op == "range":
+            body: dict = {"field": self.field}
+            if self.low is not None:
+                body["low"] = self.low
+            if self.high is not None:
+                body["high"] = self.high
+            return {"range": body}
+        if self.op == "tag":
+            return {"tag": self.value}
+        return {self.op: [c.to_dict() for c in self.children]}
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "ScenePredicate":
+        if not isinstance(data, Mapping) or len(data) != 1:
+            raise PredicateError(
+                "a predicate dict has exactly one key (eq/range/tag/and/or), "
+                f"got {data!r}"
+            )
+        (op, body), = data.items()
+        if op == "eq":
+            if not isinstance(body, Mapping) or set(body) != {"field", "value"}:
+                raise PredicateError(
+                    f"eq body needs exactly field/value, got {body!r}"
+                )
+            return ScenePredicate.eq(body["field"], body["value"])
+        if op == "range":
+            if not isinstance(body, Mapping) or not (
+                {"field"} <= set(body) <= {"field", "low", "high"}
+            ):
+                raise PredicateError(
+                    f"range body needs field plus low and/or high, got {body!r}"
+                )
+            return ScenePredicate.range(
+                body["field"], low=body.get("low"), high=body.get("high")
+            )
+        if op == "tag":
+            return ScenePredicate.tag(body)
+        if op in ("and", "or"):
+            if not isinstance(body, (list, tuple)):
+                raise PredicateError(
+                    f"{op} body must be a list of predicates, got {body!r}"
+                )
+            children = tuple(ScenePredicate.from_dict(c) for c in body)
+            return ScenePredicate(op=op, children=children)
+        raise PredicateError(
+            f"unknown predicate op {op!r}; expected one of {_OPS}"
+        )

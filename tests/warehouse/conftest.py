@@ -1,0 +1,84 @@
+"""Shared fixtures for warehouse tests: a corpus, a store, a fitted engine."""
+
+import pytest
+
+from repro.core import Fixy, default_features
+from repro.warehouse import SceneWarehouse
+
+from tests.core.conftest import moving_track, scene_of
+from tests.serving.conftest import build_training_scenes, model_scene
+
+
+def corpus_scene(scene_id, n_tracks=4, n_frames=6, seed=0):
+    """A rankable model-track scene whose shape varies with the arguments."""
+    return scene_of(
+        [
+            moving_track(
+                f"{scene_id}-t{i}",
+                n_frames=n_frames,
+                source="model",
+                conf=0.8,
+                start_x=6.0 * i,
+                jitter=0.02,
+                seed=seed * 101 + 7 * i + 1,
+            )
+            for i in range(n_tracks)
+        ],
+        scene_id=scene_id,
+    )
+
+
+def build_corpus(n=8):
+    """A corpus with varied n_tracks/n_frames so predicates can split it."""
+    return [
+        corpus_scene(
+            f"corpus-{i:02d}",
+            n_tracks=2 + (i % 4),
+            n_frames=5 + (i % 3),
+            seed=i,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="session")
+def warehouse_training_scenes():
+    return build_training_scenes()
+
+
+@pytest.fixture(scope="session")
+def fitted_fixy(warehouse_training_scenes):
+    """A fitted engine with warmed density grids (deterministic ranking)."""
+    fixy = Fixy(default_features()).fit(warehouse_training_scenes)
+    fixy.warmup_fast_eval()
+    return fixy
+
+
+@pytest.fixture(scope="session")
+def corpus_scenes():
+    return build_corpus()
+
+
+@pytest.fixture()
+def warehouse(tmp_path):
+    """A fresh empty warehouse on disk, closed after the test."""
+    with SceneWarehouse(tmp_path / "wh.db") as wh:
+        yield wh
+
+
+@pytest.fixture()
+def loaded_warehouse(tmp_path, corpus_scenes):
+    """A warehouse pre-loaded with the corpus; even indexes tagged 'even'."""
+    with SceneWarehouse(tmp_path / "loaded.db") as wh:
+        for i, scene in enumerate(corpus_scenes):
+            tags = ("even",) if i % 2 == 0 else ("odd",)
+            wh.ingest(scene, tags=tags + ("all",))
+        yield wh
+
+
+__all__ = [
+    "build_corpus",
+    "build_training_scenes",
+    "corpus_scene",
+    "model_scene",
+]

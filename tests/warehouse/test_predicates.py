@@ -1,0 +1,174 @@
+"""ScenePredicate algebra: JSON round-trip, validation, SQL == full scan."""
+
+import random
+
+import pytest
+
+from repro.warehouse import (
+    INDEXED_FIELDS,
+    PredicateError,
+    ScenePredicate,
+    SceneWarehouse,
+)
+
+from tests.warehouse.conftest import corpus_scene
+
+P = ScenePredicate
+
+
+# --------------------------------------------------------- construction
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: P.eq("nope", 1),
+        lambda: P.range("nope", low=1),
+        lambda: P.eq("n_tracks", "three"),
+        lambda: P.eq("scene_id", 7),
+        lambda: P.range("scene_id", low=1),
+        lambda: P.range("n_tracks"),
+        lambda: P.range("n_tracks", low=5, high=2),
+        lambda: P.range("n_tracks", low=True),
+        lambda: P.tag(""),
+        lambda: P.tag(7),
+        lambda: P.all_of(),
+        lambda: P.any_of(),
+        lambda: P(op="and", children=("not a predicate",)),
+        lambda: P(op="between", field="n_tracks"),
+    ],
+)
+def test_invalid_predicates_raise(build):
+    with pytest.raises(PredicateError):
+        build()
+
+
+@pytest.mark.parametrize(
+    "data",
+    [
+        "not a dict",
+        {},
+        {"eq": {"field": "n_tracks"}},
+        {"eq": {"field": "n_tracks", "value": 1, "extra": 2}},
+        {"range": {"low": 1}},
+        {"and": {"field": "n_tracks"}},
+        {"between": []},
+        {"eq": {"field": "n_tracks", "value": 1}, "tag": "x"},
+    ],
+)
+def test_invalid_dicts_raise(data):
+    with pytest.raises(PredicateError):
+        P.from_dict(data)
+
+
+def _sample_predicates():
+    return [
+        P.eq("n_tracks", 3),
+        P.eq("scene_id", "corpus-01"),
+        P.range("n_frames", low=6),
+        P.range("duration_s", high=1.5),
+        P.range("n_observations", low=10, high=40),
+        P.tag("even"),
+        P.all_of(P.range("n_tracks", low=3), P.tag("all")),
+        P.any_of(P.eq("n_tracks", 2), P.eq("n_tracks", 5)),
+        P.any_of(
+            P.all_of(P.tag("odd"), P.range("n_frames", high=6)),
+            P.eq("scene_id", "corpus-00"),
+        ),
+    ]
+
+
+@pytest.mark.parametrize(
+    "predicate", _sample_predicates(), ids=lambda p: p.op
+)
+def test_json_round_trip(predicate):
+    data = predicate.to_dict()
+    assert P.from_dict(data) == predicate
+    # to_dict output is itself pure JSON (no predicate objects nested).
+    import json
+
+    assert P.from_dict(json.loads(json.dumps(data))) == predicate
+
+
+def test_predicates_are_hashable_value_objects():
+    assert P.tag("x") == P.tag("x")
+    assert hash(P.eq("n_tracks", 3)) == hash(P.eq("n_tracks", 3))
+    assert P.tag("x") != P.tag("y")
+
+
+# ----------------------------------------- SQL plan == full-scan reference
+
+
+def _full_scan(warehouse, predicate):
+    return sorted(
+        fingerprint
+        for fingerprint, meta, tags in warehouse.iter_metadata()
+        if predicate.matches(meta, tags)
+    )
+
+
+@pytest.mark.parametrize(
+    "predicate", _sample_predicates(), ids=lambda p: p.op
+)
+def test_query_matches_full_scan(loaded_warehouse, predicate):
+    assert loaded_warehouse.query(predicate) == _full_scan(
+        loaded_warehouse, predicate
+    )
+
+
+def _random_predicate(rng, depth=0):
+    numeric = [f for f, t in INDEXED_FIELDS.items() if t is not str]
+    roll = rng.random()
+    if depth < 2 and roll < 0.35:
+        op = P.all_of if rng.random() < 0.5 else P.any_of
+        return op(
+            *(
+                _random_predicate(rng, depth + 1)
+                for _ in range(rng.randint(1, 3))
+            )
+        )
+    if roll < 0.5:
+        return P.tag(rng.choice(["even", "odd", "all", "absent"]))
+    if roll < 0.7:
+        if rng.random() < 0.5:
+            return P.eq("n_tracks", rng.randint(1, 6))
+        return P.eq("scene_id", f"rand-{rng.randint(0, 20):02d}")
+    field = rng.choice(numeric)
+    lo = rng.uniform(0, 30)
+    hi = lo + rng.uniform(0, 30)
+    pick = rng.random()
+    if pick < 0.33:
+        return P.range(field, low=lo)
+    if pick < 0.66:
+        return P.range(field, high=hi)
+    return P.range(field, low=lo, high=hi)
+
+
+def test_randomized_corpus_query_never_diverges_from_scan(tmp_path):
+    """Property: for random corpora and predicates, the indexed SQL plan
+    returns exactly the fingerprints the pure-Python reference accepts —
+    pruning never drops (or invents) a matching scene."""
+    rng = random.Random(20260808)
+    for trial in range(3):
+        with SceneWarehouse(tmp_path / f"prop-{trial}.db") as warehouse:
+            for i in range(12):
+                tags = [rng.choice(["even", "odd"]), "all"]
+                warehouse.ingest(
+                    corpus_scene(
+                        f"rand-{rng.randint(0, 20):02d}",
+                        n_tracks=rng.randint(1, 6),
+                        n_frames=rng.randint(4, 9),
+                        seed=trial * 100 + i,
+                    ),
+                    tags=tags,
+                )
+            for _ in range(25):
+                predicate = _random_predicate(rng)
+                assert warehouse.query(predicate) == _full_scan(
+                    warehouse, predicate
+                ), predicate.to_dict()
+
+
+def test_empty_predicate_is_full_corpus(loaded_warehouse):
+    assert loaded_warehouse.query() == loaded_warehouse.query(None)
+    assert loaded_warehouse.count() == len(loaded_warehouse)

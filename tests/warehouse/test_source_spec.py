@@ -1,0 +1,154 @@
+"""SceneSource warehouse= variant + the paths/split serialization fix."""
+
+import json
+
+import pytest
+
+from repro.api import AuditSpec, SceneSource, SpecValidationError
+from repro.api import frames
+from repro.warehouse import ScenePredicate, SceneWarehouse
+
+from tests.warehouse.conftest import build_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus_db(tmp_path_factory):
+    scenes = build_corpus()
+    path = tmp_path_factory.mktemp("source") / "corpus.db"
+    with SceneWarehouse(path) as warehouse:
+        for i, scene in enumerate(scenes):
+            warehouse.ingest(scene, tags=("even",) if i % 2 == 0 else ())
+    return str(path), scenes
+
+
+# ------------------------------------------------- serialization satellite
+
+
+def test_paths_source_to_dict_omits_split(tmp_path):
+    source = SceneSource(paths=("a.json", "b.json"))
+    data = source.to_dict()
+    assert "split" not in data
+    assert SceneSource.from_dict(data) == source
+
+
+def test_profile_source_still_emits_split():
+    data = SceneSource(profile="internal").to_dict()
+    assert data["split"] == "val"
+
+
+def test_legacy_paths_dict_with_split_still_loads():
+    # Dicts serialized before the fix carried the (meaningless) default
+    # split; they must keep loading, and hash equal to the new form.
+    legacy = {"paths": ["a.json", "b.json"], "split": "val"}
+    source = SceneSource.from_dict(legacy)
+    assert source == SceneSource(paths=("a.json", "b.json"))
+    old = AuditSpec.from_dict(
+        {"kind": "tracks", "scenes": dict(legacy)}
+    )
+    new = AuditSpec(kind="tracks", scenes=SceneSource(paths=("a.json", "b.json")))
+    assert old.spec_hash() == new.spec_hash()
+
+
+def test_warehouse_source_round_trips_with_predicate(corpus_db):
+    path, _ = corpus_db
+    source = SceneSource(
+        warehouse=path,
+        predicate=ScenePredicate.range("n_tracks", low=3),
+        batch=4,
+    )
+    data = json.loads(json.dumps(source.to_dict()))
+    clone = SceneSource.from_dict(data)
+    assert clone == source
+    assert clone.predicate == source.predicate
+    spec = AuditSpec(kind="tracks", scenes=source)
+    assert AuditSpec.from_dict(spec.to_dict()).spec_hash() == spec.spec_hash()
+
+
+def test_predicate_dict_coerced_at_construction():
+    source = SceneSource(
+        warehouse="wh.db", predicate={"tag": "nightly"}
+    )
+    assert source.predicate == ScenePredicate.tag("nightly")
+
+
+# -------------------------------------------------------------- validation
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(),
+        dict(profile="internal", warehouse="wh.db"),
+        dict(paths=("a.json",), warehouse="wh.db"),
+        dict(paths=("a.json",), predicate={"tag": "x"}),
+        dict(profile="internal", batch=4),
+        dict(warehouse="wh.db", batch=0),
+        dict(warehouse="wh.db", batch=-3),
+        dict(warehouse="wh.db", n_train=2),
+    ],
+)
+def test_invalid_sources_rejected(kwargs):
+    with pytest.raises(SpecValidationError):
+        SceneSource(**kwargs).validate()
+
+
+def test_warehouse_source_has_no_training_split(corpus_db):
+    path, _ = corpus_db
+    with pytest.raises(SpecValidationError):
+        SceneSource(warehouse=path).resolve_training_scenes()
+
+
+# -------------------------------------------------------------- resolution
+
+
+def test_warehouse_resolve_matches_fingerprint_order(corpus_db):
+    path, scenes = corpus_db
+    source = SceneSource(warehouse=path)
+    resolved = source.resolve()
+    by_fp = {
+        frames.scene_fingerprint(frames.pack_scene(s)): s for s in scenes
+    }
+    assert [s.scene_id for s in resolved] == [
+        by_fp[fp].scene_id for fp in sorted(by_fp)
+    ]
+    assert [frames.pack_scene(s) for s in resolved] == [
+        frames.pack_scene(by_fp[fp]) for fp in sorted(by_fp)
+    ]
+
+
+def test_resolve_iter_is_lazy_and_equal(corpus_db):
+    path, _ = corpus_db
+    source = SceneSource(warehouse=path, batch=3)
+    iterator = source.resolve_iter()
+    first = next(iterator)
+    rest = list(iterator)
+    eager = source.resolve()
+    assert [s.scene_id for s in [first, *rest]] == [
+        s.scene_id for s in eager
+    ]
+
+
+def test_predicate_prunes_resolution(corpus_db):
+    path, scenes = corpus_db
+    source = SceneSource(
+        warehouse=path, predicate=ScenePredicate.tag("even")
+    )
+    resolved = source.resolve()
+    assert 0 < len(resolved) < len(scenes)
+    even_ids = {s.scene_id for i, s in enumerate(scenes) if i % 2 == 0}
+    assert {s.scene_id for s in resolved} == even_ids
+
+
+def test_indices_apply_to_warehouse_selection(corpus_db):
+    path, _ = corpus_db
+    all_ids = [s.scene_id for s in SceneSource(warehouse=path).resolve()]
+    picked = SceneSource(warehouse=path, indices=(2, 0)).resolve()
+    assert [s.scene_id for s in picked] == [all_ids[2], all_ids[0]]
+    with pytest.raises(SpecValidationError, match="out of range"):
+        SceneSource(warehouse=path, indices=(99,)).resolve()
+
+
+def test_missing_warehouse_resolution_fails(tmp_path):
+    source = SceneSource(warehouse=str(tmp_path / "absent.db"))
+    with pytest.raises(Exception):
+        source.resolve()
