@@ -27,6 +27,7 @@ The JSON layout::
         "sharding": {...},        # repro.eval.serving_perf.sharding_report
         "remote": {...},          # repro.eval.serving_perf.remote_report
         "standing_audit": {...},  # repro.eval.serving_perf.standing_report
+        "gateway": {...},         # repro.eval.gateway_perf.gateway_report
       },
       "warehouse": {...},     # repro.eval.warehouse_perf.warehouse_report
       "pytest_benchmarks": [  # mean seconds per benchmark test
@@ -37,6 +38,13 @@ The JSON layout::
         "overhead": {...},         # measured vs committed warm remote
       }
     }
+
+A partial run (``--skip-serving``, ``--skip-warehouse``, ...) no
+longer erases the skipped sections from ``BENCH_scaling.json``: any
+top-level section — and any ``serving`` subsection — this run did not
+measure is carried over from the committed file, so the perf
+trajectory keeps its history across partial reruns. Freshly measured
+sections always win.
 
 The ``observability`` section is the instrumentation-overhead check:
 the harness snapshots the process metrics registry before and after
@@ -155,6 +163,16 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the out-of-core warehouse measurement",
     )
     parser.add_argument(
+        "--gateway-clients", type=int, default=256,
+        help="concurrent clients driven through the async gateway "
+        "(the 1k-client floor itself is enforced by "
+        "benchmarks/bench_gateway.py)",
+    )
+    parser.add_argument(
+        "--skip-gateway", action="store_true",
+        help="skip the async-gateway measurement",
+    )
+    parser.add_argument(
         "--wire", choices=["auto", "v1", "v2"], default="auto",
         help="wire format for the remote comparison: auto (negotiated), "
         "v1 (line-JSON), v2 (require binary frames + content-addressed "
@@ -188,6 +206,7 @@ def main(argv: list[str] | None = None) -> int:
         args.standing_edits = 10
         args.warehouse_scenes = 8
         args.warehouse_batch = 2
+        args.gateway_clients = 48
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.eval.perf import ab_compile_rank, render_report
@@ -242,6 +261,19 @@ def main(argv: list[str] | None = None) -> int:
         }
         print(render_serving_report(delta, sharding, remote, standing))
 
+    if not args.skip_gateway:
+        from repro.eval.gateway_perf import (
+            gateway_report,
+            render_gateway_report,
+        )
+
+        gateway = gateway_report(
+            n_clients=args.gateway_clients,
+            n_scenes=4 if args.smoke else 8,
+        )
+        report.setdefault("serving", {})["gateway"] = gateway
+        print(render_gateway_report(gateway))
+
     if not args.skip_warehouse:
         from repro.eval.warehouse_perf import (
             render_warehouse_report,
@@ -287,11 +319,38 @@ def main(argv: list[str] | None = None) -> int:
             f"{'OK' if overhead_ok else 'OVER BUDGET'}"
         )
 
+    report = merge_unrun_sections(report, baseline)
     Path(args.out).write_text(json.dumps(report, indent=2), encoding="utf-8")
     print(f"wrote {args.out}")
     if args.enforce_overhead and not overhead_ok:
         return 1
     return 0
+
+
+def merge_unrun_sections(report: dict, baseline: dict | None) -> dict:
+    """Carry unmeasured sections over from the committed baseline.
+
+    A ``--skip-*`` run used to *rewrite* ``BENCH_scaling.json`` with
+    only what it measured, silently erasing every other section's
+    history. Instead: any top-level section missing from this run is
+    copied from the committed file, and the ``serving`` dict merges at
+    the subsection level (a gateway-only rerun must not drop the
+    committed sharding/remote numbers). Freshly measured keys always
+    win; ``generated_at`` is always this run's.
+    """
+    if not baseline:
+        return report
+    merged = {
+        **{k: v for k, v in baseline.items() if k != "generated_at"},
+        **report,
+    }
+    baseline_serving = baseline.get("serving")
+    if isinstance(baseline_serving, dict):
+        merged["serving"] = {
+            **baseline_serving,
+            **(report.get("serving") or {}),
+        }
+    return merged
 
 
 def observability_section(

@@ -334,8 +334,16 @@ class AuditClient:
             return response
         error = response.get("error")
         if isinstance(error, dict):
+            code = error.get("code", protocol.INTERNAL_ERROR)
+            if code == protocol.OVERLOADED:
+                # Typed: the admission layer shed this request — it
+                # never executed, so retry-after-backoff is always safe.
+                raise protocol.OverloadedError(
+                    error.get("message", "server overloaded"),
+                    details=error.get("details"),
+                )
             raise protocol.ProtocolError(
-                error.get("code", protocol.INTERNAL_ERROR),
+                code,
                 error.get("message", "unknown error"),
                 details=error.get("details"),
             )

@@ -64,6 +64,7 @@ __all__ = [
     "encode_frame",
     "pack_scene",
     "read_frame",
+    "read_frame_async",
     "scene_fingerprint",
     "unpack_scene",
     "write_frame",
@@ -142,6 +143,35 @@ def _read_exact(reader, n: int, context: str) -> bytes:
     return b"".join(chunks)
 
 
+def _parse_prelude(prelude: bytes) -> tuple[int, int]:
+    """Validate a prelude's magic and blob count; ``(header_len, n_blobs)``."""
+    magic, header_len, n_blobs = _PRELUDE.unpack(prelude)
+    if magic != MAGIC:
+        raise protocol.FrameDecodeError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r})"
+        )
+    if n_blobs > MAX_BLOBS:
+        raise protocol.FrameTooLargeError(
+            f"frame declares {n_blobs} blobs (cap {MAX_BLOBS})"
+        )
+    return header_len, n_blobs
+
+
+def _decode_header(header_bytes: bytes) -> dict:
+    """The frame header as a dict, or a typed decode error."""
+    try:
+        header = json.loads(header_bytes)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise protocol.FrameDecodeError(
+            f"frame header is not JSON: {exc}"
+        ) from None
+    if not isinstance(header, dict):
+        raise protocol.FrameDecodeError(
+            f"frame header is not an object: {type(header).__name__}"
+        )
+    return header
+
+
 def read_frame(reader, allow_eof: bool = False):
     """Read one frame from a binary reader.
 
@@ -162,35 +192,73 @@ def read_frame(reader, allow_eof: bool = False):
             "stream closed before a frame arrived"
         )
     prelude = first + _read_exact(reader, _PRELUDE.size - 1, "frame prelude")
-    magic, header_len, n_blobs = _PRELUDE.unpack(prelude)
-    if magic != MAGIC:
-        raise protocol.FrameDecodeError(
-            f"bad frame magic {magic!r} (expected {MAGIC!r})"
-        )
-    if n_blobs > MAX_BLOBS:
-        raise protocol.FrameTooLargeError(
-            f"frame declares {n_blobs} blobs (cap {MAX_BLOBS})"
-        )
+    header_len, n_blobs = _parse_prelude(prelude)
     blob_lens = [
         _BLOB_LEN.unpack(_read_exact(reader, _BLOB_LEN.size, "blob length"))[0]
         for _ in range(n_blobs)
     ]
     _check_sizes(header_len, blob_lens)
-    header_bytes = _read_exact(reader, header_len, "frame header")
-    try:
-        header = json.loads(header_bytes)
-    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-        raise protocol.FrameDecodeError(
-            f"frame header is not JSON: {exc}"
-        ) from None
-    if not isinstance(header, dict):
-        raise protocol.FrameDecodeError(
-            f"frame header is not an object: {type(header).__name__}"
-        )
+    header = _decode_header(_read_exact(reader, header_len, "frame header"))
     blobs = [
         _read_exact(reader, length, f"blob {i}")
         for i, length in enumerate(blob_lens)
     ]
+    return header, blobs
+
+
+async def _read_exact_async(reader, n: int, context: str) -> bytes:
+    """``readexactly`` with the same typed truncation error as the
+    blocking reader — an asyncio peer dying mid-frame surfaces as the
+    :class:`~repro.api.protocol.StreamClosedError` callers already
+    handle, not a bare ``IncompleteReadError``."""
+    import asyncio
+
+    try:
+        return await reader.readexactly(n)
+    except asyncio.IncompleteReadError as exc:
+        raise protocol.StreamClosedError(
+            f"stream closed mid-frame ({context}: "
+            f"{len(exc.partial)} of {n} bytes)"
+        ) from None
+    except (ConnectionError, OSError) as exc:
+        raise protocol.StreamClosedError(
+            f"stream broke mid-frame ({context}: {exc})"
+        ) from None
+
+
+async def read_frame_async(reader, allow_eof: bool = False, prefix: bytes = b""):
+    """:func:`read_frame` over an :class:`asyncio.StreamReader`.
+
+    Identical semantics and typed failures to the blocking reader —
+    the same prelude/size validation runs on both paths. ``prefix`` is
+    bytes the caller already consumed (the async gateway reads one
+    byte per connection to sniff the wire format); they are treated as
+    the frame's opening bytes.
+    """
+    if not prefix:
+        first = await reader.read(1)
+        if not first:
+            if allow_eof:
+                return None
+            raise protocol.StreamClosedError(
+                "stream closed before a frame arrived"
+            )
+        prefix = first
+    prelude = prefix + await _read_exact_async(
+        reader, _PRELUDE.size - len(prefix), "frame prelude"
+    )
+    header_len, n_blobs = _parse_prelude(prelude)
+    blob_lens = []
+    for _ in range(n_blobs):
+        raw = await _read_exact_async(reader, _BLOB_LEN.size, "blob length")
+        blob_lens.append(_BLOB_LEN.unpack(raw)[0])
+    _check_sizes(header_len, blob_lens)
+    header = _decode_header(
+        await _read_exact_async(reader, header_len, "frame header")
+    )
+    blobs = []
+    for i, length in enumerate(blob_lens):
+        blobs.append(await _read_exact_async(reader, length, f"blob {i}"))
     return header, blobs
 
 

@@ -71,6 +71,14 @@ answered with the ``unknown_subscription`` code. Being additive, all of
 this rides the existing version: older peers simply never send the new
 ops, and ``hello``'s ``ops`` list advertises them.
 
+Additive extension — **load shedding**: a serving front with an
+admission layer (:mod:`repro.serving.gateway`) may answer a request it
+chose not to execute with the ``overloaded`` code instead of stalling;
+the request is retryable by construction, ``details`` carries the
+queueing state, and v0/v1 peers receive it in their own dialect like
+any other structured error. Raised client-side as
+:class:`OverloadedError`.
+
 The v2 *JSON dialect* is otherwise identical to v1, and servers answer
 every request in the version it was asked in — a v1-only peer keeps
 working against a v2 build, which is how mixed-version worker pools
@@ -99,6 +107,7 @@ __all__ = [
     "FrameDecodeError",
     "FrameTooLargeError",
     "MalformedResponseError",
+    "OverloadedError",
     "ProtocolError",
     "RequestTimeoutError",
     "StreamClosedError",
@@ -142,6 +151,7 @@ FRAME_TOO_LARGE = "frame_too_large"
 FRAME_MALFORMED = "frame_malformed"
 UNKNOWN_SCENE_HASH = "unknown_scene_hash"
 UNKNOWN_SUBSCRIPTION = "unknown_subscription"
+OVERLOADED = "overloaded"
 
 ERROR_CODES = (
     UNSUPPORTED_VERSION,
@@ -160,6 +170,7 @@ ERROR_CODES = (
     FRAME_MALFORMED,
     UNKNOWN_SCENE_HASH,
     UNKNOWN_SUBSCRIPTION,
+    OVERLOADED,
 )
 
 
@@ -232,6 +243,25 @@ class FrameDecodeError(TransportError):
     that is not a JSON object, an unpackable scene blob)."""
 
     code_class = FRAME_MALFORMED
+
+
+class OverloadedError(ProtocolError):
+    """The server shed this request under load (code ``overloaded``).
+
+    Raised client-side when a response carries the ``overloaded``
+    code — the async gateway's admission layer answers instead of
+    stalling once its queue bound or the per-client budget is
+    exceeded (:mod:`repro.serving.gateway`). The request was *not*
+    executed; it is always safe to retry after backing off
+    (``details`` carries ``reason`` plus the queue depth/limits the
+    client can base its backoff on).
+    """
+
+    def __init__(self, message: str, details: dict | None = None):
+        super().__init__(OVERLOADED, message, details)
+
+    def __reduce__(self):
+        return (type(self), (self.message, self.details))
 
 
 # ---------------------------------------------------------------------------

@@ -281,6 +281,29 @@ def build_parser() -> argparse.ArgumentParser:
         "advertises the capability so out-of-core coordinators send "
         "hashes with no scene bodies",
     )
+    serve.add_argument(
+        "--async", dest="async_gateway", action="store_true",
+        help="serve --listen through the asyncio gateway (one event "
+        "loop multiplexing all connections, admission control with "
+        "typed `overloaded` load shedding, compile coalescing) "
+        "instead of a thread per connection",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="gateway worker threads executing requests (--async; "
+        "default 4)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admitted requests allowed to queue for an executor slot "
+        "before new arrivals are shed with the `overloaded` code "
+        "(--async; default 64)",
+    )
+    serve.add_argument(
+        "--client-budget", type=int, default=16,
+        help="in-flight requests one connection may have before its "
+        "next request is shed with `overloaded` (--async; default 16)",
+    )
 
     wh = sub.add_parser(
         "warehouse",
@@ -327,6 +350,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     wh_stats = wh_sub.add_parser("stats", help="corpus-level counters")
     wh_stats.add_argument("--db", required=True, help="warehouse database path")
+
+    wh_gc = wh_sub.add_parser(
+        "gc",
+        help="drop compiled-columns sidecar rows for rotated models",
+    )
+    wh_gc.add_argument("--db", required=True, help="warehouse database path")
+    wh_gc.add_argument(
+        "--keep-model", nargs="+", required=True, metavar="FINGERPRINT",
+        help="model fingerprints still in service; sidecar rows under "
+        "any other fingerprint are deleted (scene blobs are never "
+        "touched)",
+    )
 
     return parser
 
@@ -675,6 +710,17 @@ def _cmd_warehouse(args) -> int:
         if args.warehouse_command == "stats":
             print(json.dumps(warehouse.stats(), indent=2))
             return 0
+        if args.warehouse_command == "gc":
+            report = warehouse.gc_compiled(args.keep_model)
+            print(json.dumps(report, indent=2))
+            print(
+                f"dropped {report['rows_dropped']} compiled rows "
+                f"({report['bytes_reclaimed']} bytes) across "
+                f"{len(report['dropped_models'])} rotated models; "
+                f"{report['rows_kept']} rows kept",
+                file=sys.stderr,
+            )
+            return 0
         # query
         predicate = None
         if args.where is not None:
@@ -720,6 +766,12 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
             # Fail before the (slow) model load / fit.
             print(f"invalid --listen address: {exc}", file=sys.stderr)
             return 2
+    if args.async_gateway and listen_address is None:
+        print(
+            "--async needs --listen (the gateway is a TCP front)",
+            file=sys.stderr,
+        )
+        return 2
     metrics_address = None
     if args.metrics_addr is not None:
         from repro.api.client import parse_address
@@ -779,6 +831,46 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
         m_host, m_port = metrics_server.address
         print(f"metrics on {m_host}:{m_port}", file=sys.stderr, flush=True)
     try:
+        if listen_address is not None and args.async_gateway:
+            import asyncio
+
+            from repro.serving.gateway import AsyncGateway, run_gateway
+
+            host, port = listen_address
+            gateway = AsyncGateway(
+                service,
+                host=host,
+                port=port,
+                max_inflight=args.max_inflight,
+                max_queue=args.max_queue,
+                client_budget=args.client_budget,
+            )
+
+            def _announce(address: str) -> None:
+                print(
+                    f"gateway listening on {address} "
+                    f"(max_inflight={args.max_inflight} "
+                    f"max_queue={args.max_queue} "
+                    f"client_budget={args.client_budget})",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+            try:
+                asyncio.run(run_gateway(gateway, announce=_announce))
+            except OSError as exc:  # port busy, address not bindable, ...
+                print(
+                    f"cannot listen on {args.listen}: {exc}", file=sys.stderr
+                )
+                return 2
+            except KeyboardInterrupt:
+                pass
+            print(
+                f"served {service.requests_handled} requests "
+                f"({gateway.requests_shed} shed)",
+                file=sys.stderr,
+            )
+            return 0
         if listen_address is not None:
             from repro.serving.tcp import serve_tcp
 

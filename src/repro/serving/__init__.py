@@ -38,7 +38,13 @@ compile pipeline:
   still answered through a deprecation shim);
 - :mod:`repro.serving.tcp` — the same protocol behind a threaded TCP
   listener (``repro.cli serve --listen HOST:PORT``); each worker in
-  the distributed ``remote`` backend is one of these.
+  the distributed ``remote`` backend is one of these;
+- :mod:`repro.serving.gateway` — the asyncio serving front
+  (``serve --listen … --async``): thousands of multiplexed
+  connections on one event loop, admission control with typed
+  ``overloaded`` load shedding, and compile coalescing for
+  concurrent same-scene audits, all dispatching to the same
+  :class:`StreamingService` handlers (byte-identical responses).
 
 Everything here is an execution strategy behind the unified audit API:
 :class:`repro.api.AuditSpec` runs on the session and sharded layers via
@@ -46,6 +52,7 @@ the ``session`` and ``sharded`` backends with rankings byte-identical
 to the inline engine.
 """
 
+from repro.serving.gateway import AsyncGateway, GatewayWorker
 from repro.serving.edits import (
     InsertBundle,
     InsertObservation,
@@ -65,6 +72,8 @@ from repro.serving.service import StreamingService
 from repro.serving.tcp import ProtocolTCPServer, TcpWorker, serve_tcp
 
 __all__ = [
+    "AsyncGateway",
+    "GatewayWorker",
     "ProtocolTCPServer",
     "TcpWorker",
     "serve_tcp",

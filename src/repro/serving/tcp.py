@@ -22,6 +22,7 @@ Two entry points:
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import threading
 
@@ -79,13 +80,22 @@ class _Utf8Writer:
 
 
 class ProtocolTCPServer(socketserver.ThreadingTCPServer):
-    """Threaded TCP server bound to one :class:`StreamingService`."""
+    """Threaded TCP server bound to one :class:`StreamingService`.
+
+    Accepted handler sockets are tracked so :meth:`server_close` can
+    end *live conversations* too — ``ThreadingTCPServer`` only closes
+    the listener, which leaves handler threads parked on idle client
+    reads (and their sockets open) after a shutdown; tests and
+    benchmarks standing up many workers leaked both.
+    """
 
     allow_reuse_address = True
     daemon_threads = True
 
     def __init__(self, service: StreamingService, address: tuple[str, int]):
         self.service = service
+        self._handler_lock = threading.Lock()
+        self._handler_sockets: set = set()
         super().__init__(address, _ProtocolHandler)
 
     @property
@@ -93,6 +103,39 @@ class ProtocolTCPServer(socketserver.ThreadingTCPServer):
         """The bound ``"host:port"`` (resolved even when port 0 was asked)."""
         host, port = self.server_address[:2]
         return f"{host}:{port}"
+
+    def process_request(self, request, client_address) -> None:
+        with self._handler_lock:
+            self._handler_sockets.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._handler_lock:
+            self._handler_sockets.discard(request)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        """Force-close every live handler connection.
+
+        ``shutdown(SHUT_RDWR)`` unblocks a handler thread sitting in a
+        read, so it exits its serve loop promptly; the handler's own
+        ``shutdown_request`` then finishes the close and untracks it.
+        """
+        with self._handler_lock:
+            live = list(self._handler_sockets)
+        for sock in live:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.close_all_connections()
 
 
 def serve_tcp(
@@ -144,10 +187,19 @@ class TcpWorker:
         return self.server.address
 
     def stop(self) -> None:
-        """Shut the listener down and join the serving thread."""
+        """Shut the listener *and every live connection* down, then join.
+
+        ``server_close`` force-closes accepted handler sockets too
+        (see :meth:`ProtocolTCPServer.close_all_connections`), so no
+        handler thread is left parked on an idle client read — a
+        stopped worker leaks neither threads nor sockets.
+        """
         self.server.shutdown()
         self.server.server_close()
         self.thread.join(timeout=10)
+
+    #: Alias: ``close()`` reads naturally on a resource-shaped object.
+    close = stop
 
     def __enter__(self) -> "TcpWorker":
         return self

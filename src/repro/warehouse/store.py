@@ -108,6 +108,14 @@ _CORRUPTIONS = obs_metrics.counter(
     "repro_warehouse_corruption_total",
     "Integrity-check failures on read (blob re-hash or sidecar checksum)",
 )
+_GC_ROWS = obs_metrics.counter(
+    "repro_warehouse_gc_rows_total",
+    "Compiled sidecar rows dropped by gc for rotated model fingerprints",
+)
+_GC_BYTES = obs_metrics.counter(
+    "repro_warehouse_gc_bytes_total",
+    "Compiled sidecar payload bytes reclaimed by gc",
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS warehouse_meta (
@@ -660,6 +668,55 @@ class SceneWarehouse:
         else:
             _COMPILED_HITS.inc()
         return compiled
+
+    def gc_compiled(self, keep_models: Iterable[str]) -> dict:
+        """Drop sidecar rows whose model fingerprint was rotated out.
+
+        Keying the sidecar by model fingerprint makes refits
+        *invalidate* old rows (they stop matching) but never reclaims
+        them — a corpus audited across many model generations
+        accumulates dead payload bytes. ``keep_models`` is the set of
+        fingerprints still in service (typically the current model's);
+        every compiled row under any other fingerprint is deleted in
+        one transaction. Returns a report::
+
+            {"kept_models": [...], "dropped_models": [...],
+             "rows_dropped": N, "bytes_reclaimed": B,
+             "rows_kept": M, "bytes_kept": K}
+
+        Scene blobs and tags are never touched — gc is strictly about
+        the derived compiled-columns cache, which any audit can
+        rebuild.
+        """
+        keep = {str(m) for m in keep_models}
+        with self._lock, self._conn:
+            rows = self._conn.execute(
+                "SELECT model_fingerprint, COUNT(*), "
+                "COALESCE(SUM(LENGTH(payload)), 0) FROM compiled "
+                "GROUP BY model_fingerprint"
+            ).fetchall()
+            dropped = [
+                (fp, int(n), int(nbytes))
+                for fp, n, nbytes in rows
+                if fp not in keep
+            ]
+            for fp, _n, _b in dropped:
+                self._conn.execute(
+                    "DELETE FROM compiled WHERE model_fingerprint = ?", (fp,)
+                )
+        rows_dropped = sum(n for _fp, n, _b in dropped)
+        bytes_reclaimed = sum(b for _fp, _n, b in dropped)
+        _GC_ROWS.inc(rows_dropped)
+        _GC_BYTES.inc(bytes_reclaimed)
+        kept = [(fp, int(n), int(b)) for fp, n, b in rows if fp in keep]
+        return {
+            "kept_models": sorted(fp for fp, _n, _b in kept),
+            "dropped_models": sorted(fp for fp, _n, _b in dropped),
+            "rows_dropped": rows_dropped,
+            "bytes_reclaimed": bytes_reclaimed,
+            "rows_kept": sum(n for _fp, n, _b in kept),
+            "bytes_kept": sum(b for _fp, _n, b in kept),
+        }
 
     # -- introspection -------------------------------------------------
     def stats(self) -> dict:

@@ -4,7 +4,9 @@ The harness is a standalone script, so nothing else in the test suite
 imports it — without this test it could silently rot while the modules
 it drives evolve. ``--smoke`` shrinks every measurement to a few
 seconds, skips the pytest-benchmark child run, and still writes the
-full BENCH_scaling.json layout.
+full BENCH_scaling.json layout. Sections a partial run skips are
+carried over from the committed baseline instead of erased, so the
+perf trajectory survives partial reruns.
 """
 
 import importlib.util
@@ -56,19 +58,68 @@ def test_smoke_writes_full_report(harness_module, tmp_path, capsys):
     partitions = remote["worker_cases"][0]["partitions"]
     assert sum(p["n_scenes"] for p in partitions) == remote["n_scenes"]
 
-    assert "pytest_benchmarks" not in report  # --smoke skips the child run
+    gateway = serving["gateway"]
+    assert gateway["n_clients"] >= 2
+    assert gateway["sustained"]["all_answered"] is True
+    assert gateway["shed"]["typed_overloaded"] is True
+    assert gateway["coalesce"]["hit_ratio"] >= 0.5
+    assert gateway["byte_identity"]["byte_identical"] is True
+
+    # --smoke skips the pytest-benchmark child run; the committed
+    # baseline's section is carried over rather than erased (and this
+    # run's generated_at wins).
+    baseline_path = REPO_ROOT / "BENCH_scaling.json"
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        if "pytest_benchmarks" in baseline:
+            assert (
+                report["pytest_benchmarks"] == baseline["pytest_benchmarks"]
+            )
+        assert report["generated_at"] != baseline["generated_at"]
+    else:
+        assert "pytest_benchmarks" not in report
 
     printed = capsys.readouterr().out
     assert "A/B compile+rank" in printed
     assert "delta recompile" in printed
+    assert "async gateway" in printed
 
 
 def test_smoke_respects_skip_serving(harness_module, tmp_path):
     out = tmp_path / "bench2.json"
     code = harness_module.main(
-        ["--smoke", "--skip-serving", "--out", str(out)]
+        ["--smoke", "--skip-serving", "--skip-gateway", "--out", str(out)]
     )
     assert code == 0
     report = json.loads(out.read_text())
-    assert "serving" not in report
     assert "ab" in report
+    # The skipped serving section is merged back from the committed
+    # baseline (when one exists) instead of silently dropped.
+    baseline_path = REPO_ROOT / "BENCH_scaling.json"
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        assert report.get("serving") == baseline.get("serving")
+    else:
+        assert "serving" not in report
+
+
+def test_merge_unrun_sections_prefers_fresh_measurements(harness_module):
+    baseline = {
+        "generated_at": 1.0,
+        "ab": {"old": True},
+        "serving": {"remote": {"old": True}, "sharding": {"old": True}},
+        "warehouse": {"old": True},
+    }
+    report = {
+        "generated_at": 2.0,
+        "serving": {"gateway": {"fresh": True}, "remote": {"fresh": True}},
+    }
+    merged = harness_module.merge_unrun_sections(report, baseline)
+    assert merged["generated_at"] == 2.0
+    assert merged["ab"] == {"old": True}  # carried over
+    assert merged["warehouse"] == {"old": True}  # carried over
+    assert merged["serving"]["sharding"] == {"old": True}  # subsection kept
+    assert merged["serving"]["remote"] == {"fresh": True}  # fresh wins
+    assert merged["serving"]["gateway"] == {"fresh": True}
+    # No baseline at all: the report passes through untouched.
+    assert harness_module.merge_unrun_sections(report, None) is report

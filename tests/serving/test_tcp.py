@@ -1,0 +1,60 @@
+"""Threaded TCP front tests: listener lifecycle and connection cleanup."""
+
+import json
+import socket
+import threading
+
+from repro.api.client import AuditClient, parse_address
+from repro.serving import TcpWorker
+
+
+def test_stop_closes_live_connections(fitted_fixy):
+    """`stop()` must end accepted conversations, not just the listener.
+
+    A client parked on an idle read used to keep its handler thread
+    (and both sockets) alive forever after shutdown; now it sees a
+    prompt EOF.
+    """
+    worker = TcpWorker(fitted_fixy)
+    sock = socket.create_connection(parse_address(worker.address), timeout=30)
+    stream = sock.makefile("rwb")
+    try:
+        stream.write(
+            (json.dumps({"v": 1, "op": "stats"}) + "\n").encode("utf-8")
+        )
+        stream.flush()
+        assert json.loads(stream.readline())["ok"] is True
+        # The client now sits idle; the handler thread is parked on its
+        # read. Stopping the worker must unblock it and close the socket.
+        worker.stop()
+        sock.settimeout(10)  # a hang here is the bug this test pins
+        assert stream.readline() == b""
+    finally:
+        stream.close()
+        sock.close()
+    assert not worker.thread.is_alive()
+
+
+def test_close_is_stop_alias(fitted_fixy):
+    worker = TcpWorker(fitted_fixy)
+    with AuditClient.connect(worker.address) as client:
+        assert client.stats()["live_sessions"] == 0
+    worker.close()
+    assert not worker.thread.is_alive()
+
+
+def test_stop_leaves_no_handler_threads(fitted_fixy):
+    worker = TcpWorker(fitted_fixy)
+    clients = [AuditClient.connect(worker.address) for _ in range(3)]
+    for client in clients:
+        client.stats()
+    before = {t.name for t in threading.enumerate()}
+    assert any(name.startswith("Thread-") for name in before)
+    worker.stop()
+    for client in clients:
+        client.close()
+    # Handler threads exit promptly once their sockets are shut down.
+    for thread in threading.enumerate():
+        if thread.name.startswith("Thread-") and thread.is_alive():
+            thread.join(timeout=10)
+            assert not thread.is_alive(), thread.name

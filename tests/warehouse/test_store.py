@@ -285,3 +285,71 @@ def test_put_compiled_without_columns_is_noop(warehouse, fitted_fixy):
     fingerprint = warehouse.ingest(scene)
     assert not warehouse.put_compiled(fingerprint, None, object())
     assert warehouse.stats()["compiled"] == 0
+
+
+# ------------------------------------------------------------------- gc
+
+
+def test_gc_compiled_drops_rotated_models_only(warehouse, fitted_fixy):
+    scenes = [corpus_scene(f"gc-{i}") for i in range(3)]
+    live_fp = fitted_fixy.learned.fingerprint()
+    rotated = "rotated-model-fp"
+    for scene in scenes:
+        fingerprint = warehouse.ingest(scene)
+        compiled = fitted_fixy.compile(scene)
+        warehouse.put_compiled(fingerprint, live_fp, compiled)
+        warehouse.put_compiled(fingerprint, rotated, compiled)
+        fitted_fixy._evict_scene(scene)
+    assert warehouse.stats()["compiled"] == 6
+
+    report = warehouse.gc_compiled([live_fp])
+    assert report["kept_models"] == [live_fp]
+    assert report["dropped_models"] == [rotated]
+    assert report["rows_dropped"] == 3
+    assert report["rows_kept"] == 3
+    assert report["bytes_reclaimed"] > 0
+    assert report["bytes_kept"] > 0
+    assert warehouse.stats()["compiled"] == 3
+
+    # The kept model's sidecars still restore; the rotated ones are gone.
+    for scene in scenes:
+        fingerprint = frames.scene_fingerprint(frames.pack_scene(scene))
+        assert (
+            warehouse.get_compiled(
+                fingerprint, live_fp, scene, fitted_fixy.features
+            )
+            is not None
+        )
+        assert (
+            warehouse.get_compiled(
+                fingerprint, rotated, scene, fitted_fixy.features
+            )
+            is None
+        )
+        fitted_fixy._evict_scene(scene)
+
+
+def test_gc_compiled_never_touches_scene_blobs(warehouse, fitted_fixy):
+    scene = corpus_scene("gc-blobs")
+    fingerprint = warehouse.ingest(scene)
+    warehouse.put_compiled(
+        fingerprint, "old-model", fitted_fixy.compile(scene)
+    )
+    fitted_fixy._evict_scene(scene)
+    before = warehouse.stats()
+
+    report = warehouse.gc_compiled(["brand-new-model"])
+    assert report["rows_dropped"] == 1 and report["rows_kept"] == 0
+    after = warehouse.stats()
+    assert after["scenes"] == before["scenes"]
+    assert after["blob_bytes"] == before["blob_bytes"]
+    assert after["compiled"] == 0
+    assert warehouse.get_blob(fingerprint) is not None
+
+
+def test_gc_compiled_empty_store_reports_zeroes(warehouse):
+    report = warehouse.gc_compiled(["anything"])
+    assert report["rows_dropped"] == 0
+    assert report["bytes_reclaimed"] == 0
+    assert report["dropped_models"] == []
+    assert report["kept_models"] == []
